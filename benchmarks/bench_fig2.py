@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 2 (per-provider H3 adoption + market share).
+
+Paper targets: Google ≈ 50 % of H3-enabled CDN requests, Cloudflare the
+runner-up at ≈ 45 %, together > 85 %; Google's own traffic almost fully
+H3; Amazon/Fastly/rest mostly H2.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig2(benchmark, study, campaign):
+    result = run_once(benchmark, run_experiment, "fig2", study)
+    print()
+    print(result.render())
+    shares = result.data["h3_share_by_provider"]
+    own = result.data["own_h3_fraction"]
+    assert shares["google"] > 0.35
+    assert shares["google"] + shares.get("cloudflare", 0.0) > 0.70
+    assert own["google"] > 0.85
+    if "amazon" in own:
+        assert own["amazon"] < 0.35

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 3 (CCDF of per-page CDN resource share).
+
+Paper target: 75 % of pages have more than 50 % CDN resources.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig3(benchmark, study):
+    result = benchmark(run_experiment, "fig3", study)
+    print()
+    print(result.render())
+    assert 0.60 <= result.data["ccdf_at_half"] <= 0.90  # paper 0.75
+    # CCDF must be monotone non-increasing.
+    ys = [y for __, y in result.data["ccdf_series"]]
+    assert ys == sorted(ys, reverse=True)

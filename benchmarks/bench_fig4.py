@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 4 (provider appearance + providers per page).
+
+Paper targets: top-4 providers each appear on > 50 % of pages (we allow
+the 4th a little slack at bench scale); 94.8 % of pages use >= 2
+providers.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig4(benchmark, study):
+    result = benchmark(run_experiment, "fig4", study)
+    print()
+    print(result.render())
+    probabilities = sorted(
+        result.data["appearance_probability"].values(), reverse=True
+    )
+    assert probabilities[0] > 0.5
+    assert probabilities[2] > 0.45
+    assert probabilities[3] > 0.35
+    assert result.data["share_2plus"] >= 0.90  # paper 0.948

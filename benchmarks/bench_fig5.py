@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 5 (per-provider per-page resource CCDFs).
+
+Paper target: for pages using Cloudflare or Google, roughly half carry
+more than 10 resources of that provider.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig5(benchmark, study):
+    result = benchmark(run_experiment, "fig5", study)
+    print()
+    print(result.render())
+    over10 = result.data["ccdf_over_10"]
+    assert over10["cloudflare"] > 0.40
+    assert over10["google"] > 0.40
+    # The small-share providers host fewer resources per page.
+    assert over10["fastly"] <= over10["cloudflare"]

@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 6 (group PLT reductions + phase reductions).
+
+Paper targets: (a) every group shows a positive mean PLT reduction,
+with an interior maximum — the High group gains less than the peak
+group ("reused HTTP connections diminish H3 adoption benefits");
+(b) median connection reduction > 0, median wait reduction < 0, median
+receive reduction ≈ 0.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig6(benchmark, study, campaign):
+    result = run_once(benchmark, run_experiment, "fig6", study)
+    print()
+    print(result.render())
+    reductions = result.data["group_reductions"]
+    values = [reductions[label] for label in ("Low", "Medium-Low", "Medium-High", "High")]
+    # All groups benefit (small negative tolerance for bench scale) and
+    # the cohort-wide mean reduction is positive.  The interior-maximum
+    # "turning point" is draw-sensitive at this scale — its appearance
+    # across cohorts is recorded in EXPERIMENTS.md; the mechanism is
+    # asserted by bench_fig7.
+    assert all(v > -10.0 for v in values), values
+    assert sum(values) / len(values) > 0.0
+    medians = result.data["phase_medians"]
+    assert medians["connection"] > 0.0
+    assert medians["wait"] < 0.0
+    assert abs(medians["receive"]) < 5.0

@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 7 (reused connections vs PLT reduction).
+
+Paper targets: (a) reuse grows with group level and H2 reuses more
+than H3; (b) the reuse difference is positive, widest in the upper
+groups; (c) the PLT reduction shrinks as the difference grows.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig7(benchmark, study, campaign):
+    result = run_once(benchmark, run_experiment, "fig7", study)
+    print()
+    print(result.render())
+    reuse = result.data["reuse_by_group"]
+    labels = ("Low", "Medium-Low", "Medium-High", "High")
+    h2_counts = [reuse[label][0] for label in labels]
+    # Reuse grows with group level (High ≫ Low).
+    assert h2_counts[-1] > h2_counts[0]
+    # H2 reuses more than H3 in every group.
+    for label in labels:
+        assert reuse[label][0] >= reuse[label][1], label
+    differences = result.data["difference_by_group"]
+    assert sum(differences.values()) > 0
+    # Fig 7(c): first-vs-last bin ordering (reduction shrinks).
+    bins = result.data["reduction_by_difference"]
+    assert len(bins) >= 2
+    assert bins[0][1] > bins[-1][1]

@@ -1,0 +1,100 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These measure raw performance (events/second, page visits/second) so
+regressions in the simulator's hot paths are visible, independent of
+the paper's experiments.
+"""
+
+import random
+
+import pytest
+
+from repro.browser import Browser, BrowserConfig
+from repro.events import EventLoop
+from repro.measurement import ProbeNetProfile, ServerFarm
+from repro.netsim import NetemProfile, NetworkPath
+from repro.transport import QuicConnection, TcpConnection
+from repro.web import GeneratorConfig, TopSitesGenerator
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule-and-run cycles per second of the DES kernel."""
+
+    def run():
+        loop = EventLoop()
+        counter = {"n": 0}
+
+        def tick():
+            counter["n"] += 1
+            if counter["n"] < 10_000:
+                loop.call_later(0.001, tick)
+
+        loop.call_later(0.0, tick)
+        loop.run()
+        return counter["n"]
+
+    assert benchmark(run) == 10_000
+
+
+@pytest.mark.parametrize("conn_cls", [TcpConnection, QuicConnection])
+def test_bulk_transfer(benchmark, conn_cls):
+    """One 500 KB transfer over a clean 30 ms-RTT 50 Mbps path."""
+
+    def run():
+        loop = EventLoop()
+        path = NetworkPath(
+            loop, NetemProfile(delay_ms=15.0, rate_mbps=50.0), rng=random.Random(1)
+        )
+        conn = conn_cls(loop, path)
+        done = []
+        conn.connect(done.append)
+        loop.run_until(lambda: bool(done))
+        stream = conn.request(400, 500_000)
+        loop.run_until(lambda: stream.complete)
+        return stream.received
+
+    assert benchmark(run) == 500_000
+
+
+def test_lossy_transfer(benchmark):
+    """The same transfer at 1 % loss (exercises recovery machinery)."""
+
+    def run():
+        loop = EventLoop()
+        path = NetworkPath(
+            loop,
+            NetemProfile(delay_ms=15.0, rate_mbps=50.0, loss_rate=0.01),
+            rng=random.Random(1),
+        )
+        conn = QuicConnection(loop, path)
+        done = []
+        conn.connect(done.append)
+        loop.run_until(lambda: bool(done))
+        stream = conn.request(400, 500_000)
+        loop.run_until(lambda: stream.complete)
+        return stream.received
+
+    assert benchmark(run) == 500_000
+
+
+def test_universe_generation(benchmark):
+    """Generate a 325-site universe (the paper's scale)."""
+    universe = benchmark(TopSitesGenerator().generate, 42)
+    assert len(universe.websites) == 325
+
+
+def test_page_visit(benchmark):
+    """One full H3-enabled page load through the browser stack."""
+    universe = TopSitesGenerator(GeneratorConfig(n_sites=5)).generate(seed=2)
+    page = universe.pages[4]
+
+    def run():
+        loop = EventLoop()
+        farm = ServerFarm(loop, universe.hosts, ProbeNetProfile(), rng=random.Random(3))
+        farm.warm_caches([page])
+        browser = Browser(loop, farm, BrowserConfig(), rng=random.Random(4))
+        return browser.visit(page)
+
+    visit = benchmark(run)
+    assert visit.plt_ms > 0
+    assert len(visit.entries) == page.total_requests

@@ -1,0 +1,18 @@
+"""Bench: regenerate Table I (provider registry metadata)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark, study):
+    result = benchmark(run_experiment, "table1", study)
+    print()
+    print(result.render())
+    # Paper Table I release years, verbatim.
+    years = result.data["release_years"]
+    assert years["cloudflare"] == 2019
+    assert years["google"] == 2021
+    assert years["fastly"] == 2021
+    assert years["quic_cloud"] == 2021
+    assert years["amazon"] == 2022
+    assert years["meta"] == 2022
+    assert years["akamai"] == 2023

@@ -1,0 +1,18 @@
+"""Bench: regenerate Table II (requests by HTTP version × CDN/non-CDN).
+
+Paper targets: CDN 67.0 % of requests, H3 32.6 % of requests, 78.8 % of
+H3 requests served by CDNs, "Others" (HTTP/1.x) small and non-CDN.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table2(benchmark, study, campaign):
+    result = run_once(benchmark, run_experiment, "table2", study)
+    print()
+    print(result.render())
+    assert 0.55 <= result.data["cdn_share"] <= 0.75          # paper 0.670
+    assert 0.25 <= result.data["h3_share"] <= 0.42           # paper 0.326
+    assert result.data["h3_cdn_share_of_h3"] > 0.65          # paper 0.788

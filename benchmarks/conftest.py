@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+One session-scoped :class:`H3CdnStudy` backs all per-figure benches so
+the expensive stages (universe generation, the paired campaign, the
+consecutive walk, the loss sweep) run exactly once.  The scale — 60
+sites, 40-page loss sweep with 2 repetitions — is chosen so the full
+bench suite finishes in minutes while every paper *shape* is resolvable
+above simulation noise.  EXPERIMENTS.md records the full-scale (325
+site) numbers produced by ``repro-h3cdn --scale full``.
+"""
+
+import pytest
+
+from repro.core import H3CdnStudy, StudyConfig
+
+BENCH_SITES = 60
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def study():
+    return H3CdnStudy(
+        StudyConfig(
+            n_sites=BENCH_SITES,
+            seed=BENCH_SEED,
+            max_loss_sweep_pages=40,
+            loss_sweep_repetitions=2,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def campaign(study):
+    """Force the paired campaign to run (cached on the study)."""
+    return study.campaign_result
+
+
+@pytest.fixture(scope="session")
+def consecutive(study):
+    """Force the consecutive walk to run (cached on the study)."""
+    return study.consecutive_runs
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a heavy function with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

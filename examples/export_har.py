@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Export a simulated page visit as a HAR 1.2-style JSON document.
+
+The paper's raw data unit is the Chrome-HAR file; this example shows
+that the simulated browser produces the same artifact, so existing
+HAR tooling (waterfalls, analyzers) can consume simulation output.
+
+Run:  python examples/export_har.py [output.har]
+"""
+
+import json
+import random
+import sys
+
+from repro.browser import Browser, BrowserConfig
+from repro.events import EventLoop
+from repro.measurement import ProbeNetProfile, ServerFarm
+from repro.web import GeneratorConfig, TopSitesGenerator
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "visit.har"
+    universe = TopSitesGenerator(GeneratorConfig(n_sites=6)).generate(seed=4)
+    page = universe.pages[5]
+
+    loop = EventLoop()
+    farm = ServerFarm(loop, universe.hosts, ProbeNetProfile(), rng=random.Random(1))
+    farm.warm_caches([page])
+    browser = Browser(loop, farm, BrowserConfig(), rng=random.Random(2))
+    visit = browser.visit(page)
+
+    document = visit.har.to_dict()
+    with open(out_path, "w") as handle:
+        json.dump(document, handle, indent=2)
+
+    entries = document["log"]["entries"]
+    print(f"wrote {out_path}: {len(entries)} entries, "
+          f"onLoad {document['log']['pages'][0]['pageTimings']['onLoad']:.0f} ms")
+    cdn = sum(1 for e in entries if e["_cdn"]["isCdn"])
+    print(f"CDN entries: {cdn}/{len(entries)}; "
+          f"protocols: {sorted({e['response']['httpVersion'] for e in entries})}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Run the entire reproduction study through the one-stop API.
+
+`H3CdnStudy` is the library's top-level entry point: configure the
+scale once, then every table and figure of the paper is a method call.
+This example runs a compact study and prints a digest of each result,
+with bootstrap confidence intervals on the headline group means.
+
+Run:  python examples/full_study.py        (about a minute)
+"""
+
+from repro.analysis.bootstrap import bootstrap_ci
+from repro.core import H3CdnStudy, StudyConfig
+from repro.core.groups import group_pages_by_h3_adoption
+
+
+def main() -> None:
+    study = H3CdnStudy(
+        StudyConfig(n_sites=40, seed=7, max_loss_sweep_pages=16)
+    )
+    print(f"Study: {study.config.n_sites} sites, seed {study.config.seed}\n")
+
+    table2 = study.table2()
+    print(f"Table II : {table2.total_requests} requests; "
+          f"CDN {table2.cdn_share:.1%} (paper 67.0%), "
+          f"H3 {table2.h3_share:.1%} (paper 32.6%)")
+
+    shares = {row.provider: row for row in study.fig2()[:2]}
+    top = ", ".join(f"{name} {row.h3_fraction:.0%} H3" for name, row in shares.items())
+    print(f"Fig. 2   : top providers: {top}")
+
+    print(f"Fig. 3   : {study.fig3().ccdf(0.5):.1%} of pages majority-CDN (paper 75%)")
+    print(f"Fig. 4   : {sum(1 for p in study.universe.pages if p.provider_count >= 2) / len(study.universe.pages):.1%} of pages use >=2 providers (paper 94.8%)")
+
+    print("Fig. 6(a): PLT reduction by group, with 95% bootstrap CIs:")
+    groups = group_pages_by_h3_adoption(study.campaign_result)
+    for label, pairs in groups.items():
+        ci = bootstrap_ci([pv.plt_reduction_ms for pv in pairs], seed=1)
+        print(f"           {label:12s} {ci}")
+
+    medians = {k: d.median for k, d in study.fig6b().items()}
+    print(f"Fig. 6(b): medians conn={medians['connection']:+.2f} "
+          f"wait={medians['wait']:+.2f} recv={medians['receive']:+.2f} ms "
+          "(paper: +, -, ~0)")
+
+    reuse = study.fig7a()
+    print(f"Fig. 7   : reuse Low {reuse[0].mean_reused_h2:.0f} -> High "
+          f"{reuse[-1].mean_reused_h2:.0f} per page; H2-H3 gap "
+          f"{reuse[-1].mean_difference:+.1f} in High")
+
+    resumed = study.fig8b()
+    lo, hi = min(resumed), max(resumed)
+    print(f"Fig. 8(b): resumed connections {resumed[lo]:.0f} @ {lo} providers "
+          f"-> {resumed[hi]:.0f} @ {hi} providers")
+
+    t3 = study.table3()
+    print(f"Table III: C_H {t3.high.avg_shared_providers:.2f} providers / "
+          f"{t3.high.avg_resumed_connections:.1f} resumed / "
+          f"{t3.high.plt_reduction_ms:+.1f} ms vs "
+          f"C_L {t3.low.avg_shared_providers:.2f} / "
+          f"{t3.low.avg_resumed_connections:.1f} / {t3.low.plt_reduction_ms:+.1f} ms")
+
+    print("Fig. 9   : slopes (ms per CDN resource):")
+    for series in study.fig9():
+        print(f"           {series.loss_rate:.1%} loss -> {series.slope:+.2f}")
+
+
+if __name__ == "__main__":
+    main()

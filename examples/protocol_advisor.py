@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The adaptive protocol advisor — the paper's 'Researchers' implication.
+
+Section VII suggests an adaptive protocol-selection tool.  This example
+runs the rule-based advisor distilled from the paper's takeaways over a
+cohort of pages under different network conditions, then empirically
+validates one recommendation by actually loading the page both ways.
+
+Run:  python examples/protocol_advisor.py
+"""
+
+import random
+
+from repro.browser import Browser, BrowserConfig
+from repro.core.advisor import advise
+from repro.events import EventLoop
+from repro.measurement import ProbeNetProfile, ServerFarm
+from repro.web import GeneratorConfig, TopSitesGenerator
+
+
+def measure(universe, page, mode, loss=0.0, seed=1):
+    loop = EventLoop()
+    farm = ServerFarm(loop, universe.hosts, ProbeNetProfile(loss_rate=loss),
+                      rng=random.Random(seed))
+    farm.warm_caches([page])
+    browser = Browser(loop, farm, BrowserConfig(protocol_mode=mode),
+                      rng=random.Random(seed + 1))
+    return browser.visit(page).plt_ms
+
+
+def main() -> None:
+    universe = TopSitesGenerator(GeneratorConfig(n_sites=12)).generate(seed=21)
+
+    print("Advisor recommendations across conditions:\n")
+    conditions = [
+        ("clean network, single page", ProbeNetProfile(), False),
+        ("1% loss", ProbeNetProfile(loss_rate=0.01), False),
+        ("consecutive browsing", ProbeNetProfile(), True),
+    ]
+    for label, network, browsing in conditions:
+        h3_votes = 0
+        for page in universe.pages:
+            advice = advise(page, universe, network=network,
+                            consecutive_browsing=browsing)
+            h3_votes += advice.protocol == "h3"
+        print(f"  {label:30s} -> H3 recommended for "
+              f"{h3_votes}/{len(universe.pages)} pages")
+
+    page = max(universe.pages, key=lambda p: len(p.cdn_resources))
+    advice = advise(page, universe, network=ProbeNetProfile(loss_rate=0.01))
+    print(f"\nDeep dive: {page.origin_host} under 1% loss -> {advice.protocol.upper()}"
+          f" (score {advice.score:+.1f})")
+    for reason in advice.reasons:
+        print(f"  - {reason}")
+
+    print("\nEmpirical check (mean of 3 seeds):")
+    h2 = sum(measure(universe, page, "h2-only", loss=0.01, seed=s) for s in (1, 2, 3)) / 3
+    h3 = sum(measure(universe, page, "h3-enabled", loss=0.01, seed=s) for s in (1, 2, 3)) / 3
+    winner = "h3" if h3 < h2 else "h2"
+    verdict = "advice confirmed" if winner == advice.protocol else (
+        f"{winner.upper()} won this draw (loss is noisy; advice was "
+        f"{advice.protocol.upper()})"
+    )
+    print(f"  H2 PLT {h2:.0f} ms vs H3-enabled PLT {h3:.0f} ms -> {verdict}")
+
+
+if __name__ == "__main__":
+    main()

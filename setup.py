@@ -1,0 +1,5 @@
+"""Setup shim for environments without the `wheel` package (PEP 660
+editable installs need it; `pip install -e . --no-use-pep517` does not)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro — a simulation reproduction of "Dissecting the Applicability of
+HTTP/3 in Content Delivery Networks" (Zhou et al., ICDCS 2024).
+
+The package rebuilds the paper's entire measurement ecosystem offline —
+network, transports, TLS, HTTP, DNS, CDNs, a synthetic web, a browser,
+and the collection protocol — and regenerates every table and figure of
+the evaluation.  Start with :class:`repro.core.H3CdnStudy`:
+
+>>> from repro import H3CdnStudy, StudyConfig
+>>> study = H3CdnStudy(StudyConfig(n_sites=20, seed=7))
+>>> table2 = study.table2()           # the paper's Table II
+>>> round(table2.cdn_share, 2)        # doctest: +SKIP
+0.67
+
+or run the CLI: ``python -m repro.experiments.cli --scale quick``.
+
+Subpackage map (bottom-up): :mod:`repro.events` (simulation kernel),
+:mod:`repro.netsim` (links/loss), :mod:`repro.transport` (TCP/QUIC),
+:mod:`repro.tls`, :mod:`repro.dns`, :mod:`repro.http`, :mod:`repro.cdn`,
+:mod:`repro.web`, :mod:`repro.browser`, :mod:`repro.measurement`,
+:mod:`repro.analysis`, :mod:`repro.core`, :mod:`repro.experiments`.
+"""
+
+from repro.core.study import H3CdnStudy, StudyConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["H3CdnStudy", "StudyConfig", "__version__"]

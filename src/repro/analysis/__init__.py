@@ -1,0 +1,29 @@
+"""Generic analysis toolkit: distributions, regression, clustering.
+
+Dependency-free implementations of the statistical machinery the
+paper's figures need: empirical CDFs/CCDFs (Figs. 3, 5, 6b), quantile
+grouping (Fig. 6a), least-squares linear fits (Fig. 9's slope
+comparison), and the k-means clustering (MacQueen) behind the Table III
+case study.
+"""
+
+from repro.analysis.kmeans import KMeansResult, kmeans
+from repro.analysis.stats import (
+    EmpiricalDistribution,
+    linear_fit,
+    mean,
+    median,
+    quantile,
+    quartile_groups,
+)
+
+__all__ = [
+    "EmpiricalDistribution",
+    "KMeansResult",
+    "kmeans",
+    "linear_fit",
+    "mean",
+    "median",
+    "quantile",
+    "quartile_groups",
+]

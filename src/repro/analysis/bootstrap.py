@@ -1,0 +1,102 @@
+"""Bootstrap confidence intervals for the measured statistics.
+
+The paper reports point estimates (group means, fitted slopes).  For a
+simulation-based reproduction, uncertainty matters: a shape claim like
+"the High group gains less than the Medium group" is only meaningful if
+the interval around each mean supports it.  This module provides the
+standard percentile bootstrap, seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.stats import mean, quantile
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided percentile-bootstrap interval."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def __str__(self) -> str:
+        return f"{self.point:.2f} [{self.low:.2f}, {self.high:.2f}]"
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[Sequence[float]], float] = mean,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile bootstrap interval for ``statistic`` over ``values``."""
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 10:
+        raise ValueError("resamples must be >= 10")
+    rng = random.Random(seed)
+    values = list(values)
+    n = len(values)
+    estimates = []
+    for _ in range(resamples):
+        resample = [values[rng.randrange(n)] for _ in range(n)]
+        estimates.append(statistic(resample))
+    alpha = 1.0 - confidence
+    return ConfidenceInterval(
+        point=statistic(values),
+        low=quantile(estimates, alpha / 2.0),
+        high=quantile(estimates, 1.0 - alpha / 2.0),
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+def difference_significant(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[bool, ConfidenceInterval]:
+    """Bootstrap test of ``mean(a) - mean(b)``.
+
+    Returns (interval excludes zero, the interval itself).  Used by the
+    full-scale analysis to say whether e.g. the Table III C_H vs C_L
+    gap is resolved above simulation noise.
+    """
+    if not a or not b:
+        raise ValueError("both samples must be non-empty")
+    rng = random.Random(seed)
+    a, b = list(a), list(b)
+    deltas = []
+    for _ in range(resamples):
+        resample_a = [a[rng.randrange(len(a))] for _ in range(len(a))]
+        resample_b = [b[rng.randrange(len(b))] for _ in range(len(b))]
+        deltas.append(mean(resample_a) - mean(resample_b))
+    alpha = 1.0 - confidence
+    interval = ConfidenceInterval(
+        point=mean(a) - mean(b),
+        low=quantile(deltas, alpha / 2.0),
+        high=quantile(deltas, 1.0 - alpha / 2.0),
+        confidence=confidence,
+        resamples=resamples,
+    )
+    significant = interval.low > 0.0 or interval.high < 0.0
+    return significant, interval

@@ -1,0 +1,160 @@
+"""Descriptive statistics: distributions, quantiles, linear fits.
+
+Implemented from scratch (no numpy/scipy dependency in the core
+library) so the analysis pipeline is self-contained and exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def quantile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolated quantile, ``q`` in [0, 1]."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("quantile of empty sequence")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    interpolated = ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    # Clamp: the convex combination can exceed the endpoints by one ulp.
+    return min(max(interpolated, ordered[0]), ordered[-1])
+
+
+def median(values: Iterable[float]) -> float:
+    """The 50th percentile."""
+    return quantile(values, 0.5)
+
+
+class EmpiricalDistribution:
+    """An empirical distribution with CDF/CCDF evaluation and export.
+
+    The paper plots CCDFs (Figs. 3, 5) and CDFs (Fig. 6b); this class
+    produces both and can emit (x, y) series for regenerating them.
+    """
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._values = sorted(values)
+        if not self._values:
+            raise ValueError("empty distribution")
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> list[float]:
+        return list(self._values)
+
+    def cdf(self, x: float) -> float:
+        """P(X <= x)."""
+        return self._count_le(x) / len(self._values)
+
+    def ccdf(self, x: float) -> float:
+        """P(X > x)."""
+        return 1.0 - self.cdf(x)
+
+    def _count_le(self, x: float) -> int:
+        import bisect
+
+        return bisect.bisect_right(self._values, x)
+
+    def quantile(self, q: float) -> float:
+        return quantile(self._values, q)
+
+    @property
+    def median(self) -> float:
+        return quantile(self._values, 0.5)
+
+    @property
+    def mean(self) -> float:
+        return mean(self._values)
+
+    def cdf_series(self, points: int = 100) -> list[tuple[float, float]]:
+        """(x, P(X<=x)) pairs across the support, for plotting."""
+        lo, hi = self._values[0], self._values[-1]
+        if lo == hi:
+            return [(lo, 1.0)]
+        step = (hi - lo) / (points - 1)
+        return [(lo + i * step, self.cdf(lo + i * step)) for i in range(points)]
+
+    def ccdf_series(self, points: int = 100) -> list[tuple[float, float]]:
+        """(x, P(X>x)) pairs across the support, for plotting."""
+        return [(x, 1.0 - y) for x, y in self.cdf_series(points)]
+
+
+def quartile_groups(
+    items: Sequence[T], key, labels: Sequence[str] = ("Low", "Medium-Low", "Medium-High", "High")
+) -> dict[str, list[T]]:
+    """Split items into equal-size ordered groups (paper Fig. 6a).
+
+    Items are sorted by ``key`` and divided into ``len(labels)``
+    contiguous groups of (near-)equal size — 'Each group has an equal
+    number of pages'.
+    """
+    if not items:
+        raise ValueError("cannot group an empty sequence")
+    ordered = sorted(items, key=key)
+    n_groups = len(labels)
+    base, remainder = divmod(len(ordered), n_groups)
+    groups: dict[str, list[T]] = {}
+    start = 0
+    for index, label in enumerate(labels):
+        size = base + (1 if index < remainder else 0)
+        groups[label] = list(ordered[start : start + size])
+        start += size
+    return groups
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares fit (the Fig. 9 'fitted curves')."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points to fit a line")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0.0:
+        raise ValueError("xs are constant; slope undefined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if syy == 0.0:
+        r_squared = 1.0
+    else:
+        residual = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+        r_squared = 1.0 - residual / syy
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared, n=n)

@@ -1,0 +1,86 @@
+"""Terminal plotting: render figure data as ASCII charts.
+
+The experiment drivers print tables; with the CLI's ``--plot`` flag the
+series behind each figure are also rendered as small ASCII charts, so a
+headless reproduction run still conveys the *shapes* the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    if hi == lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(steps - 1, max(0, int(position * (steps - 1) + 0.5)))
+
+
+def line_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 14,
+    x_label: str = "",
+    y_label: str = "",
+) -> list[str]:
+    """Render one or more (x, y) series on a shared-axis ASCII grid.
+
+    Each series gets a marker character (``*``, ``o``, ``+`` …); points
+    are nearest-neighbour mapped onto the grid.
+    """
+    markers = "*o+x@#"
+    all_points = [p for points in series.values() for p in points]
+    if not all_points:
+        raise ValueError("nothing to plot")
+    xs = [x for x, __ in all_points]
+    ys = [y for __, y in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo > 0.0:
+        y_lo = 0.0  # anchor at zero when everything is positive
+    grid = [[" "] * width for _ in range(height)]
+    for (name, points), marker in zip(series.items(), markers):
+        for x, y in points:
+            column = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][column] = marker
+    lines = []
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    gutter = max(len(top_label), len(bottom_label))
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(gutter)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_axis = f"{x_lo:.4g}".ljust(width - 8) + f"{x_hi:.4g}".rjust(8)
+    lines.append(" " * gutter + "  " + x_axis)
+    legend = "  ".join(
+        f"{marker}={name}" for (name, __), marker in zip(series.items(), markers)
+    )
+    caption = " ".join(part for part in (y_label, "vs", x_label) if part)
+    lines.append(f"{' ' * gutter}  {legend}" + (f"   ({caption})" if caption else ""))
+    return lines
+
+
+def bar_chart(
+    values: dict[str, float], width: int = 48, unit: str = ""
+) -> list[str]:
+    """Horizontal bar chart for labelled values (group means etc.)."""
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(str(label)) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = "#" * max(1, int(abs(value) / peak * width)) if value else ""
+        sign = "-" if value < 0 else ""
+        lines.append(
+            f"  {str(label).ljust(label_width)} |{sign}{bar} {value:.1f}{unit}"
+        )
+    return lines

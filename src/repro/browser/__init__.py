@@ -1,0 +1,14 @@
+"""Chrome-like page loading and HAR capture.
+
+The :class:`Browser` plays the role of the paper's instrumented Chrome
+108: it loads a landing page's HTML, discovers subresources in waves,
+schedules them through a per-origin connection pool under a chosen
+protocol mode (``h2-only`` mirrors the paper's H2 baseline; the default
+``h3-enabled`` mirrors Chrome with ``--enable-quic``), and emits a
+Chrome-HAR-style record per request plus the page-level PLT.
+"""
+
+from repro.browser.browser import Browser, BrowserConfig, PageVisit
+from repro.browser.har import HarEntry, HarLog
+
+__all__ = ["Browser", "BrowserConfig", "HarEntry", "HarLog", "PageVisit"]

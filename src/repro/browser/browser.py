@@ -1,0 +1,291 @@
+"""The browser: page loading, protocol selection, HAR capture.
+
+Mirrors the paper's instrumented Chrome:
+
+* Separate protocol modes per "browser instance" — ``h2-only`` for the
+  H2 baseline, ``h3-enabled`` for the ``--enable-quic`` run (Section
+  III-B's separate user-data directories).
+* HTML loads first from the site origin; wave-0 subresources are
+  discovered from the HTML; wave-1 resources (font files referenced by
+  CSS, XHRs issued by scripts) dispatch once the wave-0 CSS/JS have
+  loaded.
+* Every response is classified CDN/non-CDN + provider at collection
+  time (the paper runs LocEdge over its HAR files).
+* PLT is the time from navigation start to completion of every
+  resource (the ``onLoad`` event).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Protocol as TypingProtocol
+
+from repro.browser.har import HarEntry, HarLog
+from repro.cdn.classifier import classify_response
+from repro.dns import DnsConfig, DnsResolver
+from repro.events import EventLoop
+from repro.http.alt_svc import AltSvcCache
+from repro.http.messages import FetchRecord, HttpProtocol
+from repro.http.pool import ConnectionPool, PoolStats
+from repro.netsim.path import NetworkPath
+from repro.tls.session_cache import SessionTicketCache
+from repro.transport.config import TransportConfig
+from repro.web.page import Webpage
+from repro.web.resource import Resource, ResourceType
+
+
+class Farm(TypingProtocol):
+    """What the browser needs from the measurement-layer server farm."""
+
+    def server(self, hostname: str):
+        ...  # pragma: no cover - protocol stub
+
+    def path(self, hostname: str) -> NetworkPath:
+        ...  # pragma: no cover - protocol stub
+
+
+#: Protocol modes the measurement harness uses.
+H2_ONLY = "h2-only"
+H3_ENABLED = "h3-enabled"
+
+#: Chrome-like priority weights per resource type (opt-in).
+RESOURCE_WEIGHTS = {
+    ResourceType.HTML: 4,
+    ResourceType.CSS: 3,
+    ResourceType.JS: 3,
+    ResourceType.FONT: 3,
+    ResourceType.XHR: 2,
+    ResourceType.IMAGE: 1,
+    ResourceType.MEDIA: 1,
+}
+
+
+@dataclass
+class BrowserConfig:
+    """Browser-instance settings (one instance per protocol per probe)."""
+
+    protocol_mode: str = H3_ENABLED
+    #: If True, H3 is only used after an Alt-Svc advertisement has been
+    #: seen for the host (standards path).  The paper's probes force
+    #: QUIC, so the default is direct H3.
+    use_alt_svc: bool = False
+    #: Disables TLS session tickets entirely (Fig. 8 ablation).
+    use_session_tickets: bool = True
+    transport_config: TransportConfig = field(default_factory=TransportConfig)
+    #: Stub-resolver behaviour (None disables DNS latency entirely).
+    dns_config: DnsConfig | None = field(default_factory=DnsConfig)
+    #: Weight render-blocking resources (CSS/JS) over images on
+    #: multiplexed connections, as browsers do.  Off by default so the
+    #: paper-calibrated scheduling stays plain round-robin.
+    use_resource_priorities: bool = False
+
+    def __post_init__(self) -> None:
+        if self.protocol_mode not in (H2_ONLY, H3_ENABLED):
+            raise ValueError(
+                f"protocol_mode must be {H2_ONLY!r} or {H3_ENABLED!r}, "
+                f"got {self.protocol_mode!r}"
+            )
+
+
+@dataclass
+class PageVisit:
+    """Result of one page load."""
+
+    page_url: str
+    protocol_mode: str
+    har: HarLog
+    plt_ms: float
+    pool_stats: PoolStats
+
+    @property
+    def entries(self) -> list[HarEntry]:
+        return self.har.entries
+
+
+class Browser:
+    """A simulated Chrome profile bound to one probe's network."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        farm: Farm,
+        config: BrowserConfig | None = None,
+        session_cache: SessionTicketCache | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.loop = loop
+        self.farm = farm
+        self.config = config or BrowserConfig()
+        self.session_cache = (
+            session_cache if session_cache is not None else SessionTicketCache()
+        )
+        self.rng = rng or random.Random(0)
+        self.alt_svc = AltSvcCache()
+        self.dns = (
+            DnsResolver(
+                loop,
+                self.config.dns_config,
+                rng=random.Random(self.rng.getrandbits(64)),
+            )
+            if self.config.dns_config is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+
+    def visit(self, page: Webpage) -> PageVisit:
+        """Load ``page`` to completion and return the HAR + PLT.
+
+        Each visit gets a fresh connection pool (the harness terminates
+        all connections between visits); the session-ticket cache is
+        owned by the browser and persists across visits until
+        :meth:`clear_session_state` is called.
+        """
+        pool = ConnectionPool(
+            self.loop,
+            session_cache=self.session_cache,
+            transport_config=self.config.transport_config,
+            rng=random.Random(self.rng.getrandbits(64)),
+            use_session_tickets=self.config.use_session_tickets,
+        )
+        har = HarLog(page_url=page.url, started_at_ms=self.loop.now)
+        start = self.loop.now
+
+        wave1 = [r for r in page.resources if r.wave == 1]
+        wave0 = [r for r in page.resources if r.wave == 0]
+        blocking0 = {
+            r.url for r in wave0 if r.rtype in (ResourceType.CSS, ResourceType.JS)
+        }
+        state = {
+            "outstanding": 1 + len(page.resources),
+            "blocking_remaining": len(blocking0),
+            "wave1_dispatched": not wave1,  # nothing to defer
+        }
+
+        def on_entry(
+            resource: Resource,
+            record: FetchRecord,
+            dns_ms: float,
+            requested_at: float,
+        ) -> None:
+            har.entries.append(
+                self._to_har_entry(resource, record, dns_ms, requested_at)
+            )
+            state["outstanding"] -= 1
+            if resource.url in blocking0:
+                state["blocking_remaining"] -= 1
+            if record.headers:
+                self.alt_svc.observe(record.host, record.headers, self.loop.now)
+            if resource.rtype is ResourceType.HTML:
+                for sub in wave0:
+                    self._fetch(pool, sub, on_entry)
+                if not blocking0 and not state["wave1_dispatched"]:
+                    state["wave1_dispatched"] = True
+                    for sub in wave1:
+                        self._fetch(pool, sub, on_entry)
+            if (
+                state["blocking_remaining"] == 0
+                and not state["wave1_dispatched"]
+            ):
+                state["wave1_dispatched"] = True
+                for sub in wave1:
+                    self._fetch(pool, sub, on_entry)
+
+        self._fetch(pool, page.html, on_entry)
+        self.loop.run_until(lambda: state["outstanding"] == 0)
+        har.on_load_ms = self.loop.now - start
+        pool.close()
+        return PageVisit(
+            page_url=page.url,
+            protocol_mode=self.config.protocol_mode,
+            har=har,
+            plt_ms=har.on_load_ms,
+            pool_stats=pool.stats,
+        )
+
+    def clear_session_state(self) -> None:
+        """Forget tickets, Alt-Svc knowledge and DNS answers
+        (a pristine profile)."""
+        self.session_cache.clear()
+        self.alt_svc.clear()
+        if self.dns is not None:
+            self.dns.clear()
+
+    # ------------------------------------------------------------------
+
+    def _fetch(self, pool: ConnectionPool, resource: Resource, on_entry) -> None:
+        """Resolve the host, then issue the request through the pool."""
+        requested_at = self.loop.now
+
+        def after_dns(dns_ms: float) -> None:
+            server = self.farm.server(resource.host)
+            protocol = self._pick_protocol(server)
+            pool.fetch(
+                server=server,
+                path=self.farm.path(resource.host),
+                protocol=protocol,
+                url=resource.url,
+                request_bytes=resource.request_bytes,
+                response_bytes=resource.size_bytes,
+                on_complete=lambda record: on_entry(
+                    resource, record, dns_ms, requested_at
+                ),
+                resource_key=resource.url,
+                weight=(
+                    RESOURCE_WEIGHTS[resource.rtype]
+                    if self.config.use_resource_priorities
+                    else 1
+                ),
+            )
+
+        if self.dns is not None:
+            self.dns.resolve(resource.host, after_dns)
+        else:
+            after_dns(0.0)
+
+    def _pick_protocol(self, server) -> HttpProtocol:
+        """Choose the protocol lane for one request.
+
+        In ``h3-enabled`` mode an H3-capable server is reached over H3
+        (directly, or after Alt-Svc discovery when ``use_alt_svc`` is
+        set).  Servers without H2 fall back to HTTP/1.1 — the paper's
+        Table II "Others" row.
+        """
+        mode = self.config.protocol_mode
+        if mode == H3_ENABLED and server.supports_h3:
+            if not self.config.use_alt_svc:
+                return HttpProtocol.H3
+            if self.alt_svc.knows_h3(server.hostname, self.loop.now):
+                return HttpProtocol.H3
+        if server.supports_h2:
+            return HttpProtocol.H2
+        return HttpProtocol.H1
+
+    def _to_har_entry(
+        self,
+        resource: Resource,
+        record: FetchRecord,
+        dns_ms: float = 0.0,
+        requested_at: float | None = None,
+    ) -> HarEntry:
+        classification = classify_response(record.host, record.headers)
+        record.timing.dns = dns_ms
+        started = requested_at if requested_at is not None else record.started_at_ms
+        return HarEntry(
+            url=record.url,
+            host=record.host,
+            protocol=record.protocol.value,
+            started_at_ms=started,
+            time_ms=record.completed_at_ms - started,
+            timings=record.timing,
+            response_bytes=record.response_bytes,
+            request_bytes=record.request_bytes,
+            resource_type=resource.rtype.value,
+            headers=record.headers,
+            reused=record.reused,
+            resumed=record.resumed,
+            cache_hit=record.cache_hit,
+            is_cdn=classification.is_cdn,
+            provider=classification.provider_name,
+        )

@@ -1,0 +1,32 @@
+"""Content Delivery Network substrate.
+
+Models the commercial CDN ecosystem the paper measures: a registry of
+providers (market share, per-provider H3 adoption, H3 release year —
+the paper's Table I), edge servers with LRU content caches and
+H3-aware request processing costs, non-CDN origin web servers, and a
+LocEdge-style classifier that maps a response back to its provider.
+"""
+
+from repro.cdn.classifier import ClassificationResult, classify_response
+from repro.cdn.edge import EdgeServer, LruCache
+from repro.cdn.origin import OriginServer
+from repro.cdn.provider import (
+    GIANT_PROVIDERS,
+    CdnProvider,
+    default_providers,
+    get_provider,
+    provider_names,
+)
+
+__all__ = [
+    "CdnProvider",
+    "ClassificationResult",
+    "EdgeServer",
+    "GIANT_PROVIDERS",
+    "LruCache",
+    "OriginServer",
+    "classify_response",
+    "default_providers",
+    "get_provider",
+    "provider_names",
+]

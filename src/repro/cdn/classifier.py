@@ -1,0 +1,104 @@
+"""LocEdge-style CDN classification.
+
+The paper uses LocEdge (Huang et al., SIGCOMM'22 demo) to decide, for
+every HAR entry, whether the resource came from a CDN and from which
+provider.  This module reimplements the same decision from the two
+signals available in a HAR record: response headers (``Server`` /
+``Via`` fingerprints) and the request hostname (known shared-edge
+domains and provider-specific domain patterns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cdn.provider import CdnProvider, default_providers
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    """Outcome of classifying one response."""
+
+    is_cdn: bool
+    provider_name: str | None
+    #: Which signal matched: "header", "domain", "pattern" or None.
+    matched_by: str | None
+
+    @staticmethod
+    def non_cdn() -> "ClassificationResult":
+        return ClassificationResult(False, None, None)
+
+
+#: Hostname substrings that identify a provider even for customer-owned
+#: hostnames (CNAME targets, conventional edge naming).
+_DOMAIN_PATTERNS: dict[str, tuple[str, ...]] = {
+    "google": ("googleapis.com", "gstatic.com", "googleusercontent.com",
+               "doubleclick.net", "ytimg.com", "googletagmanager.com",
+               "google-analytics.com"),
+    "cloudflare": ("cloudflare.com", "cloudflare.net", "cloudflareinsights.com",
+                   "videodelivery.net", "imagedelivery.net", "cloudflarestorage.com"),
+    "amazon": ("cloudfront.net", "awsstatic.com", "ssl-images-amazon.com",
+               "media-amazon.com"),
+    "akamai": ("akamai.net", "akamaized.net", "akamaiedge.net",
+               "akamai.steamstatic.com"),
+    "fastly": ("fastly.net", "fastlylb.net", "jsdelivr.net.fastly",),
+    "microsoft": ("azureedge.net", "aspnetcdn.com", "office.net", "azure.com"),
+    "quic_cloud": ("quic.cloud",),
+    "meta": ("fbcdn.net", "facebook.net",),
+    "jsdelivr": ("jsdelivr.net",),
+    "cdn77": ("cdn77.org",),
+}
+
+
+def _build_header_index(
+    providers: tuple[CdnProvider, ...]
+) -> tuple[dict[str, str], dict[str, str]]:
+    by_server = {p.header_server.lower(): p.name for p in providers}
+    by_via = {
+        p.header_via.lower(): p.name for p in providers if p.header_via is not None
+    }
+    return by_server, by_via
+
+
+def _build_domain_index(providers: tuple[CdnProvider, ...]) -> dict[str, str]:
+    return {
+        domain.lower(): p.name for p in providers for domain in p.shared_domains
+    }
+
+
+def classify_response(
+    host: str,
+    headers: dict[str, str] | None = None,
+    providers: tuple[CdnProvider, ...] | None = None,
+) -> ClassificationResult:
+    """Classify one response as CDN/non-CDN and identify the provider.
+
+    Signals are checked in decreasing reliability order, mirroring
+    LocEdge: exact header fingerprints, then exact shared-domain
+    matches, then provider domain patterns.  Anything unmatched is
+    non-CDN.
+    """
+    providers = providers if providers is not None else default_providers()
+    headers = {k.lower(): v for k, v in (headers or {}).items()}
+    by_server, by_via = _build_header_index(providers)
+    host = host.lower()
+
+    server = headers.get("server", "").lower()
+    if server in by_server:
+        return ClassificationResult(True, by_server[server], "header")
+    via = headers.get("via", "").lower()
+    if via in by_via:
+        return ClassificationResult(True, by_via[via], "header")
+
+    domain_index = _build_domain_index(providers)
+    if host in domain_index:
+        return ClassificationResult(True, domain_index[host], "domain")
+
+    known_names = {p.name for p in providers}
+    for provider_name, patterns in _DOMAIN_PATTERNS.items():
+        if provider_name not in known_names:
+            continue
+        if any(pattern in host for pattern in patterns):
+            return ClassificationResult(True, provider_name, "pattern")
+
+    return ClassificationResult.non_cdn()

@@ -1,0 +1,182 @@
+"""CDN edge servers: caching, protocol support, and request costs.
+
+An :class:`EdgeServer` is what a probe actually talks to when fetching a
+CDN resource.  It contributes three things to the measured timings:
+
+* **Protocol support** — whether the edge can speak H3 for a given
+  resource (drawn per-resource from the provider's ``h3_adoption`` by
+  the website generator; the edge enforces it).
+* **Cache state** — a byte-capacity LRU.  A hit answers after the base
+  think time; a miss adds the origin-fetch penalty and inserts the
+  object (the paper's double-visit protocol exists exactly to warm
+  this cache).
+* **H3 compute overhead** — userspace QUIC costs more CPU per request
+  than kernel TCP (the paper's Section VI-B observes the wait-time
+  median favouring H2); modelled as a small additive think-time term.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.cdn.provider import CdnProvider
+from repro.transport.tcp import TlsVersion
+
+
+class LruCache:
+    """Byte-capacity LRU cache of resource keys."""
+
+    def __init__(self, capacity_bytes: int = 512 * 1024 * 1024) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[str, int] = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def lookup(self, key: str) -> bool:
+        """Check+touch; returns True on hit."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, key: str, size_bytes: int) -> None:
+        """Insert (or refresh) an object, evicting LRU entries as needed."""
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if key in self._entries:
+            self._used -= self._entries.pop(key)
+        while self._used + size_bytes > self.capacity_bytes and self._entries:
+            __, evicted_size = self._entries.popitem(last=False)
+            self._used -= evicted_size
+            self.evictions += 1
+        if size_bytes <= self.capacity_bytes:
+            self._entries[key] = size_bytes
+            self._used += size_bytes
+
+
+@dataclass
+class ServeDecision:
+    """Outcome of asking an edge to serve one request."""
+
+    cache_hit: bool
+    think_ms: float
+    protocol: str  # the protocol actually used
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+class EdgeServer:
+    """One CDN edge (one hostname) close to the probes."""
+
+    kind = "edge"
+
+    def __init__(
+        self,
+        hostname: str,
+        provider: CdnProvider,
+        base_rtt_ms: float = 20.0,
+        base_think_ms: float = 8.0,
+        origin_fetch_ms: float = 60.0,
+        h3_think_overhead_ms: float = 4.0,
+        supports_h3: bool = True,
+        tls_version: TlsVersion = TlsVersion.TLS13,
+        cache_capacity_bytes: int = 512 * 1024 * 1024,
+        issues_tickets: bool = True,
+        resumption_rate: float = 0.75,
+        tls_setup_cpu_ms: float = 9.0,
+        resumed_setup_cpu_ms: float = 2.0,
+    ) -> None:
+        self.hostname = hostname
+        self.provider = provider
+        self.base_rtt_ms = base_rtt_ms
+        self.base_think_ms = base_think_ms
+        self.origin_fetch_ms = origin_fetch_ms
+        self.h3_think_overhead_ms = h3_think_overhead_ms
+        self.supports_h3 = supports_h3
+        self.supports_h2 = True
+        self.tls_version = tls_version
+        self.cache = LruCache(cache_capacity_bytes)
+        self.issues_tickets = issues_tickets
+        #: Probability a presented session ticket is accepted.  Real CDN
+        #: edges are load-balanced fleets with rotating ticket keys, so
+        #: resumption succeeds well below 100 % of the time.
+        self.resumption_rate = resumption_rate
+        #: Server-side CPU cost of a full TLS handshake (certificate
+        #: signing); added to the opening request's think time.  Session
+        #: resumption skips the certificate crypto and pays the cheaper
+        #: cost.  Partial H3 deployment splits a provider's traffic over
+        #: extra connections, so complicated pages pay this more often —
+        #: one ingredient of the paper's Fig. 6(a) turning point.
+        self.tls_setup_cpu_ms = tls_setup_cpu_ms
+        self.resumed_setup_cpu_ms = resumed_setup_cpu_ms
+
+    def serve(self, resource_key: str, size_bytes: int, protocol: str) -> ServeDecision:
+        """Process one request and report its server-side cost.
+
+        ``protocol`` is ``"h2"`` or ``"h3"``; requesting H3 from an edge
+        that does not support it is a caller bug.
+        """
+        if protocol == "h3" and not self.supports_h3:
+            raise ValueError(f"{self.hostname} does not support H3")
+        hit = self.cache.lookup(resource_key)
+        think = self.base_think_ms
+        if not hit:
+            think += self.origin_fetch_ms
+            self.cache.insert(resource_key, size_bytes)
+        if protocol == "h3":
+            think += self.h3_think_overhead_ms
+        return ServeDecision(
+            cache_hit=hit,
+            think_ms=think,
+            protocol=protocol,
+            headers=self.response_headers(hit),
+        )
+
+    def response_headers(self, cache_hit: bool) -> dict[str, str]:
+        """Headers the LocEdge-style classifier fingerprints."""
+        headers = {
+            "server": self.provider.header_server,
+            "x-cache": "HIT" if cache_hit else "MISS",
+        }
+        if self.provider.header_via is not None:
+            headers["via"] = self.provider.header_via
+        if self.supports_h3:
+            headers["alt-svc"] = 'h3=":443"; ma=86400'
+        return headers
+
+    @property
+    def coalesce_key(self) -> str:
+        """HTTP connection-coalescing group (RFC 7540 §9.1.1 / RFC 7838).
+
+        A provider's edge hostnames share certificates and IPs, so
+        browsers coalesce their H2/H3 requests onto one connection per
+        provider.  The paper leans on this (citing the "Respect the
+        ORIGIN!" coalescing study): under an H2-only run all of a
+        provider's resources share one connection, while partial H3
+        deployment splits them across an H3 and an H2 connection —
+        the root of the Fig. 7 reuse difference.
+        """
+        return f"cdn:{self.provider.name}"
+
+    def warm(self, resource_key: str, size_bytes: int) -> None:
+        """Pre-seed the cache (popular objects already at the edge)."""
+        self.cache.insert(resource_key, size_bytes)
+
+    def __repr__(self) -> str:
+        return f"<EdgeServer {self.hostname} ({self.provider.name}) h3={self.supports_h3}>"

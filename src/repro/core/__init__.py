@@ -1,0 +1,82 @@
+"""The paper's analyses: the primary contribution of this reproduction.
+
+Each module maps to a slice of the paper's evaluation:
+
+========================  ===========================================
+Module                    Paper content
+========================  ===========================================
+:mod:`~repro.core.metrics`          X_reduction metrics (Section III-C)
+:mod:`~repro.core.adoption`         Table II, Fig. 2 (Section IV)
+:mod:`~repro.core.characteristics`  Figs. 3-5 (Section V)
+:mod:`~repro.core.groups`           Fig. 6 (Section VI-B)
+:mod:`~repro.core.reuse`            Fig. 7 (Section VI-C)
+:mod:`~repro.core.sharing`          Fig. 8, Table III (Section VI-D)
+:mod:`~repro.core.congestion`       Fig. 9 (Section VI-E)
+:mod:`~repro.core.advisor`          adaptive protocol selection
+                                    (Section VII, "Researchers")
+:mod:`~repro.core.study`            one-stop orchestration facade
+========================  ===========================================
+"""
+
+from repro.core.adoption import AdoptionTable, ProviderAdoption, adoption_table, provider_adoption
+from repro.core.characteristics import (
+    cdn_fraction_ccdf,
+    pages_by_provider_count,
+    provider_page_probability,
+    provider_resource_ccdf,
+)
+from repro.core.congestion import LossSweepSeries, loss_sweep
+from repro.core.groups import (
+    GROUP_LABELS,
+    group_pages_by_h3_adoption,
+    h3_enabled_entry_count,
+    phase_reduction_distributions,
+    plt_reduction_by_group,
+)
+from repro.core.metrics import PhaseReductions, paired_entry_reductions, reduction
+from repro.core.reuse import (
+    plt_reduction_by_reuse_difference,
+    reuse_difference_by_group,
+    reused_counts_by_group,
+)
+from repro.core.sharing import (
+    CaseStudyResult,
+    SharingGroupStats,
+    case_study,
+    domain_vectors,
+    plt_reduction_by_provider_count,
+    resumed_by_provider_count,
+)
+from repro.core.study import H3CdnStudy, StudyConfig
+
+__all__ = [
+    "AdoptionTable",
+    "CaseStudyResult",
+    "GROUP_LABELS",
+    "H3CdnStudy",
+    "LossSweepSeries",
+    "PhaseReductions",
+    "ProviderAdoption",
+    "SharingGroupStats",
+    "StudyConfig",
+    "adoption_table",
+    "case_study",
+    "cdn_fraction_ccdf",
+    "domain_vectors",
+    "group_pages_by_h3_adoption",
+    "h3_enabled_entry_count",
+    "loss_sweep",
+    "paired_entry_reductions",
+    "pages_by_provider_count",
+    "phase_reduction_distributions",
+    "plt_reduction_by_group",
+    "plt_reduction_by_provider_count",
+    "plt_reduction_by_reuse_difference",
+    "provider_adoption",
+    "provider_page_probability",
+    "provider_resource_ccdf",
+    "reduction",
+    "resumed_by_provider_count",
+    "reuse_difference_by_group",
+    "reused_counts_by_group",
+]

@@ -1,0 +1,145 @@
+"""H3 adoption analysis: the paper's Table II and Fig. 2 (Section IV).
+
+Both read the HAR entries of the **H3-enabled** run: requests that
+actually went over H3 are the adopted ones; everything H2 is the
+unadopted remainder; HTTP/1.x lands in the "Others" bucket.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.browser.har import HarEntry
+from repro.cdn.provider import default_providers
+
+#: Table II row labels.
+ROW_H2 = "HTTP/2"
+ROW_H3 = "HTTP/3"
+ROW_OTHERS = "Others"
+ROW_ALL = "All"
+
+
+@dataclass(frozen=True)
+class AdoptionCell:
+    """One (protocol row, CDN column) cell: count and share of total."""
+
+    requests: int
+    percent: float
+
+
+@dataclass
+class AdoptionTable:
+    """The paper's Table II: requests by HTTP version × CDN/non-CDN."""
+
+    cells: dict[tuple[str, str], AdoptionCell]
+    total_requests: int
+
+    def cell(self, row: str, column: str) -> AdoptionCell:
+        """``row`` in {HTTP/2, HTTP/3, Others, All}; ``column`` in
+        {cdn, non_cdn, all}."""
+        return self.cells[(row, column)]
+
+    @property
+    def cdn_share(self) -> float:
+        """Fraction of all requests served by CDNs (paper: 67.0 %)."""
+        return self.cell(ROW_ALL, "cdn").percent / 100.0
+
+    @property
+    def h3_share(self) -> float:
+        """Fraction of all requests using H3 (paper: 32.6 %)."""
+        return self.cell(ROW_H3, "all").percent / 100.0
+
+    @property
+    def h3_cdn_share_of_h3(self) -> float:
+        """Share of H3 requests that are CDN requests (paper: 78.8 %)."""
+        h3_all = self.cell(ROW_H3, "all").requests
+        if h3_all == 0:
+            return 0.0
+        return self.cell(ROW_H3, "cdn").requests / h3_all
+
+
+def _row_for(entry: HarEntry) -> str:
+    if entry.protocol == "h3":
+        return ROW_H3
+    if entry.protocol == "h2":
+        return ROW_H2
+    return ROW_OTHERS
+
+
+def adoption_table(entries: Iterable[HarEntry]) -> AdoptionTable:
+    """Build Table II from the H3-enabled run's entries."""
+    counts: Counter[tuple[str, str]] = Counter()
+    total = 0
+    for entry in entries:
+        total += 1
+        column = "cdn" if entry.is_cdn else "non_cdn"
+        row = _row_for(entry)
+        counts[(row, column)] += 1
+    if total == 0:
+        raise ValueError("no entries to tabulate")
+
+    cells: dict[tuple[str, str], AdoptionCell] = {}
+    rows = (ROW_H2, ROW_H3, ROW_OTHERS)
+    for row in rows:
+        cdn = counts[(row, "cdn")]
+        non_cdn = counts[(row, "non_cdn")]
+        for column, value in (("cdn", cdn), ("non_cdn", non_cdn), ("all", cdn + non_cdn)):
+            cells[(row, column)] = AdoptionCell(value, 100.0 * value / total)
+    for column in ("cdn", "non_cdn", "all"):
+        value = sum(cells[(row, column)].requests for row in rows)
+        cells[(ROW_ALL, column)] = AdoptionCell(value, 100.0 * value / total)
+    return AdoptionTable(cells=cells, total_requests=total)
+
+
+@dataclass(frozen=True)
+class ProviderAdoption:
+    """One provider's bar in Fig. 2."""
+
+    provider: str
+    h2_requests: int
+    h3_requests: int
+
+    @property
+    def total(self) -> int:
+        return self.h2_requests + self.h3_requests
+
+    @property
+    def h3_fraction(self) -> float:
+        """H3 share of this provider's own requests."""
+        return self.h3_requests / self.total if self.total else 0.0
+
+
+def provider_adoption(entries: Iterable[HarEntry]) -> list[ProviderAdoption]:
+    """Per-provider H2/H3 request counts from the H3-enabled run (Fig. 2).
+
+    Returned in decreasing order of total requests (market share among
+    the measured CDN requests).
+    """
+    h2: Counter[str] = Counter()
+    h3: Counter[str] = Counter()
+    for entry in entries:
+        if not entry.is_cdn or entry.provider is None:
+            continue
+        if entry.protocol == "h3":
+            h3[entry.provider] += 1
+        else:
+            h2[entry.provider] += 1
+    providers = {p.name for p in default_providers()} | set(h2) | set(h3)
+    rows = [
+        ProviderAdoption(provider=name, h2_requests=h2[name], h3_requests=h3[name])
+        for name in providers
+        if h2[name] or h3[name]
+    ]
+    rows.sort(key=lambda r: r.total, reverse=True)
+    return rows
+
+
+def h3_share_by_provider(rows: list[ProviderAdoption]) -> dict[str, float]:
+    """Each provider's share of all H3-enabled CDN requests (Fig. 2's
+    headline: Google ≈ 50 %, Cloudflare ≈ 45 %)."""
+    total_h3 = sum(row.h3_requests for row in rows)
+    if total_h3 == 0:
+        return {row.provider: 0.0 for row in rows}
+    return {row.provider: row.h3_requests / total_h3 for row in rows}

@@ -1,0 +1,107 @@
+"""Adaptive protocol selection — the paper's "Researchers" implication.
+
+Section VII suggests "developing an adaptive protocol selection tool
+that adjusts flexibly based on different conditions", citing the
+authors' FlexHTTP work.  This module implements a rule-based advisor
+distilled from the paper's own findings:
+
+* Takeaway 2 — many H3-capable CDN resources amplify H3's fast
+  connection, **but** heavy H2 connection reuse erodes the benefit
+  (the Fig. 6a/7 turning point).
+* Takeaway 3 — consecutive browsing across pages sharing giant
+  providers favours H3's 0-RTT resumption.
+* Takeaway 4 — lossy networks with many CDN resources favour H3's
+  stream multiplexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.sharing import giant_provider_count
+from repro.measurement.farm import ProbeNetProfile
+from repro.web.page import Webpage
+from repro.web.topsites import WebUniverse
+
+
+@dataclass(frozen=True)
+class ProtocolAdvice:
+    """The advisor's verdict for one page under given conditions."""
+
+    protocol: str  # "h3" or "h2"
+    score: float  # positive favours H3
+    reasons: tuple[str, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class AdvisorWeights:
+    """Tunable weights of the scoring rules (defaults fit the study)."""
+
+    h3_resource_weight: float = 0.6
+    reuse_penalty_weight: float = 0.8
+    sharing_weight: float = 8.0
+    loss_weight: float = 2_000.0
+    base_h3_bonus: float = 5.0
+
+
+def advise(
+    page: Webpage,
+    universe: WebUniverse,
+    network: ProbeNetProfile | None = None,
+    consecutive_browsing: bool = False,
+    weights: AdvisorWeights | None = None,
+) -> ProtocolAdvice:
+    """Recommend H2 or H3 for loading ``page`` under ``network``.
+
+    The score aggregates the paper's mechanisms; a positive total
+    recommends H3.  The returned reasons list is human-readable and
+    ordered by the rules that fired.
+    """
+    weights = weights or AdvisorWeights()
+    network = network or ProbeNetProfile()
+    reasons: list[str] = []
+    score = weights.base_h3_bonus
+    reasons.append("baseline: H3 saves one handshake RTT per new connection")
+
+    h3_capable = universe.h3_enabled_cdn_resources(page)
+    score += weights.h3_resource_weight * h3_capable
+    if h3_capable:
+        reasons.append(
+            f"{h3_capable} CDN resources are H3-capable (fast-connection amplification)"
+        )
+
+    # Heavy same-host concentration means H2 reuse already removes most
+    # handshakes — the paper's turning point (Section VI-C).
+    host_counts: dict[str, int] = {}
+    for resource in page.cdn_resources:
+        host_counts[resource.host] = host_counts.get(resource.host, 0) + 1
+    expected_reuse = sum(count - 1 for count in host_counts.values() if count > 1)
+    score -= weights.reuse_penalty_weight * expected_reuse * (
+        1.0 - (h3_capable / max(1, len(page.cdn_resources)))
+    )
+    if expected_reuse:
+        reasons.append(
+            f"~{expected_reuse} requests will reuse H2 connections (turning-point penalty)"
+        )
+
+    if consecutive_browsing:
+        sharing = giant_provider_count(page)
+        score += weights.sharing_weight * sharing
+        reasons.append(
+            f"consecutive browsing with {sharing} giant providers (0-RTT resumption)"
+        )
+
+    if network.loss_rate > 0.0:
+        score += weights.loss_weight * network.loss_rate * (
+            len(page.cdn_resources) / 50.0
+        )
+        reasons.append(
+            f"{network.loss_rate:.1%} loss with {len(page.cdn_resources)} CDN "
+            "resources (HoL mitigation)"
+        )
+
+    return ProtocolAdvice(
+        protocol="h3" if score > 0 else "h2",
+        score=score,
+        reasons=tuple(reasons),
+    )

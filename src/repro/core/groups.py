@@ -1,0 +1,102 @@
+"""Quartile-group analysis of H3 adoption benefit: Fig. 6 (Section VI-B).
+
+Pages are grouped by how many of their CDN resources actually went over
+H3 in the H3-enabled run ('quartiles of the number of H3-enabled CDN
+resources', equal group sizes).  Fig. 6(a) is the mean PLT reduction
+per group; Fig. 6(b) is the distribution of per-request phase
+reductions, whose medians carry the paper's second finding (connection
+> 0, wait < 0, receive ≈ 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import EmpiricalDistribution, mean, quartile_groups
+from repro.browser.browser import PageVisit
+from repro.core.metrics import paired_entry_reductions
+from repro.measurement.campaign import CampaignResult, PairedVisit
+
+#: The paper's group names, in increasing H3-adoption order.
+GROUP_LABELS = ("Low", "Medium-Low", "Medium-High", "High")
+
+
+def h3_enabled_entry_count(visit: PageVisit) -> int:
+    """CDN requests that actually used H3 in this visit."""
+    return sum(1 for e in visit.entries if e.is_cdn and e.protocol == "h3")
+
+
+def group_pages_by_h3_adoption(
+    result: CampaignResult,
+) -> dict[str, list[PairedVisit]]:
+    """Split paired visits into the four quartile groups."""
+    return quartile_groups(
+        result.paired_visits,
+        key=lambda pv: h3_enabled_entry_count(pv.h3),
+        labels=GROUP_LABELS,
+    )
+
+
+@dataclass(frozen=True)
+class GroupReduction:
+    """One bar of Fig. 6(a)."""
+
+    label: str
+    mean_plt_reduction_ms: float
+    n_pages: int
+    mean_h3_entries: float
+
+
+def plt_reduction_by_group(result: CampaignResult) -> list[GroupReduction]:
+    """Fig. 6(a): mean PLT reduction per quartile group."""
+    groups = group_pages_by_h3_adoption(result)
+    out = []
+    for label in GROUP_LABELS:
+        pairs = groups[label]
+        if not pairs:
+            continue
+        out.append(
+            GroupReduction(
+                label=label,
+                mean_plt_reduction_ms=mean(pv.plt_reduction_ms for pv in pairs),
+                n_pages=len(pairs),
+                mean_h3_entries=mean(
+                    float(h3_enabled_entry_count(pv.h3)) for pv in pairs
+                ),
+            )
+        )
+    return out
+
+
+def phase_reduction_distributions(
+    result: CampaignResult, per_page: bool = True
+) -> dict[str, EmpiricalDistribution]:
+    """Fig. 6(b): distributions of connection/wait/receive reductions.
+
+    With ``per_page=True`` (default) each sample is one page's mean
+    phase reduction across its URLs — robust to the mass of reused
+    entries whose connect time is 0 under both protocols.  With
+    ``per_page=False`` every URL contributes a sample.  Either way the
+    medians carry the paper's finding: connection reduction > 0 (H3's
+    fast handshake), wait < 0 (H3 compute overhead), receive ≈ 0.
+    """
+    connection: list[float] = []
+    wait: list[float] = []
+    receive: list[float] = []
+    for paired in result.paired_visits:
+        phases = paired_entry_reductions(paired)
+        if not phases:
+            continue
+        if per_page:
+            connection.append(mean(p.connection for p in phases))
+            wait.append(mean(p.wait for p in phases))
+            receive.append(mean(p.receive for p in phases))
+        else:
+            connection.extend(p.connection for p in phases)
+            wait.extend(p.wait for p in phases)
+            receive.extend(p.receive for p in phases)
+    return {
+        "connection": EmpiricalDistribution(connection),
+        "wait": EmpiricalDistribution(wait),
+        "receive": EmpiricalDistribution(receive),
+    }

@@ -1,0 +1,52 @@
+"""The paper's X_reduction metrics (Section III-C).
+
+``X_reduction = X_H2 − X_H3`` for any metric X; positive means H3 wins.
+Page-level X is PLT; entry-level X is connection, wait, or receive
+time, paired across the two protocol runs by resource URL (each visit
+fetches every URL exactly once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browser.har import HarEntry
+from repro.measurement.campaign import PairedVisit
+
+
+def reduction(h2_value: float, h3_value: float) -> float:
+    """``X_reduction`` as defined in the paper: H2 minus H3."""
+    return h2_value - h3_value
+
+
+@dataclass(frozen=True)
+class PhaseReductions:
+    """Per-entry reductions of the three request phases (Fig. 6b)."""
+
+    url: str
+    connection: float
+    wait: float
+    receive: float
+
+
+def paired_entry_reductions(paired: PairedVisit) -> list[PhaseReductions]:
+    """Pair each URL's H2 and H3 entries and compute phase reductions.
+
+    URLs fetched in only one of the two runs (which cannot happen with
+    this harness, but could with real HAR files) are skipped.
+    """
+    h2_by_url: dict[str, HarEntry] = {e.url: e for e in paired.h2.entries}
+    out: list[PhaseReductions] = []
+    for h3_entry in paired.h3.entries:
+        h2_entry = h2_by_url.get(h3_entry.url)
+        if h2_entry is None:
+            continue
+        out.append(
+            PhaseReductions(
+                url=h3_entry.url,
+                connection=reduction(h2_entry.connection_time, h3_entry.connection_time),
+                wait=reduction(h2_entry.wait_time, h3_entry.wait_time),
+                receive=reduction(h2_entry.receive_time, h3_entry.receive_time),
+            )
+        )
+    return out

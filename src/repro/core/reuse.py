@@ -1,0 +1,128 @@
+"""Reused-connection analysis: Fig. 7 (Section VI-C).
+
+The paper determines reuse from the HAR: a request whose connection
+time is 0 rode a reused connection.  Three views:
+
+* Fig. 7(a) — reused-connection counts per quartile group, H2 vs H3.
+* Fig. 7(b) — the *reused connection difference* (H2 count − H3 count)
+  per group; positive means H2 reuses more.
+* Fig. 7(c) — PLT reduction as a function of that difference: more H2
+  reuse ⇒ less room for H3 to win (the 'turning point').
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import mean
+from repro.core.groups import GROUP_LABELS, group_pages_by_h3_adoption
+from repro.measurement.campaign import CampaignResult, PairedVisit
+
+
+def reused_connection_difference(paired: PairedVisit) -> int:
+    """H2's reused-connection count minus H3's (paper's metric)."""
+    return (
+        paired.h2.har.reused_connection_count()
+        - paired.h3.har.reused_connection_count()
+    )
+
+
+@dataclass(frozen=True)
+class GroupReuse:
+    """One group's bars in Fig. 7(a) / point in Fig. 7(b)."""
+
+    label: str
+    mean_reused_h2: float
+    mean_reused_h3: float
+    n_pages: int
+
+    @property
+    def mean_difference(self) -> float:
+        return self.mean_reused_h2 - self.mean_reused_h3
+
+
+def reused_counts_by_group(result: CampaignResult) -> list[GroupReuse]:
+    """Figs. 7(a)+(b): reuse counts per quartile group."""
+    groups = group_pages_by_h3_adoption(result)
+    out = []
+    for label in GROUP_LABELS:
+        pairs = groups[label]
+        if not pairs:
+            continue
+        out.append(
+            GroupReuse(
+                label=label,
+                mean_reused_h2=mean(
+                    float(pv.h2.har.reused_connection_count()) for pv in pairs
+                ),
+                mean_reused_h3=mean(
+                    float(pv.h3.har.reused_connection_count()) for pv in pairs
+                ),
+                n_pages=len(pairs),
+            )
+        )
+    return out
+
+
+def reuse_difference_by_group(result: CampaignResult) -> dict[str, float]:
+    """Fig. 7(b) as a mapping label → mean difference."""
+    return {g.label: g.mean_difference for g in reused_counts_by_group(result)}
+
+
+@dataclass(frozen=True)
+class ReuseBin:
+    """One x-position of Fig. 7(c)."""
+
+    difference_low: int
+    difference_high: int
+    mean_plt_reduction_ms: float
+    n_pages: int
+
+    @property
+    def center(self) -> float:
+        return (self.difference_low + self.difference_high) / 2.0
+
+
+def plt_reduction_by_reuse_difference(
+    result: CampaignResult, n_bins: int = 5
+) -> list[ReuseBin]:
+    """Fig. 7(c): PLT reduction vs reused-connection difference.
+
+    Paired visits are bucketed into ``n_bins`` equal-width bins of the
+    difference; empty bins are dropped.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    samples = [
+        (reused_connection_difference(pv), pv.plt_reduction_ms)
+        for pv in result.paired_visits
+    ]
+    if not samples:
+        raise ValueError("no paired visits")
+    lo = min(d for d, __ in samples)
+    hi = max(d for d, __ in samples)
+    if lo == hi:
+        return [
+            ReuseBin(lo, hi, mean(r for __, r in samples), len(samples))
+        ]
+    width = (hi - lo) / n_bins
+    bins: list[ReuseBin] = []
+    for i in range(n_bins):
+        low = lo + i * width
+        high = lo + (i + 1) * width
+        members = [
+            r
+            for d, r in samples
+            if (low <= d < high) or (i == n_bins - 1 and d == high)
+        ]
+        if not members:
+            continue
+        bins.append(
+            ReuseBin(
+                difference_low=round(low),
+                difference_high=round(high),
+                mean_plt_reduction_ms=mean(members),
+                n_pages=len(members),
+            )
+        )
+    return bins

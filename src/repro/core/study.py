@@ -1,0 +1,204 @@
+"""One-stop orchestration of the full reproduction study.
+
+:class:`H3CdnStudy` is the public API most users want: configure scale
+once, then ask for any table or figure.  Expensive stages (universe
+generation, the paired campaign, the consecutive walk, the loss sweep)
+run lazily and are cached on the instance, so asking for Fig. 6 and
+Fig. 7 shares one campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.analysis.stats import EmpiricalDistribution
+from repro.core import adoption as adoption_mod
+from repro.core import characteristics as characteristics_mod
+from repro.core import congestion as congestion_mod
+from repro.core import groups as groups_mod
+from repro.core import reuse as reuse_mod
+from repro.core import sharing as sharing_mod
+from repro.core.adoption import AdoptionTable, ProviderAdoption
+from repro.core.congestion import LossSweepSeries
+from repro.core.sharing import CaseStudyResult
+from repro.measurement.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.measurement.consecutive import ConsecutiveRun, ConsecutiveVisitRunner
+from repro.web.page import Webpage
+from repro.web.topsites import GeneratorConfig, TopSitesGenerator, WebUniverse
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Scale and seeding for one full study run.
+
+    The defaults reproduce the paper at full scale (325 sites).  For
+    tests and quick benches, shrink ``n_sites`` and cap the per-
+    experiment page counts.
+    """
+
+    n_sites: int = 325
+    seed: int = 7
+    generator_config: GeneratorConfig | None = None
+    campaign_config: CampaignConfig = field(default_factory=CampaignConfig)
+    #: Loss rates for the Fig. 9 sweep.
+    loss_rates: tuple[float, ...] = congestion_mod.DEFAULT_LOSS_RATES
+    #: Page-count caps per experiment (None = all pages).
+    max_campaign_pages: int | None = None
+    max_consecutive_pages: int | None = None
+    max_loss_sweep_pages: int | None = None
+    #: Repetitions for the loss sweep (loss is stochastic).
+    loss_sweep_repetitions: int = 1
+
+    def resolved_generator_config(self) -> GeneratorConfig:
+        if self.generator_config is not None:
+            return self.generator_config
+        return GeneratorConfig(n_sites=self.n_sites)
+
+
+class H3CdnStudy:
+    """The full reproduction, lazily evaluated and cached."""
+
+    def __init__(self, config: StudyConfig | None = None) -> None:
+        self.config = config or StudyConfig()
+        self._universe: WebUniverse | None = None
+        self._campaign_result: CampaignResult | None = None
+        self._consecutive: tuple[ConsecutiveRun, ConsecutiveRun] | None = None
+        self._loss_sweep: list[LossSweepSeries] | None = None
+        self._case_study: CaseStudyResult | None = None
+
+    # -- cached stages ---------------------------------------------------
+
+    @property
+    def universe(self) -> WebUniverse:
+        """The synthetic top-site universe (generated on first use)."""
+        if self._universe is None:
+            generator = TopSitesGenerator(self.config.resolved_generator_config())
+            self._universe = generator.generate(seed=self.config.seed)
+        return self._universe
+
+    def _pages(self, cap: int | None) -> tuple[Webpage, ...]:
+        pages = self.universe.pages
+        return pages if cap is None else pages[:cap]
+
+    @property
+    def campaign_result(self) -> CampaignResult:
+        """The paired H2/H3 campaign (runs on first use)."""
+        if self._campaign_result is None:
+            campaign = Campaign(self.universe, self.config.campaign_config)
+            self._campaign_result = campaign.run(
+                self._pages(self.config.max_campaign_pages)
+            )
+        return self._campaign_result
+
+    @property
+    def consecutive_runs(self) -> tuple[ConsecutiveRun, ConsecutiveRun]:
+        """(H2 walk, H3 walk) over the ordered page list."""
+        if self._consecutive is None:
+            runner = ConsecutiveVisitRunner(self.universe, seed=self.config.seed)
+            self._consecutive = runner.run_both(
+                list(self._pages(self.config.max_consecutive_pages))
+            )
+        return self._consecutive
+
+    # -- Section IV: adoption --------------------------------------------
+
+    def table2(self) -> AdoptionTable:
+        """Table II: requests by HTTP version × CDN/non-CDN."""
+        return adoption_mod.adoption_table(
+            self.campaign_result.entries("h3-enabled")
+        )
+
+    def fig2(self) -> list[ProviderAdoption]:
+        """Fig. 2: per-provider H3/H2 request counts."""
+        return adoption_mod.provider_adoption(
+            self.campaign_result.entries("h3-enabled")
+        )
+
+    # -- Section V: characteristics ---------------------------------------
+
+    def fig3(self) -> EmpiricalDistribution:
+        """Fig. 3: CCDF of per-page CDN fraction."""
+        return characteristics_mod.cdn_fraction_ccdf(self.universe.pages)
+
+    def fig4a(self) -> dict[str, float]:
+        """Fig. 4(a): provider appearance probability."""
+        return characteristics_mod.provider_page_probability(self.universe.pages)
+
+    def fig4b(self) -> dict[int, int]:
+        """Fig. 4(b): pages per provider count."""
+        return characteristics_mod.pages_by_provider_count(self.universe.pages)
+
+    def fig5(self, providers: Sequence[str] = ("amazon", "cloudflare", "google", "fastly")):
+        """Fig. 5: per-provider CCDF of resources per page."""
+        return {
+            name: characteristics_mod.provider_resource_ccdf(self.universe.pages, name)
+            for name in providers
+        }
+
+    # -- Section VI-B/C: groups and reuse ----------------------------------
+
+    def fig6a(self):
+        """Fig. 6(a): PLT reduction per quartile group."""
+        return groups_mod.plt_reduction_by_group(self.campaign_result)
+
+    def fig6b(self) -> dict[str, EmpiricalDistribution]:
+        """Fig. 6(b): CDFs of phase reductions."""
+        return groups_mod.phase_reduction_distributions(self.campaign_result)
+
+    def fig7a(self):
+        """Fig. 7(a)/(b): reused connections per group."""
+        return reuse_mod.reused_counts_by_group(self.campaign_result)
+
+    def fig7c(self, n_bins: int = 5):
+        """Fig. 7(c): PLT reduction vs reuse difference."""
+        return reuse_mod.plt_reduction_by_reuse_difference(
+            self.campaign_result, n_bins=n_bins
+        )
+
+    # -- Section VI-D: sharing ---------------------------------------------
+
+    def fig8a(self) -> dict[int, float]:
+        """Fig. 8(a): PLT reduction vs number of used providers."""
+        h2_run, h3_run = self.consecutive_runs
+        return sharing_mod.plt_reduction_by_provider_count(
+            h2_run, h3_run, self._pages(self.config.max_consecutive_pages)
+        )
+
+    def fig8b(self) -> dict[int, float]:
+        """Fig. 8(b): resumed connections vs number of used providers."""
+        __, h3_run = self.consecutive_runs
+        return sharing_mod.resumed_by_provider_count(
+            h3_run, self._pages(self.config.max_consecutive_pages)
+        )
+
+    def table3(self) -> CaseStudyResult:
+        """Table III: the high-/low-sharing case study."""
+        if self._case_study is None:
+            self._case_study = sharing_mod.case_study(
+                self.universe,
+                pages=self._pages(self.config.max_consecutive_pages),
+                seed=self.config.seed,
+            )
+        return self._case_study
+
+    # -- Section VI-E: congestion -------------------------------------------
+
+    def fig9(self) -> list[LossSweepSeries]:
+        """Fig. 9: the loss sweep with fitted slopes."""
+        if self._loss_sweep is None:
+            self._loss_sweep = congestion_mod.loss_sweep(
+                self.universe,
+                loss_rates=self.config.loss_rates,
+                pages=self._pages(self.config.max_loss_sweep_pages),
+                seed=self.config.seed,
+                repetitions=self.config.loss_sweep_repetitions,
+                campaign_config=self.config.campaign_config,
+            )
+        return self._loss_sweep
+
+    # ------------------------------------------------------------------
+
+    def scaled(self, **overrides) -> "H3CdnStudy":
+        """A new study with config fields replaced (nothing shared)."""
+        return H3CdnStudy(replace(self.config, **overrides))

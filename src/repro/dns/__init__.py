@@ -1,0 +1,13 @@
+"""DNS resolution substrate.
+
+Every first contact with a hostname costs a recursive lookup; browsers
+then cache the answer.  The paper's HAR timing taxonomy includes the
+``dns`` phase, and its related-work section discusses DNS-over-QUIC
+(DoQ, RFC 9250) — both are modelled here: a caching stub resolver with
+configurable upstream transport (classic UDP, DoT-like TCP, or DoQ),
+whose latency semantics mirror the transport handshake differences.
+"""
+
+from repro.dns.resolver import DnsConfig, DnsResolver, DnsTransport
+
+__all__ = ["DnsConfig", "DnsResolver", "DnsTransport"]

@@ -1,0 +1,15 @@
+"""Discrete-event simulation kernel.
+
+Everything in :mod:`repro` that models time — links, transports, servers,
+browsers — runs on top of this small kernel.  Time is a floating point
+number of **milliseconds** since the start of the simulation.
+
+The kernel is deliberately minimal: a priority queue of timestamped
+callbacks with deterministic FIFO tie-breaking.  Determinism matters
+because the reproduction study relies on seeded runs being exactly
+repeatable across probes and campaigns.
+"""
+
+from repro.events.loop import EventLoop, ScheduledEvent, SimulationError, Timer
+
+__all__ = ["EventLoop", "ScheduledEvent", "SimulationError", "Timer"]

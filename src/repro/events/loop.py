@@ -1,0 +1,195 @@
+"""The event loop at the heart of the simulator.
+
+Design notes
+------------
+
+* Time is a ``float`` in milliseconds.  All higher layers (links,
+  transports, the browser) express delays in the same unit so there is
+  never a conversion step.
+* Events scheduled for the same instant fire in the order they were
+  scheduled (FIFO).  This is achieved with a monotonically increasing
+  sequence number used as a tie-breaker in the heap.
+* Events can be cancelled.  Cancellation is O(1): the heap entry is
+  marked dead and skipped when popped.  This is the standard "lazy
+  deletion" approach and is what retransmission timers rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A single entry in the event queue.
+
+    Instances are ordered by ``(time, seq)`` so that simultaneous events
+    preserve scheduling order.  ``callback`` and ``args`` are excluded
+    from comparisons.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Timer:
+    """A restartable one-shot timer bound to an :class:`EventLoop`.
+
+    Transports use timers for retransmission timeouts: ``start`` arms the
+    timer, ``stop`` disarms it, and re-arming implicitly cancels the
+    previous deadline.
+    """
+
+    def __init__(self, loop: "EventLoop", callback: Callable[[], None]) -> None:
+        self._loop = loop
+        self._callback = callback
+        self._event: ScheduledEvent | None = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timer currently has a pending deadline."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay_ms: float) -> None:
+        """Arm (or re-arm) the timer to fire ``delay_ms`` from now."""
+        self.stop()
+        self._event = self._loop.call_later(delay_ms, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler.
+
+    Example
+    -------
+    >>> loop = EventLoop()
+    >>> fired = []
+    >>> _ = loop.call_later(5.0, fired.append, "a")
+    >>> _ = loop.call_later(2.0, fired.append, "b")
+    >>> loop.run()
+    >>> fired
+    ['b', 'a']
+    >>> loop.now
+    5.0
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (diagnostics/benchmarks)."""
+        return self._processed
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def call_later(
+        self, delay_ms: float, callback: Callable[..., None], *args: Any
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay_ms`` from now."""
+        if delay_ms < 0:
+            raise SimulationError(f"cannot schedule {delay_ms}ms in the past")
+        return self.call_at(self._now + delay_ms, callback, *args)
+
+    def call_at(
+        self, time_ms: float, callback: Callable[..., None], *args: Any
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute time ``time_ms``."""
+        if time_ms < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ms}ms, already at {self._now}ms"
+            )
+        event = ScheduledEvent(time_ms, next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was
+        empty (dead entries are skipped silently).
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until_ms: float | None = None, max_events: int | None = None) -> None:
+        """Run events until the queue drains.
+
+        Parameters
+        ----------
+        until_ms:
+            Stop once simulated time would pass this point.  Events at
+            exactly ``until_ms`` still run.
+        max_events:
+            Safety valve against runaway simulations; raises
+            :class:`SimulationError` when exceeded.
+        """
+        executed = 0
+        while self._queue:
+            head = self._peek()
+            if head is None:
+                return
+            if until_ms is not None and head.time > until_ms:
+                self._now = until_ms
+                return
+            self.step()
+            executed += 1
+            if max_events is not None and executed > max_events:
+                raise SimulationError(f"exceeded {max_events} events; likely livelock")
+
+    def run_until(self, predicate: Callable[[], bool], max_events: int = 50_000_000) -> None:
+        """Run until ``predicate()`` becomes true or the queue drains."""
+        executed = 0
+        while not predicate():
+            if not self.step():
+                return
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(f"exceeded {max_events} events; likely livelock")
+
+    def _peek(self) -> ScheduledEvent | None:
+        while self._queue:
+            if self._queue[0].cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return self._queue[0]
+        return None

@@ -1,0 +1,19 @@
+"""Experiment drivers: one module per table/figure in the paper.
+
+Each driver exposes ``run(study) -> ExperimentResult`` that regenerates
+the corresponding table or figure's rows/series from a (possibly
+scaled-down) :class:`~repro.core.study.H3CdnStudy`.  The registry maps
+experiment ids (``table1`` … ``fig9``) to drivers, and the CLI
+(``repro-h3cdn``) runs any subset from the command line.
+"""
+
+from repro.experiments.base import ExperimentResult, format_table
+from repro.experiments.registry import EXPERIMENTS, run_experiment, run_all
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "format_table",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,50 @@
+"""Shared result type and plain-text rendering for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    ``lines`` is the human-readable rendering (what the CLI prints);
+    ``data`` holds the raw values so tests and EXPERIMENTS.md tooling
+    can assert on them without re-parsing text.
+    """
+
+    experiment_id: str
+    title: str
+    lines: list[str] = field(default_factory=list)
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        return "\n".join([header, *self.lines])
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], indent: str = "  "
+) -> list[str]:
+    """Render an ASCII table with right-padded columns."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        line = indent + "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append(indent + "  ".join("-" * width for width in widths))
+    return lines
+
+
+def fmt(value: float, digits: int = 1) -> str:
+    """Uniform float formatting for tables."""
+    return f"{value:.{digits}f}"
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Render a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"

@@ -1,0 +1,149 @@
+"""Command-line entry point: ``repro-h3cdn``.
+
+Examples
+--------
+Run everything at a quick scale::
+
+    repro-h3cdn --scale quick
+
+Reproduce the paper's Table II and Fig. 9 at full scale::
+
+    repro-h3cdn --scale full --experiments table2,fig9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.study import H3CdnStudy, StudyConfig
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+#: Predefined scales: (sites, campaign pages, consecutive pages,
+#: loss-sweep pages, loss repetitions).
+SCALES = {
+    "smoke": (12, 12, 12, 6, 1),
+    "quick": (60, 60, 60, 25, 1),
+    "medium": (150, 150, 150, 60, 2),
+    "full": (325, None, None, 120, 3),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-h3cdn",
+        description=(
+            "Reproduce the tables and figures of 'Dissecting the Applicability "
+            "of HTTP/3 in Content Delivery Networks' (ICDCS 2024) on a "
+            "simulated web/CDN universe."
+        ),
+    )
+    parser.add_argument(
+        "--experiments",
+        default="all",
+        help="comma-separated experiment ids (default: all): "
+        + ", ".join(EXPERIMENTS),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="quick",
+        help="predefined study scale (default: quick)",
+    )
+    parser.add_argument("--sites", type=int, help="override number of sites")
+    parser.add_argument("--seed", type=int, default=7, help="study seed (default 7)")
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render ASCII charts of each figure's series",
+    )
+    return parser
+
+
+def render_plots(result) -> list[str]:
+    """ASCII charts for the figure series a result carries (if any)."""
+    from repro.analysis.textplot import bar_chart, line_chart
+
+    data = result.data
+    lines: list[str] = []
+    if "ccdf_series" in data:
+        lines += line_chart({"CCDF": data["ccdf_series"]},
+                            x_label="CDN share", y_label="P(X>x)")
+    if "phase_cdf_series" in data:
+        lines += line_chart(data["phase_cdf_series"],
+                            x_label="reduction (ms)", y_label="CDF")
+    if "group_reductions" in data:
+        lines += bar_chart(data["group_reductions"], unit="ms")
+    if "plt_reduction_by_providers" in data:
+        lines += bar_chart(
+            {f"{k} providers": v for k, v in data["plt_reduction_by_providers"].items()},
+            unit="ms",
+        )
+        lines += bar_chart(
+            {f"{k} providers": v for k, v in data["resumed_by_providers"].items()},
+            unit=" resumed",
+        )
+    if "points" in data and isinstance(data["points"], dict):
+        series = {
+            f"{rate:.1%} loss": points for rate, points in data["points"].items()
+        }
+        lines += line_chart(series, x_label="#CDN resources",
+                            y_label="PLT reduction (ms)")
+    return lines
+
+
+def make_study(args: argparse.Namespace) -> H3CdnStudy:
+    sites, campaign_pages, consecutive_pages, loss_pages, loss_reps = SCALES[args.scale]
+    if args.sites is not None:
+        sites = args.sites
+    return H3CdnStudy(
+        StudyConfig(
+            n_sites=sites,
+            seed=args.seed,
+            max_campaign_pages=campaign_pages,
+            max_consecutive_pages=consecutive_pages,
+            max_loss_sweep_pages=loss_pages,
+            loss_sweep_repetitions=loss_reps,
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for experiment_id, (title, __) in EXPERIMENTS.items():
+            print(f"{experiment_id:8s} {title}")
+        return 0
+    wanted = (
+        list(EXPERIMENTS)
+        if args.experiments == "all"
+        else [item.strip() for item in args.experiments.split(",") if item.strip()]
+    )
+    unknown = [item for item in wanted if item not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    study = make_study(args)
+    print(
+        f"# repro-h3cdn scale={args.scale} sites={study.config.n_sites} "
+        f"seed={args.seed}"
+    )
+    for experiment_id in wanted:
+        start = time.time()
+        result = run_experiment(experiment_id, study)
+        print()
+        print(result.render())
+        if args.plot:
+            for line in render_plots(result):
+                print(line)
+        print(f"  [{time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

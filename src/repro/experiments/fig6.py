@@ -1,0 +1,51 @@
+"""Fig. 6 — PLT reduction by H3-adoption group + phase-reduction CDFs."""
+
+from __future__ import annotations
+
+from repro.core.study import H3CdnStudy
+from repro.experiments.base import ExperimentResult, fmt, format_table
+
+EXPERIMENT_ID = "fig6"
+TITLE = "PLT reduction per group and phase reductions (paper Fig. 6)"
+
+
+def run(study: H3CdnStudy) -> ExperimentResult:
+    groups = study.fig6a()
+    lines = ["  (a) PLT reduction by H3-enabled-resource quartile group:"]
+    lines += format_table(
+        ("group", "pages", "mean H3 entries", "PLT reduction (ms)"),
+        [
+            (g.label, g.n_pages, fmt(g.mean_h3_entries), fmt(g.mean_plt_reduction_ms))
+            for g in groups
+        ],
+    )
+    dists = study.fig6b()
+    lines.append("  (b) per-page phase reduction distributions (ms):")
+    lines += format_table(
+        ("phase", "median", "p25", "p75"),
+        [
+            (
+                phase,
+                fmt(dist.median, 2),
+                fmt(dist.quantile(0.25), 2),
+                fmt(dist.quantile(0.75), 2),
+            )
+            for phase, dist in dists.items()
+        ],
+    )
+    lines.append(
+        "  (paper: all groups positive, interior maximum, High lowest among "
+        "upper groups; medians: connection > 0, wait < 0, receive ~ 0)"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        lines=lines,
+        data={
+            "group_reductions": {g.label: g.mean_plt_reduction_ms for g in groups},
+            "phase_medians": {phase: dist.median for phase, dist in dists.items()},
+            "phase_cdf_series": {
+                phase: dist.cdf_series(points=40) for phase, dist in dists.items()
+            },
+        },
+    )

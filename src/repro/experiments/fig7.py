@@ -1,0 +1,49 @@
+"""Fig. 7 — reused connections and their effect on PLT reduction."""
+
+from __future__ import annotations
+
+from repro.core.study import H3CdnStudy
+from repro.experiments.base import ExperimentResult, fmt, format_table
+
+EXPERIMENT_ID = "fig7"
+TITLE = "Reused connections vs PLT reduction (paper Fig. 7)"
+
+
+def run(study: H3CdnStudy) -> ExperimentResult:
+    reuse = study.fig7a()
+    lines = ["  (a)+(b) reused connections per group (H2 vs H3):"]
+    lines += format_table(
+        ("group", "H2 reused", "H3 reused", "difference"),
+        [
+            (g.label, fmt(g.mean_reused_h2), fmt(g.mean_reused_h3), fmt(g.mean_difference, 2))
+            for g in reuse
+        ],
+    )
+    bins = study.fig7c()
+    lines.append("  (c) PLT reduction vs reused-connection difference:")
+    lines += format_table(
+        ("difference", "pages", "PLT reduction (ms)"),
+        [
+            (f"[{b.difference_low}, {b.difference_high}]", b.n_pages,
+             fmt(b.mean_plt_reduction_ms))
+            for b in bins
+        ],
+    )
+    lines.append(
+        "  (paper: H2 reuses more than H3, gap widest in High group; "
+        "reduction shrinks as the reuse difference grows)"
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        lines=lines,
+        data={
+            "reuse_by_group": {
+                g.label: (g.mean_reused_h2, g.mean_reused_h3) for g in reuse
+            },
+            "difference_by_group": {g.label: g.mean_difference for g in reuse},
+            "reduction_by_difference": [
+                (b.center, b.mean_plt_reduction_ms, b.n_pages) for b in bins
+            ],
+        },
+    )

@@ -1,0 +1,29 @@
+"""Table I — release year of H3 support per CDN and performance report."""
+
+from __future__ import annotations
+
+from repro.cdn.provider import default_providers
+from repro.core.study import H3CdnStudy
+from repro.experiments.base import ExperimentResult, format_table
+
+EXPERIMENT_ID = "table1"
+TITLE = "Release year of H3 support in various CDNs and performance reports"
+
+
+def run(study: H3CdnStudy) -> ExperimentResult:
+    """Render Table I from the provider registry (static metadata)."""
+    providers = [p for p in default_providers() if p.h3_release_year is not None]
+    providers.sort(key=lambda p: (p.h3_release_year, p.name))
+    rows = [
+        (p.display_name, p.h3_release_year, p.performance_report)
+        for p in providers
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        lines=format_table(("Provider", "Release Year", "Performance Report"), rows),
+        data={
+            "release_years": {p.name: p.h3_release_year for p in providers},
+            "reports": {p.name: p.performance_report for p in providers},
+        },
+    )

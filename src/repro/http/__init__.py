@@ -1,0 +1,21 @@
+"""HTTP layer: protocol semantics on top of TCP/QUIC transports.
+
+Provides the three protocol lanes the paper's Table II distinguishes
+(HTTP/1.1, HTTP/2, HTTP/3), a per-origin connection pool with
+Chrome-like reuse rules (the mechanism behind the paper's Fig. 7
+"reused connections" analysis), TLS session resumption wiring (Fig. 8),
+and Alt-Svc based H3 discovery.
+"""
+
+from repro.http.alt_svc import AltSvcCache
+from repro.http.messages import EntryTiming, FetchRecord, HttpProtocol
+from repro.http.pool import ConnectionPool, PoolStats
+
+__all__ = [
+    "AltSvcCache",
+    "ConnectionPool",
+    "EntryTiming",
+    "FetchRecord",
+    "HttpProtocol",
+    "PoolStats",
+]

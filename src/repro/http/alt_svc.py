@@ -1,0 +1,51 @@
+"""Alt-Svc (RFC 7838) discovery cache.
+
+Browsers normally learn that an origin speaks H3 from an
+``Alt-Svc: h3=":443"`` header on a TCP-borne response, and only race
+QUIC afterwards.  The paper's probes force-enable QUIC in Chrome, so
+the measurement harness defaults to *direct* H3; this cache implements
+the standards-path discovery for completeness and for the protocol-
+advisor example.
+"""
+
+from __future__ import annotations
+
+
+class AltSvcCache:
+    """Host → advertised-H3 knowledge, with an expiry horizon."""
+
+    def __init__(self, default_max_age_ms: float = 86_400_000.0) -> None:
+        self.default_max_age_ms = default_max_age_ms
+        self._until: dict[str, float] = {}
+
+    def observe(self, host: str, headers: dict[str, str], now_ms: float) -> None:
+        """Record an Alt-Svc advertisement seen on a response."""
+        alt_svc = headers.get("alt-svc", headers.get("Alt-Svc", ""))
+        if "h3" in alt_svc:
+            self._until[host] = now_ms + self._parse_max_age(alt_svc)
+
+    def advertise(self, host: str, now_ms: float) -> None:
+        """Directly mark a host as H3-capable (server-side injection)."""
+        self._until[host] = now_ms + self.default_max_age_ms
+
+    def knows_h3(self, host: str, now_ms: float) -> bool:
+        """Whether the browser currently believes ``host`` speaks H3."""
+        deadline = self._until.get(host)
+        if deadline is None:
+            return False
+        if now_ms >= deadline:
+            del self._until[host]
+            return False
+        return True
+
+    def clear(self) -> None:
+        self._until.clear()
+
+    def _parse_max_age(self, alt_svc: str) -> float:
+        for part in alt_svc.replace(";", " ").split():
+            if part.startswith("ma="):
+                try:
+                    return float(part[3:].strip('"')) * 1000.0
+                except ValueError:
+                    break
+        return self.default_max_age_ms

@@ -1,0 +1,368 @@
+"""Per-origin connection pooling with Chrome-like reuse rules.
+
+Pooling is the mechanism behind two of the paper's findings:
+
+* **Reused connections** (Fig. 7): all requests to a host after the
+  connection-opening one ride the existing connection and report a
+  connect time of 0 — exactly the paper's criterion for a "reused HTTP
+  connection" in the Chrome-HAR data.  H1.1 opens up to six parallel
+  connections per host and serializes requests on each; H2/H3 multiplex
+  everything over a single connection per (host, protocol).
+* **Resumed connections** (Fig. 8): when a session ticket is cached for
+  the host, new connections are created in resumed mode (H3: 0-RTT;
+  H2+TLS1.3: TCP round trip only), and fresh tickets are stored after
+  every full handshake.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.events import EventLoop
+from repro.http.messages import EntryTiming, FetchRecord, HttpProtocol
+from repro.netsim.path import NetworkPath
+from repro.tls.session_cache import SessionTicketCache
+from repro.transport.base import BaseConnection
+from repro.transport.config import TransportConfig
+from repro.transport.quic import QuicConnection
+from repro.transport.tcp import TcpConnection
+
+
+class Server(Protocol):
+    """What the pool needs from an edge/origin server."""
+
+    hostname: str
+    tls_version: object
+    issues_tickets: bool
+
+    def serve(self, resource_key: str, size_bytes: int, protocol: str):
+        ...  # pragma: no cover - protocol stub
+
+
+@dataclass
+class PoolStats:
+    """Counters the analyses read after a page visit."""
+
+    requests: int = 0
+    connections_created: int = 0
+    resumed_connections: int = 0
+    reused_requests: int = 0
+    zero_rtt_connections: int = 0
+
+    def merged_with(self, other: "PoolStats") -> "PoolStats":
+        return PoolStats(
+            requests=self.requests + other.requests,
+            connections_created=self.connections_created + other.connections_created,
+            resumed_connections=self.resumed_connections + other.resumed_connections,
+            reused_requests=self.reused_requests + other.reused_requests,
+            zero_rtt_connections=self.zero_rtt_connections + other.zero_rtt_connections,
+        )
+
+
+@dataclass
+class _PendingFetch:
+    url: str
+    resource_key: str
+    request_bytes: int
+    response_bytes: int
+    server: Server
+    protocol: HttpProtocol
+    queued_at: float
+    on_complete: Callable[[FetchRecord], None]
+    reused: bool = True  # openers overwrite this
+    weight: int = 1
+
+
+class _PooledConnection:
+    """One live connection plus its pending-request queue."""
+
+    def __init__(self, conn: BaseConnection, protocol: HttpProtocol, host: str) -> None:
+        self.conn = conn
+        self.protocol = protocol
+        self.host = host
+        self.established = False
+        self.resumed = conn.resumed if hasattr(conn, "resumed") else False
+        self.active_streams = 0
+        self.pending: deque[_PendingFetch] = deque()
+        #: Whether this connection holds a handshake-throttle slot.
+        self.handshake_counted = False
+        #: When the handshake actually started (post-queue).
+        self.connect_started_at = 0.0
+
+    @property
+    def busy(self) -> bool:
+        """H1.1 connections serve one request at a time."""
+        return not self.protocol.multiplexes and self.active_streams > 0
+
+
+class ConnectionPool:
+    """Connection pool for one browser profile.
+
+    The pool is created fresh for every page visit ("all connections
+    are terminated" between visits, Section III-B); the session-ticket
+    cache passed in may outlive it (consecutive-visit mode).
+    """
+
+    H1_MAX_PER_HOST = 6
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        session_cache: SessionTicketCache | None = None,
+        transport_config: TransportConfig | None = None,
+        rng: random.Random | None = None,
+        use_session_tickets: bool = True,
+    ) -> None:
+        self.loop = loop
+        self.session_cache = session_cache if session_cache is not None else SessionTicketCache()
+        self.transport_config = transport_config or TransportConfig()
+        self.rng = rng or random.Random(0)
+        self.use_session_tickets = use_session_tickets
+        self.stats = PoolStats()
+        self._multiplexed: dict[tuple[str, HttpProtocol], _PooledConnection] = {}
+        self._h1_conns: dict[str, list[_PooledConnection]] = {}
+        self._h1_queues: dict[str, deque[_PendingFetch]] = {}
+        # Handshake throttling: browsers bound concurrent connection
+        # setups; extra openers queue here (0-RTT bypasses the queue).
+        self._active_handshakes = 0
+        self._handshake_queue: deque[tuple[_PooledConnection, _PendingFetch]] = deque()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    def fetch(
+        self,
+        server: Server,
+        path: NetworkPath,
+        protocol: HttpProtocol,
+        url: str,
+        request_bytes: int,
+        response_bytes: int,
+        on_complete: Callable[[FetchRecord], None],
+        resource_key: str | None = None,
+        weight: int = 1,
+    ) -> None:
+        """Fetch one resource; ``on_complete`` receives the record.
+
+        ``weight`` is the stream priority on multiplexed connections.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self.stats.requests += 1
+        fetch = _PendingFetch(
+            url=url,
+            resource_key=resource_key if resource_key is not None else url,
+            request_bytes=request_bytes,
+            response_bytes=response_bytes,
+            server=server,
+            protocol=protocol,
+            queued_at=self.loop.now,
+            on_complete=on_complete,
+            weight=weight,
+        )
+        if protocol.multiplexes:
+            self._fetch_multiplexed(fetch, path)
+        else:
+            self._fetch_h1(fetch, path)
+
+    @staticmethod
+    def _coalesce_key(server: Server) -> str:
+        """Coalescing group: providers' edges share one connection per
+        protocol (certificate/IP coalescing); origins stay per-host."""
+        return getattr(server, "coalesce_key", None) or server.hostname
+
+    def _fetch_multiplexed(self, fetch: _PendingFetch, path: NetworkPath) -> None:
+        key = (self._coalesce_key(fetch.server), fetch.protocol)
+        pooled = self._multiplexed.get(key)
+        if pooled is None:
+            pooled = self._open_connection(fetch, path)
+            self._multiplexed[key] = pooled
+            return
+        if pooled.established:
+            self.stats.reused_requests += 1
+            self._issue(pooled, fetch, reused=True)
+        else:
+            # Arrived mid-handshake: waits, then reports connect = 0.
+            self.stats.reused_requests += 1
+            pooled.pending.append(fetch)
+
+    def _fetch_h1(self, fetch: _PendingFetch, path: NetworkPath) -> None:
+        host = fetch.server.hostname
+        conns = self._h1_conns.setdefault(host, [])
+        for pooled in conns:
+            if pooled.established and not pooled.busy:
+                self.stats.reused_requests += 1
+                self._issue(pooled, fetch, reused=True)
+                return
+        if len(conns) < self.H1_MAX_PER_HOST:
+            conns.append(self._open_connection(fetch, path))
+            return
+        self._h1_queues.setdefault(host, deque()).append(fetch)
+
+    # ------------------------------------------------------------------
+
+    def _open_connection(self, opener: _PendingFetch, path: NetworkPath) -> _PooledConnection:
+        host = opener.server.hostname
+        conn_rng = random.Random(self.rng.getrandbits(64))
+        has_ticket = False
+        if self.use_session_tickets:
+            ticket = self.session_cache.lookup(host, self.loop.now)
+            if ticket is not None:
+                # The server may reject the ticket (key rotation, a
+                # different machine behind the load balancer): the
+                # connection then falls back to a full handshake.
+                accept_rate = getattr(opener.server, "resumption_rate", 1.0)
+                has_ticket = conn_rng.random() < accept_rate
+        if opener.protocol is HttpProtocol.H3:
+            conn: BaseConnection = QuicConnection(
+                self.loop, path, config=self.transport_config,
+                rng=conn_rng, resumed=has_ticket, name=f"h3-{host}",
+            )
+        else:
+            conn = TcpConnection(
+                self.loop, path, config=self.transport_config,
+                rng=conn_rng, resumed=has_ticket,
+                tls_version=opener.server.tls_version, name=f"tcp-{host}",
+            )
+        pooled = _PooledConnection(conn, opener.protocol, host)
+        pooled.resumed = has_ticket
+        self.stats.connections_created += 1
+        if has_ticket:
+            self.stats.resumed_connections += 1
+        opener.reused = False
+        # 0-RTT resumed QUIC needs no handshake round trip: it bypasses
+        # the browser's handshake throttle.  Everything else competes
+        # for a bounded number of concurrent setups.
+        zero_rtt = has_ticket and opener.protocol is HttpProtocol.H3
+        max_handshakes = self.transport_config.max_concurrent_handshakes
+        if zero_rtt or self._active_handshakes < max_handshakes:
+            self._start_handshake(pooled, opener, counted=not zero_rtt)
+        else:
+            self._handshake_queue.append((pooled, opener))
+        return pooled
+
+    def _start_handshake(
+        self, pooled: _PooledConnection, opener: _PendingFetch, counted: bool = True
+    ) -> None:
+        pooled.handshake_counted = counted
+        pooled.connect_started_at = self.loop.now
+        if counted:
+            self._active_handshakes += 1
+        pooled.conn.connect(lambda result: self._on_established(pooled, opener, result))
+
+    def _on_established(self, pooled: _PooledConnection, opener: _PendingFetch, result) -> None:
+        pooled.established = True
+        if pooled.handshake_counted:
+            self._active_handshakes -= 1
+            max_handshakes = self.transport_config.max_concurrent_handshakes
+            while self._handshake_queue and self._active_handshakes < max_handshakes:
+                queued_pooled, queued_opener = self._handshake_queue.popleft()
+                self._start_handshake(queued_pooled, queued_opener)
+        if result.zero_rtt:
+            self.stats.zero_rtt_connections += 1
+        if (
+            self.use_session_tickets
+            and getattr(opener.server, "issues_tickets", True)
+            and self.transport_config.issue_session_tickets
+        ):
+            self.session_cache.store(pooled.host, self.loop.now)
+        self._issue(pooled, opener, reused=False, handshake=result)
+        while pooled.pending and not pooled.busy:
+            self._issue(pooled, pooled.pending.popleft(), reused=True)
+
+    def _issue(
+        self,
+        pooled: _PooledConnection,
+        fetch: _PendingFetch,
+        reused: bool,
+        handshake=None,
+    ) -> None:
+        now = self.loop.now
+        decision = fetch.server.serve(
+            fetch.resource_key, fetch.response_bytes, fetch.protocol.value
+        )
+        think_ms = decision.think_ms
+        if handshake is not None:
+            # Connection-opening request: the server pays the TLS setup
+            # CPU (certificate crypto on full handshakes, much less on
+            # resumed ones) before processing the request.
+            if pooled.resumed:
+                think_ms += getattr(fetch.server, "resumed_setup_cpu_ms", 0.0)
+            else:
+                think_ms += getattr(fetch.server, "tls_setup_cpu_ms", 0.0)
+        timing = EntryTiming()
+        if reused or handshake is None:
+            timing.blocked = now - fetch.queued_at
+        else:
+            # Opener: time spent waiting for a handshake slot is
+            # "blocked"; the handshake itself is "connect".
+            timing.blocked = pooled.connect_started_at - fetch.queued_at
+            timing.connect = handshake.connect_ms
+            timing.ssl = getattr(pooled.conn, "ssl_ms", None) or 0.0
+        record = FetchRecord(
+            url=fetch.url,
+            # The request's own hostname (a coalesced connection serves
+            # several hosts; HAR entries keep the per-request host).
+            host=fetch.server.hostname,
+            protocol=fetch.protocol,
+            started_at_ms=fetch.queued_at,
+            timing=timing,
+            response_bytes=fetch.response_bytes,
+            request_bytes=fetch.request_bytes,
+            headers=dict(decision.headers),
+            reused=reused,
+            resumed=pooled.resumed,
+            cache_hit=decision.cache_hit,
+        )
+        pooled.active_streams += 1
+        issued_at = now
+
+        def on_first_byte(t: float) -> None:
+            record.timing.wait = t - issued_at
+
+        def on_stream_complete(t: float) -> None:
+            first_byte_at = issued_at + record.timing.wait
+            record.timing.receive = t - first_byte_at
+            record.completed_at_ms = t
+            pooled.active_streams -= 1
+            fetch.on_complete(record)
+            self._drain_h1(pooled)
+
+        pooled.conn.request(
+            fetch.request_bytes,
+            fetch.response_bytes,
+            think_ms=think_ms,
+            on_first_byte=on_first_byte,
+            on_complete=on_stream_complete,
+            weight=fetch.weight,
+        )
+
+    def _drain_h1(self, pooled: _PooledConnection) -> None:
+        if pooled.protocol.multiplexes or pooled.busy:
+            return
+        queue = self._h1_queues.get(pooled.host)
+        if queue:
+            fetch = queue.popleft()
+            self.stats.reused_requests += 1
+            self._issue(pooled, fetch, reused=True)
+
+    # ------------------------------------------------------------------
+
+    def connection_count(self) -> int:
+        """Live connections (diagnostics)."""
+        return len(self._multiplexed) + sum(len(v) for v in self._h1_conns.values())
+
+    def close(self) -> None:
+        """Terminate every connection (between page visits)."""
+        self._closed = True
+        for pooled in self._multiplexed.values():
+            pooled.conn.close()
+        for conns in self._h1_conns.values():
+            for pooled in conns:
+                pooled.conn.close()
+        self._multiplexed.clear()
+        self._h1_conns.clear()
+        self._h1_queues.clear()

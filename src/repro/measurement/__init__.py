@@ -1,0 +1,43 @@
+"""Measurement harness: probes, vantage points, campaigns.
+
+Reproduces the paper's collection protocol (Section III-B): three
+CloudLab vantage points × three probes, each probe visiting every
+target page with H2 and H3 through separate browser instances, visiting
+twice so the second (cache-warm) visit is measured, terminating
+connections and clearing caches between pages — plus the
+consecutive-visit mode (Section VI-D) where session tickets survive
+page transitions.
+"""
+
+from repro.measurement.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    PairedVisit,
+)
+from repro.measurement.consecutive import ConsecutiveVisitRunner
+from repro.measurement.farm import ProbeNetProfile, ServerFarm
+from repro.measurement.probe import Probe
+from repro.measurement.report import CampaignReport, ModeSummary, campaign_report
+from repro.measurement.vantage import (
+    VantagePoint,
+    default_vantage_points,
+    global_vantage_points,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignResult",
+    "ConsecutiveVisitRunner",
+    "PairedVisit",
+    "ModeSummary",
+    "Probe",
+    "ProbeNetProfile",
+    "ServerFarm",
+    "VantagePoint",
+    "campaign_report",
+    "default_vantage_points",
+    "global_vantage_points",
+]

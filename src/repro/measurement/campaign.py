@@ -1,0 +1,147 @@
+"""The measurement campaign: the paper's Section III-B protocol, end to end.
+
+A :class:`Campaign` visits every target page from every probe, once per
+protocol mode (H2 baseline and H3-enabled), using the double-visit
+trick to warm edge caches, and collects one :class:`PairedVisit` per
+(probe, page).  The result object is what all Table II / Fig. 2–7
+analyses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.browser.browser import H2_ONLY, H3_ENABLED, PageVisit
+from repro.measurement.probe import Probe
+from repro.measurement.vantage import VantagePoint, default_vantage_points
+from repro.transport.config import TransportConfig
+from repro.web.page import Webpage
+from repro.web.topsites import WebUniverse
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Campaign-level knobs."""
+
+    #: Visits per page per mode; the last one is recorded (paper: 2).
+    visits_per_page: int = 2
+    #: Probes per vantage point (paper: 3). The default of 1 keeps the
+    #: standard campaign tractable; analyses aggregate across probes.
+    probes_per_vantage: int = 1
+    #: Limit to the first N vantage points (None = all three).
+    max_vantage_points: int | None = 1
+    #: netem loss imposed at every probe (the Fig. 9 knob).
+    loss_rate: float = 0.0
+    #: Probe access-link rate.
+    rate_mbps: float | None = 50.0
+    #: Pre-seed edge caches with popular objects before measuring.
+    warm_popular: bool = True
+    #: Base seed; probes derive their own streams from it.
+    seed: int = 0
+    #: Transport-level configuration shared by all probes.
+    transport_config: TransportConfig = field(default_factory=TransportConfig)
+    #: Disable TLS session tickets everywhere (ablation).
+    use_session_tickets: bool = True
+
+
+@dataclass
+class PairedVisit:
+    """One page measured under both protocol modes by one probe."""
+
+    page: Webpage
+    probe_name: str
+    h2: PageVisit
+    h3: PageVisit
+
+    @property
+    def plt_reduction_ms(self) -> float:
+        """The paper's PLT_reduction = PLT_H2 − PLT_H3 (positive ⇒ H3 wins)."""
+        return self.h2.plt_ms - self.h3.plt_ms
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    universe: WebUniverse
+    config: CampaignConfig
+    paired_visits: list[PairedVisit]
+
+    def visits(self, mode: str) -> list[PageVisit]:
+        """All recorded visits for one protocol mode."""
+        if mode == H2_ONLY:
+            return [pv.h2 for pv in self.paired_visits]
+        if mode == H3_ENABLED:
+            return [pv.h3 for pv in self.paired_visits]
+        raise ValueError(f"unknown mode {mode!r}")
+
+    def entries(self, mode: str):
+        """Flat iterator over HAR entries for one mode."""
+        for visit in self.visits(mode):
+            yield from visit.entries
+
+    @property
+    def pages_measured(self) -> int:
+        return len({pv.page.url for pv in self.paired_visits})
+
+
+class Campaign:
+    """Runs the full measurement over a universe."""
+
+    def __init__(
+        self,
+        universe: WebUniverse,
+        config: CampaignConfig | None = None,
+        vantage_points: tuple[VantagePoint, ...] | None = None,
+    ) -> None:
+        self.universe = universe
+        self.config = config or CampaignConfig()
+        vps = vantage_points if vantage_points is not None else default_vantage_points()
+        if self.config.max_vantage_points is not None:
+            vps = vps[: self.config.max_vantage_points]
+        self.vantage_points = vps
+
+    def _build_probes(self) -> list[Probe]:
+        cfg = self.config
+        probes = []
+        for vp_index, vp in enumerate(self.vantage_points):
+            for probe_index in range(cfg.probes_per_vantage):
+                probes.append(
+                    Probe(
+                        name=f"{vp.name}-{probe_index}",
+                        universe=self.universe,
+                        net_profile=vp.net_profile(
+                            loss_rate=cfg.loss_rate, rate_mbps=cfg.rate_mbps
+                        ),
+                        seed=cfg.seed * 1000 + vp_index * 10 + probe_index,
+                        transport_config=cfg.transport_config,
+                        use_session_tickets=cfg.use_session_tickets,
+                    )
+                )
+        return probes
+
+    def run(self, pages: tuple[Webpage, ...] | None = None) -> CampaignResult:
+        """Measure ``pages`` (default: the whole universe) everywhere.
+
+        Pages are visited sequentially in a fixed order per probe,
+        each under H2 then H3 (separate browser instances), with edge
+        caches optionally pre-warmed.
+        """
+        target_pages = pages if pages is not None else self.universe.pages
+        paired: list[PairedVisit] = []
+        for probe in self._build_probes():
+            if self.config.warm_popular:
+                probe.warm_edges(target_pages)
+            for page in target_pages:
+                h2_visit = probe.measure_page(
+                    page, H2_ONLY, visits=self.config.visits_per_page
+                )
+                h3_visit = probe.measure_page(
+                    page, H3_ENABLED, visits=self.config.visits_per_page
+                )
+                paired.append(
+                    PairedVisit(
+                        page=page, probe_name=probe.name, h2=h2_visit, h3=h3_visit
+                    )
+                )
+        return CampaignResult(self.universe, self.config, paired)

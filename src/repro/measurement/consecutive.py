@@ -1,0 +1,79 @@
+"""Consecutive-visit measurement (paper Section VI-D).
+
+Pages are visited in a fixed order.  Between pages, connections are
+terminated and the HTTP cache is cleared — but the browser's TLS
+session-ticket store survives, so a connection to a CDN hostname
+already seen on an *earlier page* can resume (H3: 0-RTT; H2: TCP round
+trip + TLS early data).  This is the mechanism behind the paper's
+Fig. 8 and the Table III case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browser.browser import H2_ONLY, H3_ENABLED, PageVisit
+from repro.measurement.farm import ProbeNetProfile
+from repro.measurement.probe import Probe
+from repro.transport.config import TransportConfig
+from repro.web.page import Webpage
+from repro.web.topsites import WebUniverse
+
+
+@dataclass
+class ConsecutiveRun:
+    """Per-page visits of one ordered walk under one protocol mode."""
+
+    mode: str
+    visits: list[PageVisit]
+
+    def resumed_connections(self) -> list[int]:
+        """Per page: entries served on ticket-resumed connections."""
+        return [v.har.resumed_connection_count() for v in self.visits]
+
+
+class ConsecutiveVisitRunner:
+    """Walks an ordered page list with session state carried across pages."""
+
+    def __init__(
+        self,
+        universe: WebUniverse,
+        net_profile: ProbeNetProfile | None = None,
+        seed: int = 0,
+        transport_config: TransportConfig | None = None,
+        use_session_tickets: bool = True,
+        warm_edges_first: bool = True,
+    ) -> None:
+        self.universe = universe
+        self.net_profile = net_profile
+        self.seed = seed
+        self.transport_config = transport_config
+        self.use_session_tickets = use_session_tickets
+        self.warm_edges_first = warm_edges_first
+
+    def run(self, pages: list[Webpage] | tuple[Webpage, ...], mode: str) -> ConsecutiveRun:
+        """Visit ``pages`` in order under ``mode``; tickets persist.
+
+        A fresh probe (fresh clock, caches and ticket store) is built
+        per run so that H2 and H3 walks are independent, mirroring the
+        paper's separate browser instances.
+        """
+        if mode not in (H2_ONLY, H3_ENABLED):
+            raise ValueError(f"unknown mode {mode!r}")
+        probe = Probe(
+            name=f"consecutive-{mode}",
+            universe=self.universe,
+            net_profile=self.net_profile,
+            seed=self.seed,
+            transport_config=self.transport_config,
+            use_session_tickets=self.use_session_tickets,
+        )
+        if self.warm_edges_first:
+            probe.warm_edges(pages)
+        probe.clear_session_state()
+        visits = [probe.visit_once(page, mode) for page in pages]
+        return ConsecutiveRun(mode=mode, visits=visits)
+
+    def run_both(self, pages) -> tuple[ConsecutiveRun, ConsecutiveRun]:
+        """Run the walk under H2 and under H3-enabled."""
+        return self.run(pages, H2_ONLY), self.run(pages, H3_ENABLED)

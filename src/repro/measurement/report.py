@@ -1,0 +1,100 @@
+"""Campaign reporting: summary statistics over a finished campaign.
+
+Produces the numbers the paper reports about its *collection* (Section
+III/IV): request counts, protocol mix, per-mode PLT statistics, the
+PLT-reduction distribution with a bootstrap confidence interval, and
+the traffic-volume accounting from the ethics discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bootstrap import ConfidenceInterval, bootstrap_ci
+from repro.analysis.stats import mean, median, quantile
+from repro.browser.browser import H2_ONLY, H3_ENABLED
+from repro.measurement.campaign import CampaignResult
+
+
+@dataclass(frozen=True)
+class ModeSummary:
+    """Aggregates for one protocol mode's recorded visits."""
+
+    mode: str
+    pages: int
+    requests: int
+    mean_plt_ms: float
+    median_plt_ms: float
+    p90_plt_ms: float
+    reused_requests: int
+    resumed_requests: int
+    bytes_transferred: int
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """The full digest of one campaign."""
+
+    pages_measured: int
+    total_requests: int
+    h2: ModeSummary
+    h3: ModeSummary
+    plt_reduction_ci: ConfidenceInterval
+    pages_h3_wins: int
+
+    @property
+    def h3_win_rate(self) -> float:
+        return self.pages_h3_wins / self.pages_measured if self.pages_measured else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"campaign: {self.pages_measured} paired page measurements, "
+            f"{self.total_requests} requests",
+        ]
+        for summary in (self.h2, self.h3):
+            lines.append(
+                f"  {summary.mode:11s} PLT mean {summary.mean_plt_ms:7.1f} ms "
+                f"(median {summary.median_plt_ms:7.1f}, p90 {summary.p90_plt_ms:7.1f}); "
+                f"{summary.reused_requests} reused / {summary.resumed_requests} resumed "
+                f"requests; {summary.bytes_transferred / 1e6:.1f} MB"
+            )
+        lines.append(
+            f"  PLT reduction: {self.plt_reduction_ci} ms; "
+            f"H3 wins on {self.h3_win_rate:.0%} of pages"
+        )
+        return "\n".join(lines)
+
+
+def _summarize_mode(result: CampaignResult, mode: str) -> ModeSummary:
+    visits = result.visits(mode)
+    plts = [visit.plt_ms for visit in visits]
+    entries = [entry for visit in visits for entry in visit.entries]
+    return ModeSummary(
+        mode=mode,
+        pages=len(visits),
+        requests=len(entries),
+        mean_plt_ms=mean(plts),
+        median_plt_ms=median(plts),
+        p90_plt_ms=quantile(plts, 0.9),
+        reused_requests=sum(1 for entry in entries if entry.used_reused_connection),
+        resumed_requests=sum(1 for entry in entries if entry.resumed),
+        bytes_transferred=sum(entry.response_bytes for entry in entries),
+    )
+
+
+def campaign_report(result: CampaignResult, seed: int = 0) -> CampaignReport:
+    """Summarize ``result`` (bootstrap CI on the mean PLT reduction)."""
+    if not result.paired_visits:
+        raise ValueError("cannot report on an empty campaign")
+    reductions = [pv.plt_reduction_ms for pv in result.paired_visits]
+    return CampaignReport(
+        pages_measured=len(result.paired_visits),
+        total_requests=sum(
+            pv.h2.pool_stats.requests + pv.h3.pool_stats.requests
+            for pv in result.paired_visits
+        ),
+        h2=_summarize_mode(result, H2_ONLY),
+        h3=_summarize_mode(result, H3_ENABLED),
+        plt_reduction_ci=bootstrap_ci(reductions, seed=seed),
+        pages_h3_wins=sum(1 for r in reductions if r > 0),
+    )

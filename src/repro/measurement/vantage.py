@@ -1,0 +1,70 @@
+"""Vantage points: the three CloudLab sites of the paper's Fig. 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.measurement.farm import ProbeNetProfile
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """One measurement site hosting several probes.
+
+    The paper's vantage points are CloudLab clusters at the University
+    of Utah, the University of Wisconsin-Madison, and Clemson
+    University; each runs three probes (8 cores / 128 GB / Ubuntu
+    20.04).  Here a vantage point contributes a slightly different
+    network position (RTT scaling and last-mile delay).
+    """
+
+    name: str
+    site: str
+    rtt_scale: float = 1.0
+    extra_delay_ms: float = 0.0
+    n_probes: int = 3
+
+    def net_profile(
+        self,
+        loss_rate: float = 0.0,
+        rate_mbps: float | None = 50.0,
+        jitter_ms: float = 0.0,
+        bursty_loss: bool = False,
+    ) -> ProbeNetProfile:
+        """Build this site's probe profile, with optional netem overlay."""
+        return ProbeNetProfile(
+            rtt_scale=self.rtt_scale,
+            extra_delay_ms=self.extra_delay_ms,
+            loss_rate=loss_rate,
+            rate_mbps=rate_mbps,
+            jitter_ms=jitter_ms,
+            bursty_loss=bursty_loss,
+        )
+
+
+def default_vantage_points() -> tuple[VantagePoint, ...]:
+    """The paper's three sites, with mild positional diversity."""
+    return (
+        VantagePoint(name="utah", site="University of Utah", rtt_scale=1.0,
+                     extra_delay_ms=0.0),
+        VantagePoint(name="wisconsin", site="University of Wisconsin-Madison",
+                     rtt_scale=1.1, extra_delay_ms=1.5),
+        VantagePoint(name="clemson", site="Clemson University", rtt_scale=1.2,
+                     extra_delay_ms=3.0),
+    )
+
+
+def global_vantage_points() -> tuple[VantagePoint, ...]:
+    """Geographically diverse probes — the paper's future-work item 3.
+
+    The US sites see CDN edges nearby; remote regions scale every RTT
+    up (fewer local edges, longer trans-oceanic paths to origins).
+    """
+    return default_vantage_points() + (
+        VantagePoint(name="frankfurt", site="Europe (Frankfurt)",
+                     rtt_scale=1.4, extra_delay_ms=8.0),
+        VantagePoint(name="singapore", site="Asia (Singapore)",
+                     rtt_scale=1.9, extra_delay_ms=15.0),
+        VantagePoint(name="saopaulo", site="South America (São Paulo)",
+                     rtt_scale=2.3, extra_delay_ms=22.0),
+    )

@@ -1,0 +1,35 @@
+"""Packet-level network path simulation.
+
+This package models the network between a measurement probe and a server
+(CDN edge or origin): propagation delay, serialization at a bottleneck
+rate, FIFO queueing, and stochastic packet loss.  It is the stand-in for
+the real Internet paths the paper measured from CloudLab, and for the
+``tc netem`` loss injection used in the paper's Fig. 9 sweep.
+"""
+
+from repro.netsim.link import Link, LinkStats
+from repro.netsim.loss import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    LossModel,
+    NoLoss,
+    make_loss_model,
+)
+from repro.netsim.netem import NetemProfile
+from repro.netsim.packet import Packet, PacketKind, StreamChunk
+from repro.netsim.path import NetworkPath
+
+__all__ = [
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "Link",
+    "LinkStats",
+    "LossModel",
+    "NetemProfile",
+    "NetworkPath",
+    "NoLoss",
+    "Packet",
+    "PacketKind",
+    "StreamChunk",
+    "make_loss_model",
+]

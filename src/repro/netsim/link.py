@@ -1,0 +1,145 @@
+"""A unidirectional link with delay, rate, FIFO queueing, and loss.
+
+The link is the only place in the simulator where packets experience
+time: serialization at the bottleneck rate, a fixed one-way propagation
+delay plus optional jitter, and stochastic drops.  Endpoints hand the
+link a packet and a delivery callback; the link either schedules the
+callback or silently drops the packet (recording it in the stats).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.events import EventLoop
+from repro.netsim.loss import LossModel, NoLoss
+from repro.netsim.packet import Packet
+
+
+@dataclass
+class LinkStats:
+    """Counters a link maintains for diagnostics and the ethics section.
+
+    The paper reports average probe traffic (126.7 Kbps); these counters
+    let the measurement harness compute the analogous figure.
+    """
+
+    sent_packets: int = 0
+    dropped_packets: int = 0
+    delivered_packets: int = 0
+    sent_bytes: int = 0
+    delivered_bytes: int = 0
+    busy_time_ms: float = field(default=0.0)
+
+    @property
+    def observed_loss_rate(self) -> float:
+        """Fraction of packets dropped so far."""
+        if self.sent_packets == 0:
+            return 0.0
+        return self.dropped_packets / self.sent_packets
+
+
+class Link:
+    """One direction of a network path.
+
+    Parameters
+    ----------
+    loop:
+        The simulation event loop.
+    delay_ms:
+        One-way propagation delay.
+    rate_mbps:
+        Bottleneck rate in megabits per second.  ``None`` means
+        infinitely fast serialization (useful in unit tests).
+    loss:
+        Loss model applied per packet at ingress.
+    jitter_ms:
+        If positive, uniform jitter in ``[0, jitter_ms]`` added to the
+        propagation delay (delivery order is still preserved).
+    rng:
+        Randomness source for loss and jitter; pass a seeded
+        :class:`random.Random` for reproducibility.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        delay_ms: float,
+        rate_mbps: float | None = None,
+        loss: LossModel | None = None,
+        jitter_ms: float = 0.0,
+        rng: random.Random | None = None,
+        name: str = "link",
+    ) -> None:
+        if delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {delay_ms}")
+        if rate_mbps is not None and rate_mbps <= 0:
+            raise ValueError(f"rate_mbps must be positive, got {rate_mbps}")
+        if jitter_ms < 0:
+            raise ValueError(f"jitter_ms must be >= 0, got {jitter_ms}")
+        self.loop = loop
+        self.delay_ms = delay_ms
+        self.rate_mbps = rate_mbps
+        self.loss = loss if loss is not None else NoLoss()
+        self.jitter_ms = jitter_ms
+        self.rng = rng if rng is not None else random.Random(0)
+        self.name = name
+        self.stats = LinkStats()
+        #: Optional deterministic drop hook (failure injection in tests):
+        #: called with each packet before the stochastic loss model; a
+        #: truthy return drops the packet.
+        self.drop_filter: Callable[[Packet], bool] | None = None
+        # Time at which the transmitter finishes serializing the packet
+        # currently on the wire; packets queue behind it (FIFO).
+        self._tx_free_at = 0.0
+        # Earliest permissible delivery time, to keep FIFO ordering under
+        # jitter (a jittered packet may not overtake its predecessor).
+        self._last_delivery_at = 0.0
+
+    def serialization_delay_ms(self, packet: Packet) -> float:
+        """Time to clock ``packet`` onto the wire at the link rate."""
+        if self.rate_mbps is None:
+            return 0.0
+        bits = packet.size_bytes * 8
+        return bits / (self.rate_mbps * 1000.0)
+
+    def transmit(self, packet: Packet, on_deliver: Callable[[Packet], None]) -> bool:
+        """Send ``packet``; returns ``False`` if it was dropped.
+
+        The delivery callback runs on the event loop after queueing +
+        serialization + propagation (+ jitter).  Loss is applied up
+        front: a dropped packet still occupies the transmitter (it is
+        lost *after* being serialized, as on a real path).
+        """
+        now = self.loop.now
+        self.stats.sent_packets += 1
+        self.stats.sent_bytes += packet.size_bytes
+
+        start = max(now, self._tx_free_at)
+        tx_done = start + self.serialization_delay_ms(packet)
+        self.stats.busy_time_ms += tx_done - start
+        self._tx_free_at = tx_done
+
+        dropped = self.drop_filter(packet) if self.drop_filter is not None else False
+        if dropped or self.loss.should_drop(self.rng):
+            self.stats.dropped_packets += 1
+            return False
+
+        delay = self.delay_ms
+        if self.jitter_ms > 0:
+            delay += self.rng.uniform(0.0, self.jitter_ms)
+        deliver_at = max(tx_done + delay, self._last_delivery_at)
+        self._last_delivery_at = deliver_at
+        self.loop.call_at(deliver_at, self._deliver, packet, on_deliver)
+        return True
+
+    def _deliver(self, packet: Packet, on_deliver: Callable[[Packet], None]) -> None:
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += packet.size_bytes
+        on_deliver(packet)
+
+    def __repr__(self) -> str:
+        rate = f"{self.rate_mbps}Mbps" if self.rate_mbps else "inf"
+        return f"<Link {self.name} {self.delay_ms}ms {rate} {self.loss!r}>"

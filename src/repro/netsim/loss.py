@@ -1,0 +1,139 @@
+"""Stochastic packet-loss models.
+
+Two models are provided:
+
+* :class:`BernoulliLoss` — each packet dropped independently with a fixed
+  probability.  This mirrors ``tc netem loss <p>%`` as used in the
+  paper's Fig. 9 experiment.
+* :class:`GilbertElliottLoss` — a two-state Markov model producing bursty
+  loss, closer to real congested paths.  Offered as an extension and
+  exercised by the ablation benches.
+
+Models are deliberately stateful objects fed by an explicit
+:class:`random.Random` so that simulations are reproducible per probe.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class LossModel(Protocol):
+    """Anything that can decide whether to drop the next packet."""
+
+    def should_drop(self, rng: random.Random) -> bool:
+        """Return ``True`` if the next packet should be lost."""
+        ...  # pragma: no cover - protocol stub
+
+
+class NoLoss:
+    """A loss model that never drops anything."""
+
+    loss_rate = 0.0
+
+    def should_drop(self, rng: random.Random) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NoLoss()"
+
+
+class BernoulliLoss:
+    """Independent (i.i.d.) loss with probability ``loss_rate``."""
+
+    def __init__(self, loss_rate: float) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.loss_rate = loss_rate
+
+    def should_drop(self, rng: random.Random) -> bool:
+        if self.loss_rate == 0.0:
+            return False
+        return rng.random() < self.loss_rate
+
+    def __repr__(self) -> str:
+        return f"BernoulliLoss({self.loss_rate})"
+
+
+class GilbertElliottLoss:
+    """Two-state Markov (Gilbert–Elliott) bursty-loss model.
+
+    The chain alternates between a *good* state (loss probability
+    ``loss_good``, typically ~0) and a *bad* state (``loss_bad``, high).
+    ``p_good_to_bad`` / ``p_bad_to_good`` are per-packet transition
+    probabilities.  The stationary loss rate is::
+
+        pi_bad = p_gb / (p_gb + p_bg)
+        rate   = pi_good * loss_good + pi_bad * loss_bad
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.005,
+        p_bad_to_good: float = 0.30,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.50,
+    ) -> None:
+        for name, value in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if p_good_to_bad + p_bad_to_good == 0.0:
+            raise ValueError("transition probabilities cannot both be zero")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self._in_bad_state = False
+
+    @property
+    def loss_rate(self) -> float:
+        """Stationary (long-run) loss rate of the chain."""
+        pi_bad = self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+        return (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+
+    def should_drop(self, rng: random.Random) -> bool:
+        if self._in_bad_state:
+            if rng.random() < self.p_bad_to_good:
+                self._in_bad_state = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self._in_bad_state = True
+        threshold = self.loss_bad if self._in_bad_state else self.loss_good
+        if threshold == 0.0:
+            return False
+        return rng.random() < threshold
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottLoss(p_gb={self.p_good_to_bad}, "
+            f"p_bg={self.p_bad_to_good}, rate~{self.loss_rate:.4f})"
+        )
+
+
+def make_loss_model(loss_rate: float, bursty: bool = False) -> LossModel:
+    """Build a loss model with the given long-run rate.
+
+    With ``bursty=True`` a Gilbert–Elliott chain is fitted so its
+    stationary loss rate equals ``loss_rate`` (bad-state loss fixed at
+    50 %, mean burst length ~3.3 packets).
+    """
+    if loss_rate == 0.0:
+        return NoLoss()
+    if not bursty:
+        return BernoulliLoss(loss_rate)
+    loss_bad = 0.5
+    p_bad_to_good = 0.30
+    # pi_bad * loss_bad = loss_rate  =>  pi_bad = loss_rate / loss_bad
+    pi_bad = loss_rate / loss_bad
+    if pi_bad >= 1.0:
+        raise ValueError(f"loss_rate {loss_rate} too high for bursty model")
+    # pi_bad = p_gb / (p_gb + p_bg)  =>  p_gb = pi_bad * p_bg / (1 - pi_bad)
+    p_good_to_bad = pi_bad * p_bad_to_good / (1.0 - pi_bad)
+    return GilbertElliottLoss(p_good_to_bad, p_bad_to_good, 0.0, loss_bad)

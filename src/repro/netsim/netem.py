@@ -1,0 +1,66 @@
+"""``tc netem``-style network emulation profiles.
+
+The paper uses Linux Traffic Control to impose 0 %, 0.5 % and 1 % loss
+in the Fig. 9 experiment.  A :class:`NetemProfile` is the declarative
+equivalent here: a bundle of (delay, jitter, loss, rate) that can be
+turned into a concrete :class:`~repro.netsim.path.NetworkPath`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class NetemProfile:
+    """Declarative network conditions for one probe↔server path.
+
+    Attributes
+    ----------
+    delay_ms:
+        One-way propagation delay (so the base RTT is ``2 * delay_ms``).
+    jitter_ms:
+        Uniform jitter bound added per direction.
+    loss_rate:
+        Long-run packet loss probability per direction.
+    rate_mbps:
+        Bottleneck rate; ``None`` disables serialization delay.
+    bursty_loss:
+        Use a Gilbert–Elliott chain instead of i.i.d. Bernoulli loss.
+    """
+
+    delay_ms: float = 15.0
+    jitter_ms: float = 0.0
+    loss_rate: float = 0.0
+    rate_mbps: float | None = 50.0
+    bursty_loss: bool = False
+
+    def __post_init__(self) -> None:
+        if self.delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {self.delay_ms}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+
+    @property
+    def rtt_ms(self) -> float:
+        """Base round-trip time excluding jitter and serialization."""
+        return 2.0 * self.delay_ms
+
+    def with_loss(self, loss_rate: float) -> "NetemProfile":
+        """Return a copy with a different loss rate (the Fig. 9 knob)."""
+        return replace(self, loss_rate=loss_rate)
+
+    def with_delay(self, delay_ms: float) -> "NetemProfile":
+        """Return a copy with a different one-way delay."""
+        return replace(self, delay_ms=delay_ms)
+
+    def tc_command(self, device: str = "eth0") -> str:
+        """Render the equivalent ``tc qdisc`` command (documentation aid)."""
+        parts = [f"tc qdisc add dev {device} root netem delay {self.delay_ms}ms"]
+        if self.jitter_ms:
+            parts.append(f"{self.jitter_ms}ms")
+        if self.loss_rate:
+            parts.append(f"loss {self.loss_rate * 100:g}%")
+        if self.rate_mbps is not None:
+            parts.append(f"rate {self.rate_mbps:g}mbit")
+        return " ".join(parts)

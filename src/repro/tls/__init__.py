@@ -1,0 +1,14 @@
+"""TLS session-resumption substrate.
+
+The handshake *latency* state machines live in :mod:`repro.transport`
+(they are inseparable from packet exchange); this package owns the other
+half of TLS that the paper's Fig. 8 / Table III analysis depends on:
+**session tickets** and the client-side cache that decides whether the
+next connection to a host can resume (H2: TCP round trip + 0-RTT TLS
+early data; H3: full 0-RTT).
+"""
+
+from repro.tls.session_cache import SessionTicket, SessionTicketCache
+from repro.tls.handshake import HandshakePlan, plan_handshake
+
+__all__ = ["HandshakePlan", "SessionTicket", "SessionTicketCache", "plan_handshake"]

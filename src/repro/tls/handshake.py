@@ -1,0 +1,65 @@
+"""Handshake planning: protocol suite + ticket state → round-trip cost.
+
+This is the declarative summary of the latency semantics the transport
+layer implements with real packet exchanges.  The HTTP layer uses it to
+decide which connection class/flags to instantiate, and the docs/tests
+use it as the single source of truth for the paper's RTT table
+(Section II-A: H3 reduces the handshake "from three round-trip times to
+just one").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.transport.tcp import TlsVersion
+
+
+@dataclass(frozen=True)
+class HandshakePlan:
+    """Round trips a protocol suite pays before the request may be sent."""
+
+    protocol: str  # "h1", "h2" or "h3"
+    tls_version: TlsVersion | None
+    resumed: bool
+    rtts_before_request: int
+
+    @property
+    def zero_rtt(self) -> bool:
+        """True when application data rides the very first flight."""
+        return self.rtts_before_request == 0
+
+
+def plan_handshake(
+    protocol: str,
+    tls_version: TlsVersion = TlsVersion.TLS13,
+    has_ticket: bool = False,
+    tls13_early_data: bool = False,
+) -> HandshakePlan:
+    """Compute the handshake round trips for a protocol suite.
+
+    ===================================  ==========
+    Suite                                RTTs
+    ===================================  ==========
+    H1.1/H2 + TLS 1.2                    3
+    H1.1/H2 + TLS 1.2 resumed            2
+    H1.1/H2 + TLS 1.3                    2
+    H1.1/H2 + TLS 1.3 resumed            2 (no latency win: browsers
+                                            don't send TCP early data)
+    H1.1/H2 + TLS 1.3 resumed + 0-RTT    1 (early data enabled)
+    H3 (QUIC)                            1
+    H3 resumed (0-RTT)                   0
+    ===================================  ==========
+    """
+    protocol = protocol.lower()
+    if protocol == "h3":
+        return HandshakePlan("h3", None, has_ticket, 0 if has_ticket else 1)
+    if protocol not in ("h1", "h2"):
+        raise ValueError(f"unknown protocol {protocol!r}; expected h1, h2 or h3")
+    if tls_version is TlsVersion.TLS12:
+        rtts = 2 if has_ticket else 3
+    elif has_ticket and tls13_early_data:
+        rtts = 1
+    else:
+        rtts = 2
+    return HandshakePlan(protocol, tls_version, has_ticket, rtts)

@@ -1,0 +1,81 @@
+"""Client-side TLS session-ticket cache (RFC 8446 §4.6.1 semantics).
+
+The browser holds one cache per profile ("user data directory" in the
+paper's Chrome setup).  Tickets are keyed by server hostname.  In the
+consecutive-visit experiments the cache *survives* page transitions even
+though connections are torn down and the HTTP cache is cleared — that is
+exactly the mechanism that lets shared CDN providers accelerate the next
+page (paper Section VI-D).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SessionTicket:
+    """A pre-shared-key ticket issued by a server.
+
+    ``host`` is the issuing hostname, ``issued_at_ms`` the simulation
+    time of issuance, and ``lifetime_ms`` how long the client may use it
+    (RFC 8446 caps this at 7 days; real CDNs use hours).
+    """
+
+    host: str
+    issued_at_ms: float
+    lifetime_ms: float = 3_600_000.0  # one hour, a common CDN default
+    ticket_id: int = field(default_factory=itertools.count(1).__next__)
+
+    def valid_at(self, now_ms: float) -> bool:
+        """Whether the ticket can still be redeemed at ``now_ms``."""
+        return self.issued_at_ms <= now_ms < self.issued_at_ms + self.lifetime_ms
+
+
+class SessionTicketCache:
+    """Hostname → newest ticket, with expiry and hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self._tickets: dict[str, SessionTicket] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+
+    def __len__(self) -> int:
+        return len(self._tickets)
+
+    def __contains__(self, host: str) -> bool:
+        return host in self._tickets
+
+    def store(self, host: str, now_ms: float, lifetime_ms: float = 3_600_000.0) -> SessionTicket:
+        """Record a fresh ticket for ``host`` (replacing any older one)."""
+        ticket = SessionTicket(host, issued_at_ms=now_ms, lifetime_ms=lifetime_ms)
+        self._tickets[host] = ticket
+        self.stored += 1
+        return ticket
+
+    def lookup(self, host: str, now_ms: float) -> SessionTicket | None:
+        """Return a valid ticket for ``host`` or ``None``.
+
+        Expired tickets are evicted on lookup.  Hit/miss counters feed
+        the Fig. 8(b) resumed-connection analysis.
+        """
+        ticket = self._tickets.get(host)
+        if ticket is None:
+            self.misses += 1
+            return None
+        if not ticket.valid_at(now_ms):
+            del self._tickets[host]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ticket
+
+    def clear(self) -> None:
+        """Forget everything (a fresh browser profile)."""
+        self._tickets.clear()
+
+    def hosts(self) -> frozenset[str]:
+        """Hostnames with a stored (possibly expired) ticket."""
+        return frozenset(self._tickets)

@@ -1,0 +1,56 @@
+"""Transport-layer models: TCP (H1.1/H2 substrate) and QUIC (H3 substrate).
+
+Both transports share the same congestion control, RTT estimation, loss
+detection, and retransmission machinery; they differ in exactly the two
+places the paper's analysis hinges on:
+
+* **Handshake cost** — number of round trips before the first request
+  byte may leave the client (TCP+TLS1.2: 3, TCP+TLS1.3: 2, resumed
+  TCP+TLS1.3 with early data: 1, QUIC: 1, resumed QUIC 0-RTT: 0).
+* **Delivery order** — the TCP receiver releases bytes to the
+  application strictly in connection order (one lost packet blocks every
+  later byte of *every* stream: head-of-line blocking), while the QUIC
+  receiver releases each stream independently.
+
+Because both differences are modelled at packet granularity over lossy
+links, the paper's Fig. 6 (connection-time reduction), Fig. 8 (0-RTT
+resumption) and Fig. 9 (HoL under loss) effects *emerge* from the
+simulation rather than being hard-coded.
+"""
+
+from repro.transport.base import (
+    BaseConnection,
+    ClientStream,
+    ConnectionStats,
+    HandshakeResult,
+    TransportError,
+)
+from repro.transport.config import TransportConfig
+from repro.transport.congestion import (
+    BbrLikeController,
+    CongestionController,
+    CubicController,
+    NewRenoController,
+    make_congestion_controller,
+)
+from repro.transport.quic import QuicConnection
+from repro.transport.rtt import RttEstimator
+from repro.transport.tcp import TcpConnection, TlsVersion
+
+__all__ = [
+    "BaseConnection",
+    "BbrLikeController",
+    "ClientStream",
+    "CongestionController",
+    "ConnectionStats",
+    "CubicController",
+    "HandshakeResult",
+    "NewRenoController",
+    "QuicConnection",
+    "RttEstimator",
+    "TcpConnection",
+    "TlsVersion",
+    "TransportConfig",
+    "TransportError",
+    "make_congestion_controller",
+]

@@ -1,0 +1,612 @@
+"""Connection machinery shared by the TCP and QUIC models.
+
+A :class:`BaseConnection` simulates *both* endpoints of one
+client↔server connection, exchanging packets over a lossy
+:class:`~repro.netsim.path.NetworkPath`:
+
+* The **handshake** is a configurable number of sequential round trips
+  (each flight is a real packet subject to loss, with timeout-based
+  retransmission).  Subclasses define how many flights their protocol
+  stack needs; zero flights models QUIC 0-RTT.
+* The **client side** sends requests reliably (per-packet ack +
+  retransmission timer) and reassembles response bytes.  How received
+  packets are *released to the application* is the subclass hook where
+  TCP's head-of-line blocking vs QUIC's stream independence lives.
+* The **server side** queues response bytes per stream after a think
+  time, round-robins MSS-sized chunks across active streams (emulating
+  H2/H3 frame interleaving), and paces transmission with a pluggable
+  congestion controller.  Loss detection uses QUIC-style packet numbers
+  with a packet threshold, plus a probe timeout (PTO) fallback.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.events import EventLoop, Timer
+from repro.netsim.packet import Packet, PacketKind, StreamChunk
+from repro.netsim.path import NetworkPath
+from repro.transport.config import TransportConfig
+from repro.transport.congestion import CongestionController, make_congestion_controller
+from repro.transport.rtt import RttEstimator
+
+
+class TransportError(RuntimeError):
+    """Raised when a connection gives up (handshake/request retries exhausted)."""
+
+
+@dataclass
+class HandshakeResult:
+    """Timing of a completed handshake.
+
+    ``flight_times_ms`` holds the completion time of each round trip
+    relative to ``connect()``; the HTTP layer uses the first entry to
+    split HAR ``connect`` into TCP vs SSL portions.
+    """
+
+    connect_ms: float
+    flight_times_ms: tuple[float, ...]
+    zero_rtt: bool
+    retries: int
+
+
+@dataclass
+class ConnectionStats:
+    """Per-connection counters used by tests and the analysis layer."""
+
+    data_packets_sent: int = 0
+    data_packets_lost: int = 0
+    retransmissions: int = 0
+    acks_received: int = 0
+    rto_events: int = 0
+    handshake_retries: int = 0
+    request_retransmissions: int = 0
+    hol_blocked_chunks: int = 0
+
+
+class ClientStream:
+    """Client-side view of one request/response exchange."""
+
+    def __init__(
+        self,
+        stream_id: int,
+        request_bytes: int,
+        response_bytes: int,
+        on_first_byte: Callable[[float], None] | None,
+        on_complete: Callable[[float], None] | None,
+        opened_at: float,
+    ) -> None:
+        self.stream_id = stream_id
+        self.request_bytes = request_bytes
+        self.response_bytes = response_bytes
+        self.on_first_byte = on_first_byte
+        self.on_complete = on_complete
+        self.opened_at = opened_at
+        self.received = 0
+        self.t_first_byte: float | None = None
+        self.t_complete: float | None = None
+
+    @property
+    def complete(self) -> bool:
+        return self.t_complete is not None
+
+
+class _ServerStream:
+    """Server-side state of one stream: request reassembly + send queue."""
+
+    def __init__(
+        self,
+        stream_id: int,
+        response_bytes: int,
+        think_ms: float = 0.0,
+        weight: int = 1,
+    ) -> None:
+        self.stream_id = stream_id
+        self.response_bytes = response_bytes
+        self.think_ms = think_ms
+        #: H2/H3 priority weight: chunks sent per round-robin turn.
+        self.weight = max(1, weight)
+        self.request_received = 0
+        self.request_total: int | None = None  # known once fin arrives
+        self.request_offsets: set[int] = set()
+        self.response_queued = False
+        self.next_offset = 0  # next response byte to chunk for sending
+
+    @property
+    def request_complete(self) -> bool:
+        return self.request_total is not None and self.request_received >= self.request_total
+
+    @property
+    def send_remaining(self) -> int:
+        return self.response_bytes - self.next_offset if self.response_queued else 0
+
+
+@dataclass
+class _Inflight:
+    """A data packet awaiting acknowledgement."""
+
+    seq: int
+    chunk: StreamChunk
+    conn_start: int
+    size_bytes: int
+    sent_at: float
+    retransmission: bool
+
+
+@dataclass
+class _PendingRequestPacket:
+    packet: Packet
+    timer: Timer
+    tries: int = 0
+
+
+class BaseConnection:
+    """One simulated connection; see module docstring.
+
+    Subclasses must implement :meth:`_handshake_flights` (round trips
+    before requests may be sent) and :meth:`_on_data_packet_received`
+    (delivery-order semantics).
+    """
+
+    protocol_name = "base"
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        path: NetworkPath,
+        config: TransportConfig | None = None,
+        cc: CongestionController | None = None,
+        rng: random.Random | None = None,
+        server_think_ms: float = 0.0,
+        name: str = "",
+    ) -> None:
+        self.loop = loop
+        self.path = path
+        self.config = config or TransportConfig()
+        self.cc = cc or make_congestion_controller(
+            self.config.congestion_control,
+            self.config.mss,
+            self.config.initial_cwnd_packets,
+        )
+        self.rng = rng or random.Random(0)
+        self.server_think_ms = server_think_ms
+        self.name = name
+        self.stats = ConnectionStats()
+        self.rtt = RttEstimator(self.config.initial_rto_ms, self.config.min_rto_ms)
+
+        # Handshake state.
+        self.established = False
+        self.zero_rtt = False
+        self.closed = False
+        self.handshake: HandshakeResult | None = None
+        self._connect_started_at: float | None = None
+        self._hs_flight = 0
+        self._hs_total = 0
+        self._hs_retries = 0
+        self._hs_flight_times: list[float] = []
+        self._hs_timer = Timer(loop, self._on_handshake_timeout)
+        self._on_established: Callable[[HandshakeResult], None] | None = None
+
+        # Client request side.
+        self._next_stream_id = itertools.count(1)
+        self.streams: dict[int, ClientStream] = {}
+        self._req_seq = itertools.count(1)
+        self._pending_requests: dict[int, _PendingRequestPacket] = {}
+
+        # Server send side.
+        self._server_streams: dict[int, _ServerStream] = {}
+        self._send_queue: deque[int] = deque()  # stream ids with data to send
+        self._retx_queue: deque[tuple[StreamChunk, int]] = deque()  # (chunk, conn_start)
+        self._next_pkt_seq = itertools.count(1)
+        self._largest_sent = 0
+        self._largest_acked = 0
+        self._inflight: dict[int, _Inflight] = {}
+        self._bytes_in_flight = 0
+        self._recovery_until_seq = 0
+        self._pto_timer = Timer(loop, self._on_pto)
+        self._pto_backoff = 1
+        self._conn_send_offset = 0  # TCP byte-stream position (subclasses use it)
+        # Delivery-rate accounting for model-based controllers (BBR).
+        self._first_data_sent_at: float | None = None
+        self._delivered_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+
+    def _handshake_flights(self) -> int:
+        """Round trips needed before request data may be sent."""
+        raise NotImplementedError
+
+    def connect(self, on_established: Callable[[HandshakeResult], None]) -> None:
+        """Begin the handshake; ``on_established`` fires when done.
+
+        With a zero-flight plan (QUIC 0-RTT) the connection is usable
+        immediately and the callback fires synchronously.
+        """
+        if self.established or self._connect_started_at is not None:
+            raise TransportError("connect() called twice")
+        self._connect_started_at = self.loop.now
+        self._on_established = on_established
+        self._hs_total = self._handshake_flights()
+        if self._hs_total == 0:
+            self.zero_rtt = True
+            self._finish_handshake()
+            return
+        self._send_handshake_flight()
+
+    def _send_handshake_flight(self) -> None:
+        pkt = Packet(PacketKind.HANDSHAKE, seq=self._hs_flight)
+        self.path.send_to_server(pkt, self._server_on_handshake)
+        timeout = self.rtt.rto_ms * self._hs_backoff()
+        self._hs_timer.start(timeout)
+
+    def _hs_backoff(self) -> float:
+        return float(2 ** min(self._hs_retries, 6))
+
+    def _on_handshake_timeout(self) -> None:
+        self._hs_retries += 1
+        self.stats.handshake_retries += 1
+        if self._hs_retries > self.config.max_handshake_retries:
+            raise TransportError(
+                f"{self.name or self.protocol_name}: handshake failed after "
+                f"{self._hs_retries - 1} retries"
+            )
+        self._send_handshake_flight()
+
+    def _server_on_handshake(self, pkt: Packet) -> None:
+        # The server is stateless here: it simply echoes the flight
+        # number, which also covers retransmitted (duplicate) flights.
+        reply = Packet(PacketKind.HANDSHAKE, seq=pkt.seq)
+        self.path.send_to_client(reply, self._client_on_handshake_reply)
+
+    def _client_on_handshake_reply(self, pkt: Packet) -> None:
+        if self.established or pkt.seq != self._hs_flight:
+            return  # stale or duplicate reply
+        assert self._connect_started_at is not None
+        elapsed = self.loop.now - self._connect_started_at
+        self._hs_flight_times.append(elapsed)
+        # A full flight is an RTT sample for the estimator (Karn: only
+        # when this flight was never retransmitted; approximated by "no
+        # retries so far", which is exact for flight 0).
+        if self._hs_retries == 0:
+            previous = self._hs_flight_times[-2] if len(self._hs_flight_times) > 1 else 0.0
+            self.rtt.on_sample(elapsed - previous)
+        self._hs_flight += 1
+        if self._hs_flight >= self._hs_total:
+            self._hs_timer.stop()
+            self._finish_handshake()
+        else:
+            self._send_handshake_flight()
+
+    def _finish_handshake(self) -> None:
+        assert self._connect_started_at is not None
+        self.established = True
+        self.handshake = HandshakeResult(
+            connect_ms=self.loop.now - self._connect_started_at,
+            flight_times_ms=tuple(self._hs_flight_times),
+            zero_rtt=self.zero_rtt,
+            retries=self._hs_retries,
+        )
+        if self._on_established is not None:
+            self._on_established(self.handshake)
+
+    # ------------------------------------------------------------------
+    # Client: sending requests
+    # ------------------------------------------------------------------
+
+    @property
+    def can_send_requests(self) -> bool:
+        """Requests may flow once established (or immediately for 0-RTT)."""
+        return not self.closed and (self.established or self.zero_rtt)
+
+    def request(
+        self,
+        request_bytes: int,
+        response_bytes: int,
+        think_ms: float | None = None,
+        on_first_byte: Callable[[float], None] | None = None,
+        on_complete: Callable[[float], None] | None = None,
+        weight: int = 1,
+    ) -> ClientStream:
+        """Issue one request; returns the client-side stream handle.
+
+        ``think_ms`` overrides the connection-level server think time
+        for this request (used to model cache hits vs origin fetches).
+        ``weight`` is the stream's priority: the sender emits that many
+        chunks per scheduling turn (H2 stream weights / H3 priorities).
+        """
+        if not self.can_send_requests:
+            raise TransportError("connection not ready for requests")
+        if request_bytes <= 0 or response_bytes <= 0:
+            raise ValueError("request and response sizes must be positive")
+        stream_id = next(self._next_stream_id)
+        stream = ClientStream(
+            stream_id,
+            request_bytes,
+            response_bytes,
+            on_first_byte,
+            on_complete,
+            opened_at=self.loop.now,
+        )
+        self.streams[stream_id] = stream
+        self._server_streams[stream_id] = _ServerStream(
+            stream_id,
+            response_bytes,
+            think_ms=self.server_think_ms if think_ms is None else think_ms,
+            weight=weight,
+        )
+        mss = self.config.mss
+        offset = 0
+        while offset < request_bytes:
+            size = min(mss, request_bytes - offset)
+            fin = offset + size >= request_bytes
+            chunk = StreamChunk(stream_id, offset, size, fin)
+            self._send_request_packet(chunk)
+            offset += size
+        return stream
+
+    def _send_request_packet(self, chunk: StreamChunk, tries: int = 0) -> None:
+        seq = next(self._req_seq)
+        pkt = Packet(PacketKind.DATA, seq=seq, chunks=(chunk,), sent_at=self.loop.now)
+        pkt.retransmission = tries > 0
+        timer = Timer(self.loop, lambda: self._on_request_timeout(seq))
+        self._pending_requests[seq] = _PendingRequestPacket(pkt, timer, tries)
+        timer.start(self.rtt.rto_ms * (2 ** min(tries, 6)))
+        self.path.send_to_server(pkt, self._server_on_packet)
+
+    def _on_request_timeout(self, seq: int) -> None:
+        pending = self._pending_requests.pop(seq, None)
+        if pending is None:
+            return
+        self.stats.request_retransmissions += 1
+        if pending.tries + 1 > self.config.max_request_retries:
+            raise TransportError(
+                f"{self.name or self.protocol_name}: request packet lost "
+                f"{pending.tries + 1} times"
+            )
+        self._send_request_packet(pending.packet.chunks[0], pending.tries + 1)
+
+    def _client_on_request_ack(self, pkt: Packet) -> None:
+        pending = self._pending_requests.pop(pkt.ack_seq, None)
+        if pending is None:
+            return
+        pending.timer.stop()
+        if not pending.packet.retransmission:
+            self.rtt.on_sample(self.loop.now - pending.packet.sent_at)
+
+    # ------------------------------------------------------------------
+    # Server: receiving requests, queueing and sending responses
+    # ------------------------------------------------------------------
+
+    def _server_on_packet(self, pkt: Packet) -> None:
+        if pkt.kind is PacketKind.ACK:
+            self._server_on_ack(pkt)
+            return
+        # A request data packet: ack it, then absorb new chunks.
+        ack = Packet(PacketKind.ACK, ack_seq=pkt.seq)
+        self.path.send_to_client(ack, self._client_on_packet_from_server)
+        for chunk in pkt.chunks:
+            self._server_absorb_request_chunk(chunk)
+
+    def _server_absorb_request_chunk(self, chunk: StreamChunk) -> None:
+        sstream = self._server_streams.get(chunk.stream_id)
+        if sstream is None or chunk.offset in sstream.request_offsets:
+            return  # unknown stream or duplicate delivery
+        sstream.request_offsets.add(chunk.offset)
+        sstream.request_received += chunk.size
+        if chunk.fin:
+            sstream.request_total = chunk.end
+        if sstream.request_complete and not sstream.response_queued:
+            sstream.response_queued = True
+            think = sstream.think_ms
+            if think > 0:
+                self.loop.call_later(think, self._server_enqueue_response, sstream)
+            else:
+                self._server_enqueue_response(sstream)
+
+    def _server_enqueue_response(self, sstream: _ServerStream) -> None:
+        if sstream.stream_id not in self._send_queue:
+            self._send_queue.append(sstream.stream_id)
+        self._try_send()
+
+    def _try_send(self) -> None:
+        """Transmit as much as the congestion window allows.
+
+        Retransmissions are sent first and are exempt from the window
+        check (loss-recovery packets must not be starved by the very
+        congestion event that caused them).
+        """
+        sent_any = False
+        while self._retx_queue:
+            chunk, conn_start = self._retx_queue.popleft()
+            self._send_data_packet(chunk, conn_start, retransmission=True)
+            sent_any = True
+        mss = self.config.mss
+        while self._send_queue:
+            if self._bytes_in_flight + mss > self.cc.cwnd_bytes:
+                break
+            stream_id = self._send_queue[0]
+            sstream = self._server_streams[stream_id]
+            if sstream.send_remaining <= 0:
+                self._send_queue.popleft()
+                continue
+            # Weighted round-robin: a stream emits up to ``weight``
+            # chunks per turn (H2 stream weights / H3 priorities),
+            # then yields to the next stream.
+            fin = False
+            for _ in range(sstream.weight):
+                remaining = sstream.send_remaining
+                if remaining <= 0:
+                    break
+                if self._bytes_in_flight + mss > self.cc.cwnd_bytes:
+                    break
+                size = min(mss, remaining)
+                fin = sstream.next_offset + size >= sstream.response_bytes
+                chunk = StreamChunk(stream_id, sstream.next_offset, size, fin)
+                conn_start = self._conn_send_offset
+                self._conn_send_offset += size
+                sstream.next_offset += size
+                self._send_data_packet(chunk, conn_start, retransmission=False)
+                sent_any = True
+            self._send_queue.rotate(-1)
+            if fin:
+                # Drop the stream from the queue wherever it now is.
+                try:
+                    self._send_queue.remove(stream_id)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+        if sent_any and self._inflight and not self._pto_timer.armed:
+            self._arm_pto()
+
+    def _send_data_packet(
+        self, chunk: StreamChunk, conn_start: int, retransmission: bool
+    ) -> None:
+        seq = next(self._next_pkt_seq)
+        pkt = Packet(
+            PacketKind.DATA,
+            seq=seq,
+            chunks=(chunk,),
+            sent_at=self.loop.now,
+            retransmission=retransmission,
+            conn_start=conn_start,
+        )
+        self._largest_sent = seq
+        if self._first_data_sent_at is None:
+            self._first_data_sent_at = self.loop.now
+        self._inflight[seq] = _Inflight(
+            seq, chunk, conn_start, pkt.size_bytes, self.loop.now, retransmission
+        )
+        self._bytes_in_flight += pkt.size_bytes
+        self.stats.data_packets_sent += 1
+        if retransmission:
+            self.stats.retransmissions += 1
+        self.path.send_to_client(pkt, self._client_on_packet_from_server)
+        self._arm_pto()
+
+    def _server_on_ack(self, pkt: Packet) -> None:
+        info = self._inflight.pop(pkt.ack_seq, None)
+        self.stats.acks_received += 1
+        if info is None:
+            return  # duplicate or ack for an already-declared-lost packet
+        self._bytes_in_flight -= info.size_bytes
+        if not info.retransmission:
+            self.rtt.on_sample(self.loop.now - info.sent_at)
+        self.cc.on_ack(info.size_bytes, self.loop.now)
+        self._delivered_bytes += info.size_bytes
+        rate_sampler = getattr(self.cc, "on_rate_sample", None)
+        if rate_sampler is not None and self.rtt.srtt_ms:
+            assert self._first_data_sent_at is not None
+            elapsed = self.loop.now - self._first_data_sent_at
+            if elapsed > 0:
+                rate_sampler(self._delivered_bytes / elapsed, self.rtt.srtt_ms)
+        self._largest_acked = max(self._largest_acked, pkt.ack_seq)
+        self._pto_backoff = 1
+        self._detect_losses()
+        if self._inflight:
+            self._arm_pto()
+        else:
+            self._pto_timer.stop()
+        self._try_send()
+
+    def _detect_losses(self) -> None:
+        """Packet-threshold loss detection (RFC 9002 §6.1.1)."""
+        threshold = self.config.packet_threshold
+        lost = [
+            seq
+            for seq in self._inflight
+            if seq <= self._largest_acked - threshold
+        ]
+        if not lost:
+            return
+        newly_entered_recovery = False
+        for seq in sorted(lost):
+            info = self._inflight.pop(seq)
+            self._bytes_in_flight -= info.size_bytes
+            self.stats.data_packets_lost += 1
+            self._retx_queue.append((info.chunk, info.conn_start))
+            if seq > self._recovery_until_seq:
+                newly_entered_recovery = True
+        if newly_entered_recovery:
+            # One congestion response per round trip worth of losses.
+            self.cc.on_loss(self.loop.now)
+            self._recovery_until_seq = self._largest_sent
+
+    def _arm_pto(self) -> None:
+        timeout = self.rtt.rto_ms * self._pto_backoff
+        self._pto_timer.start(timeout)
+
+    def _on_pto(self) -> None:
+        if not self._inflight:
+            return
+        self.stats.rto_events += 1
+        self._pto_backoff = min(self._pto_backoff * 2, 64)
+        # RFC 9002 §7.4: a probe timeout does NOT collapse the window;
+        # only *persistent* congestion (consecutive timeouts with no
+        # intervening ack) does.  Modern TCP behaves similarly via tail
+        # loss probes.
+        if self._pto_backoff > 2:
+            self.cc.on_rto(self.loop.now)
+        oldest_seq = min(self._inflight)
+        info = self._inflight.pop(oldest_seq)
+        self._bytes_in_flight -= info.size_bytes
+        self.stats.data_packets_lost += 1
+        self._retx_queue.append((info.chunk, info.conn_start))
+        if oldest_seq > self._recovery_until_seq:
+            self._recovery_until_seq = self._largest_sent
+        self._try_send()
+        if self._inflight:
+            self._arm_pto()
+
+    # ------------------------------------------------------------------
+    # Client: receiving response data
+    # ------------------------------------------------------------------
+
+    def _client_on_packet_from_server(self, pkt: Packet) -> None:
+        if pkt.kind is PacketKind.ACK:
+            self._client_on_request_ack(pkt)
+            return
+        # Ack every data packet (receipt, not delivery, drives acking —
+        # this is what lets the sender learn about gaps while the
+        # receiver is HoL-blocked).
+        ack = Packet(PacketKind.ACK, ack_seq=pkt.seq)
+        self.path.send_to_server(ack, self._server_on_packet)
+        self._on_data_packet_received(pkt)
+
+    def _on_data_packet_received(self, pkt: Packet) -> None:
+        """Subclass hook: buffer/reorder and eventually deliver chunks."""
+        raise NotImplementedError
+
+    def _deliver_chunk(self, chunk: StreamChunk) -> None:
+        """Hand in-order stream bytes to the application layer."""
+        stream = self.streams.get(chunk.stream_id)
+        if stream is None:
+            return
+        if stream.t_first_byte is None:
+            stream.t_first_byte = self.loop.now
+            if stream.on_first_byte is not None:
+                stream.on_first_byte(self.loop.now)
+        stream.received += chunk.size
+        if stream.received >= stream.response_bytes and stream.t_complete is None:
+            stream.t_complete = self.loop.now
+            if stream.on_complete is not None:
+                stream.on_complete(self.loop.now)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down timers; the connection cannot be used afterwards."""
+        self.closed = True
+        self._pto_timer.stop()
+        self._hs_timer.stop()
+        for pending in self._pending_requests.values():
+            pending.timer.stop()
+        self._pending_requests.clear()
+
+    def __repr__(self) -> str:
+        state = "established" if self.established else "connecting"
+        return f"<{type(self).__name__} {self.name} {state} streams={len(self.streams)}>"

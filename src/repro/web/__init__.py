@@ -1,0 +1,25 @@
+"""The synthetic web: resources, pages, websites, and the top-list generator.
+
+The paper measures 325 landing pages from the Alexa Top 500.  With no
+Internet available, this package generates a statistically calibrated
+stand-in: a universe of websites whose *distributional* properties match
+the marginals the paper reports (CDN share of requests, provider market
+shares and H3 adoption, providers-per-page, resource counts and sizes),
+so that every downstream analysis exercises the same regimes.
+"""
+
+from repro.web.hosts import HostSpec
+from repro.web.page import Webpage, Website
+from repro.web.resource import Resource, ResourceType
+from repro.web.topsites import GeneratorConfig, TopSitesGenerator, WebUniverse
+
+__all__ = [
+    "GeneratorConfig",
+    "HostSpec",
+    "Resource",
+    "ResourceType",
+    "TopSitesGenerator",
+    "WebUniverse",
+    "Webpage",
+    "Website",
+]

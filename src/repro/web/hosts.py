@@ -1,0 +1,72 @@
+"""Host specifications: the generator's declarative server inventory.
+
+A :class:`HostSpec` describes one hostname's capabilities and costs.
+Specs are *universe-global*: the same shared CDN hostname (say,
+``fonts.gstatic.com``) has identical H3 support everywhere it appears,
+which is what makes cross-page session resumption (Fig. 8) meaningful.
+The measurement layer turns specs into live :class:`~repro.cdn.edge.
+EdgeServer`/:class:`~repro.cdn.origin.OriginServer` instances per probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cdn.edge import EdgeServer
+from repro.cdn.origin import OriginServer
+from repro.cdn.provider import get_provider
+from repro.transport.tcp import TlsVersion
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Declarative description of one server (edge or origin)."""
+
+    hostname: str
+    kind: str  # "edge" or "origin"
+    provider_name: str | None
+    supports_h3: bool
+    supports_h2: bool
+    base_rtt_ms: float
+    base_think_ms: float
+    origin_fetch_ms: float = 60.0
+    h3_think_overhead_ms: float = 4.0
+    tls_version: TlsVersion = TlsVersion.TLS13
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("edge", "origin"):
+            raise ValueError(f"{self.hostname}: kind must be 'edge' or 'origin'")
+        if self.kind == "edge" and self.provider_name is None:
+            raise ValueError(f"{self.hostname}: an edge host needs a provider")
+        if self.kind == "origin" and self.provider_name is not None:
+            raise ValueError(f"{self.hostname}: origin hosts have no provider")
+        if not self.supports_h2 and self.supports_h3:
+            raise ValueError(f"{self.hostname}: H3-only host is not reachable by H2 probes")
+
+    @property
+    def h1_only(self) -> bool:
+        """True for the Table II 'Others' bucket (HTTP/1.x-only servers)."""
+        return not self.supports_h2 and not self.supports_h3
+
+    def instantiate(self) -> EdgeServer | OriginServer:
+        """Create a live server (fresh cache) from this spec."""
+        if self.kind == "edge":
+            return EdgeServer(
+                hostname=self.hostname,
+                provider=get_provider(self.provider_name),
+                base_rtt_ms=self.base_rtt_ms,
+                base_think_ms=self.base_think_ms,
+                origin_fetch_ms=self.origin_fetch_ms,
+                h3_think_overhead_ms=self.h3_think_overhead_ms,
+                supports_h3=self.supports_h3,
+                tls_version=self.tls_version,
+            )
+        return OriginServer(
+            hostname=self.hostname,
+            base_rtt_ms=self.base_rtt_ms,
+            base_think_ms=self.base_think_ms,
+            h3_think_overhead_ms=self.h3_think_overhead_ms,
+            supports_h3=self.supports_h3,
+            supports_h2=self.supports_h2,
+            tls_version=self.tls_version,
+        )

@@ -1,0 +1,88 @@
+"""Webpages and websites, with the composition accessors the paper's
+Section V characteristic analyses read."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.web.resource import Resource, ResourceType
+
+
+@dataclass
+class Webpage:
+    """One landing page: an HTML document plus its subresources."""
+
+    url: str
+    origin_host: str
+    html: Resource
+    resources: tuple[Resource, ...] = ()
+    rank: int = 0
+
+    def __post_init__(self) -> None:
+        if self.html.rtype is not ResourceType.HTML:
+            raise ValueError(f"{self.url}: html resource must have type HTML")
+
+    # -- composition accessors (paper Section V) -----------------------
+
+    @property
+    def all_resources(self) -> tuple[Resource, ...]:
+        """HTML first, then subresources (request order of discovery)."""
+        return (self.html, *self.resources)
+
+    @property
+    def total_requests(self) -> int:
+        return 1 + len(self.resources)
+
+    @property
+    def cdn_resources(self) -> tuple[Resource, ...]:
+        return tuple(r for r in self.resources if r.is_cdn)
+
+    @property
+    def cdn_fraction(self) -> float:
+        """Fraction of this page's requests served from CDNs (Fig. 3)."""
+        return len(self.cdn_resources) / self.total_requests
+
+    @property
+    def providers(self) -> frozenset[str]:
+        """CDN providers appearing on this page (Fig. 4)."""
+        return frozenset(r.provider_name for r in self.cdn_resources)
+
+    @property
+    def provider_count(self) -> int:
+        return len(self.providers)
+
+    def resources_by_provider(self) -> dict[str, int]:
+        """Provider → number of CDN resources on this page (Fig. 5)."""
+        return dict(Counter(r.provider_name for r in self.cdn_resources))
+
+    def hosts(self) -> frozenset[str]:
+        """Every hostname this page touches."""
+        return frozenset(r.host for r in self.all_resources)
+
+    def cdn_domains(self) -> frozenset[str]:
+        """CDN hostnames used (the Table III case-study vector basis)."""
+        return frozenset(r.host for r in self.cdn_resources)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.size_bytes for r in self.all_resources)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Webpage {self.url} reqs={self.total_requests} "
+            f"cdn={self.cdn_fraction:.0%} providers={self.provider_count}>"
+        )
+
+
+@dataclass
+class Website:
+    """One site on the top list; we measure its landing page only
+    (paper Section III-A)."""
+
+    domain: str
+    rank: int
+    landing_page: Webpage = field(repr=False)
+
+    def __repr__(self) -> str:
+        return f"<Website #{self.rank} {self.domain}>"

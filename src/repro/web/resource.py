@@ -1,0 +1,57 @@
+"""Web resources: the atoms of a page load."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ResourceType(enum.Enum):
+    """MIME-level resource categories the paper's PLT definition covers
+    ('HTML, images, fonts, CSS... and any sub-resources')."""
+
+    HTML = "html"
+    CSS = "css"
+    JS = "js"
+    IMAGE = "image"
+    FONT = "font"
+    MEDIA = "media"
+    XHR = "xhr"
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One fetchable object on a webpage.
+
+    ``provider_name`` is ``None`` for non-CDN resources.  ``wave``
+    models discovery depth: wave 0 resources are referenced directly by
+    the HTML, wave 1 resources are discovered only after a wave 0
+    CSS/JS file has loaded (fonts from stylesheets, XHRs from scripts).
+    ``popular`` marks objects that long-lived edge caches already hold
+    (the paper notes its pages are popular enough that first and second
+    visits do not differ).
+    """
+
+    url: str
+    host: str
+    rtype: ResourceType
+    size_bytes: int
+    provider_name: str | None = None
+    wave: int = 0
+    popular: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"{self.url}: size_bytes must be positive")
+        if self.wave not in (0, 1):
+            raise ValueError(f"{self.url}: wave must be 0 or 1")
+
+    @property
+    def is_cdn(self) -> bool:
+        """Whether this resource is served from a CDN edge."""
+        return self.provider_name is not None
+
+    @property
+    def request_bytes(self) -> int:
+        """Approximate size of the HTTP request for this resource."""
+        return 400 + len(self.url)

@@ -1,0 +1,568 @@
+"""Synthetic Alexa-style top-site generator, calibrated to the paper.
+
+The generator produces a :class:`WebUniverse`: ~325 websites plus a
+global host inventory.  Calibration targets (paper Section IV/V):
+
+* CDN resources ≈ 67 % of all requests (Table II).
+* H3-enabled CDN requests ≈ 38 % of CDN requests, dominated by Google
+  (~50 % of H3 CDN requests) and Cloudflare (~45 %) — Fig. 2.
+* 75 % of pages have > 50 % CDN resources — Fig. 3.
+* ~95 % of pages use ≥ 2 CDN providers — Fig. 4(b).
+* ~50 % of pages using Cloudflare/Google host > 10 of that provider's
+  resources — Fig. 5.
+* 75 % of CDN objects below 20 KB (Section VI-E, citing [39]).
+* Non-CDN origins: ≈ 20.7 % H3-capable, ≈ 18.7 % HTTP/1.x-only
+  (Table II's non-CDN H3 and "Others" rows).
+
+Every draw comes from one seeded :class:`random.Random`, so a universe
+is exactly reproducible from ``(config, seed)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.cdn.provider import CdnProvider, default_providers
+from repro.transport.tcp import TlsVersion
+from repro.web.hosts import HostSpec
+from repro.web.page import Webpage, Website
+from repro.web.resource import Resource, ResourceType
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """All calibration knobs in one place (defaults reproduce the paper)."""
+
+    n_sites: int = 325
+    # Requests per page: lognormal, clamped. 36 057 requests over 325
+    # pages in the paper -> mean ~111.
+    resources_per_page_median: float = 100.0
+    resources_per_page_sigma: float = 0.45
+    min_resources: int = 15
+    max_resources: int = 320
+    # Per-page CDN fraction: Beta(a, b) with mean ~0.67.
+    cdn_fraction_alpha: float = 3.5
+    cdn_fraction_beta: float = 1.8
+    # Number of distinct CDN providers per page (Fig 4b: 94.8% >= 2).
+    providers_per_page_weights: tuple[tuple[int, float], ...] = (
+        (1, 0.03), (2, 0.17), (3, 0.25), (4, 0.24), (5, 0.18), (6, 0.13),
+    )
+    # Subresource sizes: lognormal (75% under 20 KB).
+    size_median_bytes: float = 8_000.0
+    size_sigma: float = 1.1
+    min_size_bytes: int = 200
+    max_size_bytes: int = 2_000_000
+    # HTML document size.
+    html_median_bytes: float = 30_000.0
+    html_sigma: float = 0.6
+    # Resource type mix (weights, normalized internally).
+    type_weights: tuple[tuple[ResourceType, float], ...] = (
+        (ResourceType.IMAGE, 0.45),
+        (ResourceType.JS, 0.25),
+        (ResourceType.CSS, 0.10),
+        (ResourceType.XHR, 0.10),
+        (ResourceType.FONT, 0.05),
+        (ResourceType.MEDIA, 0.05),
+    )
+    #: Probability that a page's provider count follows its size
+    #: quantile instead of an independent draw.  Bigger pages use more
+    #: providers — the size-mediated correlation behind the paper's
+    #: Fig. 8 trends; the uniform mixture keeps the Fig. 4(b) marginal
+    #: distribution intact.
+    provider_count_size_coupling: float = 0.7
+    #: Fraction of early-provider/non-CDN subresources discovered only
+    #: after CSS/JS load.
+    wave1_fraction: float = 0.15
+    #: Probability that a secondary CDN provider on a page is "late" —
+    #: pulled in by scripts (ads, analytics, fonts), so its resources
+    #: are wave-1 and its connection handshake lands on the critical
+    #: path.  The page's main provider is always early.
+    late_provider_prob: float = 0.55
+    #: Wave-1 share of a late provider's resources.
+    late_provider_wave1_frac: float = 0.85
+    #: Traffic-weight multiplier for H3-capable edge hostnames within a
+    #: provider: CDNs roll H3 out on their highest-traffic properties
+    #: first, so H3-capable hosts carry disproportionate bytes.
+    h3_host_traffic_bias: float = 2.5
+    #: Fraction of objects already cached at edges (popular content).
+    popular_fraction: float = 0.9
+    #: Chance a page adds a customer-specific CDN hostname per provider.
+    custom_cdn_host_prob: float = 0.35
+    #: Shared hostnames a page uses per provider: 1..max.
+    max_shared_hosts_per_provider: int = 3
+    #: Extra non-CDN hostnames besides the site origin (APIs, static
+    #: subdomains, third-party trackers).  Spreading non-CDN requests
+    #: thin keeps any single origin chain off the critical path, as on
+    #: real top sites.
+    max_extra_origin_hosts: int = 4
+    # Non-CDN server protocol support (Table II calibration).
+    origin_h1_only_prob: float = 0.187
+    origin_h3_prob: float = 0.207
+    # Network distances (one-way RTT halves are derived from these).
+    edge_rtt_range_ms: tuple[float, float] = (12.0, 35.0)
+    origin_rtt_range_ms: tuple[float, float] = (20.0, 60.0)
+    # Server processing costs.
+    edge_think_range_ms: tuple[float, float] = (5.0, 12.0)
+    origin_think_range_ms: tuple[float, float] = (15.0, 30.0)
+    origin_fetch_range_ms: tuple[float, float] = (40.0, 90.0)
+    h3_overhead_range_ms: tuple[float, float] = (2.5, 6.0)
+    #: Fraction of servers still on TLS 1.2 (slower H2 handshakes).
+    tls12_fraction: float = 0.25
+
+
+#: Websites the paper names, with their known characteristics: YouTube
+#: and WordPress "fully support access using H3"; Spotify and Zoom
+#: share Amazon, Cloudflare and Google.
+_NAMED_SITES: tuple[tuple[str, dict], ...] = (
+    ("youtube.com", {"providers": ("google",), "origin_h3": True, "all_h3": True}),
+    ("wordpress.com", {"providers": ("cloudflare", "google"), "origin_h3": True,
+                       "all_h3": True}),
+    ("spotify.com", {"providers": ("amazon", "cloudflare", "google")}),
+    ("zoom.us", {"providers": ("amazon", "cloudflare", "google")}),
+)
+
+_DOMAIN_WORDS = (
+    "news", "shop", "video", "cloud", "play", "social", "travel", "bank",
+    "mail", "search", "sport", "photo", "music", "game", "forum", "wiki",
+    "blog", "stream", "market", "code",
+)
+
+
+@dataclass
+class WebUniverse:
+    """A generated cohort of websites plus the global host inventory."""
+
+    websites: tuple[Website, ...]
+    hosts: dict[str, HostSpec]
+    config: GeneratorConfig
+    seed: int
+
+    @property
+    def pages(self) -> tuple[Webpage, ...]:
+        return tuple(site.landing_page for site in self.websites)
+
+    def host(self, hostname: str) -> HostSpec:
+        return self.hosts[hostname]
+
+    def h3_enabled_cdn_resources(self, page: Webpage) -> int:
+        """CDN resources on ``page`` whose host speaks H3 (Fig. 6 grouping)."""
+        return sum(
+            1 for r in page.cdn_resources if self.hosts[r.host].supports_h3
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Cohort-level marginals (used by calibration tests and docs)."""
+        pages = self.pages
+        total = sum(p.total_requests for p in pages)
+        cdn = sum(len(p.cdn_resources) for p in pages)
+        cdn_h3 = sum(self.h3_enabled_cdn_resources(p) for p in pages)
+        noncdn_h3 = sum(
+            1
+            for p in pages
+            for r in p.all_resources
+            if not r.is_cdn and self.hosts[r.host].supports_h3
+        )
+        h1_only = sum(
+            1
+            for p in pages
+            for r in p.all_resources
+            if not r.is_cdn and self.hosts[r.host].h1_only
+        )
+        return {
+            "sites": len(pages),
+            "total_requests": total,
+            "cdn_request_fraction": cdn / total,
+            "cdn_h3_fraction_of_cdn": cdn_h3 / cdn if cdn else 0.0,
+            "h3_fraction_of_all": (cdn_h3 + noncdn_h3) / total,
+            "h1_only_fraction_of_all": h1_only / total,
+            "pages_with_2plus_providers": (
+                sum(1 for p in pages if p.provider_count >= 2) / len(pages)
+            ),
+            "pages_majority_cdn": (
+                sum(1 for p in pages if p.cdn_fraction > 0.5) / len(pages)
+            ),
+        }
+
+
+class TopSitesGenerator:
+    """Generates a :class:`WebUniverse` from a config and a seed."""
+
+    def __init__(
+        self,
+        config: GeneratorConfig | None = None,
+        providers: tuple[CdnProvider, ...] | None = None,
+    ) -> None:
+        self.config = config or GeneratorConfig()
+        self.providers = providers if providers is not None else default_providers()
+        self._provider_by_name = {p.name: p for p in self.providers}
+        self._shared_h3: dict[str, bool] = {}
+        self._provider_rtt: dict[str, float] = {}
+
+    # -- public API ----------------------------------------------------
+
+    def generate(self, seed: int = 0) -> WebUniverse:
+        """Build the full universe deterministically from ``seed``."""
+        rng = random.Random(seed)
+        self._shared_h3 = self._assign_shared_host_h3(rng)
+        # One edge RTT per provider: a provider's hostnames resolve to
+        # the same nearby POP (which is also why browsers can coalesce
+        # their connections onto one socket), so they share the path
+        # latency.  RTTs are evenly spaced across the edge range and
+        # randomly assigned, so every universe sees the full diversity
+        # (a tiny independent sample could land all giants nearby).
+        lo, hi = self.config.edge_rtt_range_ms
+        n = len(self.providers)
+        spread = [lo + (hi - lo) * i / max(1, n - 1) for i in range(n)]
+        rng.shuffle(spread)
+        self._provider_rtt = {
+            provider.name: rtt for provider, rtt in zip(self.providers, spread)
+        }
+        hosts: dict[str, HostSpec] = {}
+        websites = []
+        for rank in range(1, self.config.n_sites + 1):
+            domain, overrides = self._site_identity(rank, rng)
+            page = self._generate_page(domain, rank, overrides, hosts, rng)
+            websites.append(Website(domain=domain, rank=rank, landing_page=page))
+        return WebUniverse(tuple(websites), hosts, self.config, seed)
+
+    def _assign_shared_host_h3(self, rng: random.Random) -> dict[str, bool]:
+        """Stratified H3 assignment for shared edge hostnames.
+
+        Drawing H3 support independently per host has far too much
+        variance with ~10 shared hosts per provider (a couple of lucky
+        draws would swing a provider's request-level H3 share by tens of
+        points).  Instead, each provider gets ``round(n * adoption)``
+        H3-enabled shared hosts — randomly chosen, probabilistically
+        rounded — so the realized request-level adoption tracks the
+        calibrated provider parameter.
+        """
+        assignment: dict[str, bool] = {}
+        for provider in self.providers:
+            domains = list(provider.shared_domains)
+            rng.shuffle(domains)
+            exact = len(domains) * provider.h3_adoption
+            n_h3 = int(exact) + (1 if rng.random() < exact - int(exact) else 0)
+            for i, domain in enumerate(domains):
+                assignment[domain] = i < n_h3
+        return assignment
+
+    # -- site-level pieces ----------------------------------------------
+
+    def _site_identity(self, rank: int, rng: random.Random) -> tuple[str, dict]:
+        if rank <= len(_NAMED_SITES):
+            domain, overrides = _NAMED_SITES[rank - 1]
+            return domain, dict(overrides)
+        word = _DOMAIN_WORDS[(rank - 1) % len(_DOMAIN_WORDS)]
+        return f"{word}{rank}.example.com", {}
+
+    def _generate_page(
+        self,
+        domain: str,
+        rank: int,
+        overrides: dict,
+        hosts: dict[str, HostSpec],
+        rng: random.Random,
+    ) -> Webpage:
+        cfg = self.config
+        n_total = self._draw_resource_count(rng)
+        cdn_fraction = rng.betavariate(cfg.cdn_fraction_alpha, cfg.cdn_fraction_beta)
+        n_cdn = round((n_total - 1) * cdn_fraction)
+        n_noncdn = (n_total - 1) - n_cdn
+
+        page_providers = self._choose_providers(overrides, n_cdn, n_total, rng)
+        allocation = self._allocate_resources(page_providers, n_cdn, rng)
+
+        origin_host = f"www.{domain}"
+        self._ensure_origin_host(
+            origin_host, hosts, rng,
+            force_h3=overrides.get("origin_h3", False),
+        )
+
+        # The page's main provider (largest allocation) is referenced by
+        # the HTML itself; secondary providers may be "late" — pulled in
+        # by scripts, so their resources are mostly wave 1 and their
+        # connection setup sits on the critical path.
+        main_provider = (
+            max(allocation, key=allocation.get) if allocation else None
+        )
+        resources: list[Resource] = []
+        counter = 0
+        for provider_name, count in allocation.items():
+            provider = self._provider_by_name[provider_name]
+            page_hosts = self._choose_provider_hosts(
+                provider, domain, hosts, rng, force_h3=overrides.get("all_h3", False)
+            )
+            late = (
+                provider_name != main_provider
+                and rng.random() < cfg.late_provider_prob
+            )
+            wave1_prob = cfg.late_provider_wave1_frac if late else cfg.wave1_fraction
+            host_weights = [
+                cfg.h3_host_traffic_bias if hosts[h].supports_h3 else 1.0
+                for h in page_hosts
+            ]
+            for _ in range(count):
+                counter += 1
+                host = rng.choices(page_hosts, weights=host_weights, k=1)[0]
+                resources.append(
+                    self._make_resource(host, provider_name, counter, rng, wave1_prob)
+                )
+        noncdn_hosts = self._choose_noncdn_hosts(domain, origin_host, hosts, rng)
+        for _ in range(n_noncdn):
+            counter += 1
+            host = rng.choice(noncdn_hosts)
+            resources.append(
+                self._make_resource(host, None, counter, rng, cfg.wave1_fraction)
+            )
+
+        rng.shuffle(resources)
+        html = Resource(
+            url=f"https://{origin_host}/",
+            host=origin_host,
+            rtype=ResourceType.HTML,
+            size_bytes=self._draw_size(rng, cfg.html_median_bytes, cfg.html_sigma),
+            provider_name=None,
+            wave=0,
+            popular=True,
+        )
+        return Webpage(
+            url=f"https://{origin_host}/",
+            origin_host=origin_host,
+            html=html,
+            resources=tuple(resources),
+            rank=rank,
+        )
+
+    # -- draws -----------------------------------------------------------
+
+    def _draw_resource_count(self, rng: random.Random) -> int:
+        cfg = self.config
+        raw = rng.lognormvariate(
+            math.log(cfg.resources_per_page_median), cfg.resources_per_page_sigma
+        )
+        return max(cfg.min_resources, min(cfg.max_resources, round(raw)))
+
+    def _draw_size(
+        self, rng: random.Random, median: float | None = None, sigma: float | None = None
+    ) -> int:
+        cfg = self.config
+        median = cfg.size_median_bytes if median is None else median
+        sigma = cfg.size_sigma if sigma is None else sigma
+        raw = rng.lognormvariate(math.log(median), sigma)
+        return max(cfg.min_size_bytes, min(cfg.max_size_bytes, round(raw)))
+
+    def _draw_type(self, rng: random.Random) -> ResourceType:
+        types, weights = zip(*self.config.type_weights)
+        return rng.choices(types, weights=weights, k=1)[0]
+
+    def _size_quantile(self, n_total: int) -> float:
+        """Where ``n_total`` sits in the page-size distribution [0, 1]."""
+        cfg = self.config
+        z = (
+            math.log(n_total) - math.log(cfg.resources_per_page_median)
+        ) / cfg.resources_per_page_sigma
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+    def _provider_count(self, n_total: int, rng: random.Random) -> int:
+        """Draw the number of providers, coupled to page size.
+
+        With probability ``provider_count_size_coupling`` the draw's
+        uniform variate is the page's size quantile (big page ⇒ many
+        providers); otherwise it is independent.  A mixture of uniforms
+        is uniform, so the marginal Fig. 4(b) distribution survives.
+        """
+        cfg = self.config
+        counts, weights = zip(*cfg.providers_per_page_weights)
+        if rng.random() < cfg.provider_count_size_coupling:
+            u = self._size_quantile(n_total)
+        else:
+            u = rng.random()
+        total = sum(weights)
+        cumulative = 0.0
+        for count, weight in zip(counts, weights):
+            cumulative += weight / total
+            if u <= cumulative:
+                return count
+        return counts[-1]
+
+    def _choose_providers(
+        self, overrides: dict, n_cdn: int, n_total: int, rng: random.Random
+    ) -> list[CdnProvider]:
+        if "providers" in overrides:
+            return [self._provider_by_name[name] for name in overrides["providers"]]
+        k = self._provider_count(n_total, rng)
+        k = max(1, min(k, n_cdn, len(self.providers)))
+        # Market-share-weighted sampling without replacement.
+        pool = list(self.providers)
+        chosen: list[CdnProvider] = []
+        for _ in range(k):
+            weights_now = [p.market_share for p in pool]
+            pick = rng.choices(pool, weights=weights_now, k=1)[0]
+            chosen.append(pick)
+            pool.remove(pick)
+        return chosen
+
+    def _allocate_resources(
+        self, providers: list[CdnProvider], n_cdn: int, rng: random.Random
+    ) -> dict[str, int]:
+        """Split ``n_cdn`` resources across the page's providers.
+
+        Each chosen provider gets at least one resource (when possible);
+        the rest follow market share with multiplicative noise.
+        """
+        if not providers or n_cdn <= 0:
+            return {}
+        allocation = {p.name: 0 for p in providers}
+        names = list(allocation)
+        for name in names[:n_cdn]:
+            allocation[name] += 1
+        remaining = n_cdn - min(n_cdn, len(names))
+        if remaining > 0:
+            # Square-root damping: the page already *selected* providers
+            # by market share; weighting the within-page allocation by
+            # raw share as well would double-count giant dominance.
+            weights = [
+                math.sqrt(p.market_share) * rng.lognormvariate(0.0, 0.5)
+                for p in providers
+            ]
+            for pick in rng.choices(names, weights=weights, k=remaining):
+                allocation[pick] += 1
+        return allocation
+
+    # -- host inventory ---------------------------------------------------
+
+    def _choose_provider_hosts(
+        self,
+        provider: CdnProvider,
+        domain: str,
+        hosts: dict[str, HostSpec],
+        rng: random.Random,
+        force_h3: bool = False,
+    ) -> list[str]:
+        cfg = self.config
+        # An "all H3" site (YouTube, WordPress) *selects* H3-capable
+        # shared hosts; it must not mutate the global host inventory.
+        candidates = list(provider.shared_domains)
+        if force_h3:
+            h3_candidates = [d for d in candidates if self._shared_h3.get(d)]
+            if h3_candidates:
+                candidates = h3_candidates
+        n_shared = rng.randint(1, min(cfg.max_shared_hosts_per_provider, len(candidates)))
+        chosen = rng.sample(candidates, n_shared)
+        for hostname in chosen:
+            self._ensure_edge_host(hostname, provider, hosts, rng)
+        if rng.random() < cfg.custom_cdn_host_prob:
+            custom = f"cdn-{provider.name}.{domain}"
+            self._ensure_edge_host(custom, provider, hosts, rng, force_h3=force_h3)
+            chosen.append(custom)
+        return chosen
+
+    def _ensure_edge_host(
+        self,
+        hostname: str,
+        provider: CdnProvider,
+        hosts: dict[str, HostSpec],
+        rng: random.Random,
+        force_h3: bool = False,
+    ) -> None:
+        if hostname in hosts:
+            return
+        cfg = self.config
+        # Shared hosts use the stratified assignment; page-specific
+        # custom hosts fall back to an independent draw.
+        stratified = self._shared_h3.get(hostname)
+        supports_h3 = (
+            stratified
+            if stratified is not None
+            else rng.random() < provider.h3_adoption
+        )
+        hosts[hostname] = HostSpec(
+            hostname=hostname,
+            kind="edge",
+            provider_name=provider.name,
+            supports_h3=force_h3 or supports_h3,
+            supports_h2=True,
+            base_rtt_ms=self._provider_rtt[provider.name] * rng.uniform(0.97, 1.03),
+            base_think_ms=rng.uniform(*cfg.edge_think_range_ms),
+            origin_fetch_ms=rng.uniform(*cfg.origin_fetch_range_ms),
+            h3_think_overhead_ms=rng.uniform(*cfg.h3_overhead_range_ms),
+            # CDN edges universally run TLS 1.3 (they deploy new TLS
+            # features first); it is origins that lag on TLS 1.2.
+            tls_version=TlsVersion.TLS13,
+        )
+
+    def _ensure_origin_host(
+        self,
+        hostname: str,
+        hosts: dict[str, HostSpec],
+        rng: random.Random,
+        force_h3: bool = False,
+    ) -> None:
+        if hostname in hosts:
+            return
+        cfg = self.config
+        roll = rng.random()
+        if force_h3:
+            supports_h2, supports_h3 = True, True
+        elif roll < cfg.origin_h1_only_prob:
+            supports_h2, supports_h3 = False, False  # HTTP/1.x only
+        elif roll < cfg.origin_h1_only_prob + cfg.origin_h3_prob:
+            supports_h2, supports_h3 = True, True
+        else:
+            supports_h2, supports_h3 = True, False
+        hosts[hostname] = HostSpec(
+            hostname=hostname,
+            kind="origin",
+            provider_name=None,
+            supports_h3=supports_h3,
+            supports_h2=supports_h2,
+            base_rtt_ms=rng.uniform(*cfg.origin_rtt_range_ms),
+            base_think_ms=rng.uniform(*cfg.origin_think_range_ms),
+            h3_think_overhead_ms=rng.uniform(*cfg.h3_overhead_range_ms),
+            tls_version=self._draw_tls(rng),
+        )
+
+    def _choose_noncdn_hosts(
+        self,
+        domain: str,
+        origin_host: str,
+        hosts: dict[str, HostSpec],
+        rng: random.Random,
+    ) -> list[str]:
+        cfg = self.config
+        chosen = [origin_host]
+        extras = rng.randint(0, cfg.max_extra_origin_hosts)
+        for prefix in ("api", "static", "tracker", "ads")[:extras]:
+            hostname = f"{prefix}.{domain}"
+            self._ensure_origin_host(hostname, hosts, rng)
+            chosen.append(hostname)
+        return chosen
+
+    def _draw_tls(self, rng: random.Random) -> TlsVersion:
+        if rng.random() < self.config.tls12_fraction:
+            return TlsVersion.TLS12
+        return TlsVersion.TLS13
+
+    def _make_resource(
+        self,
+        host: str,
+        provider_name: str | None,
+        index: int,
+        rng: random.Random,
+        wave1_prob: float | None = None,
+    ) -> Resource:
+        cfg = self.config
+        rtype = self._draw_type(rng)
+        if wave1_prob is None:
+            wave1_prob = cfg.wave1_fraction
+        return Resource(
+            url=f"https://{host}/asset/{index}.{rtype.value}",
+            host=host,
+            rtype=rtype,
+            size_bytes=self._draw_size(rng),
+            provider_name=provider_name,
+            wave=1 if rng.random() < wave1_prob else 0,
+            popular=rng.random() < cfg.popular_fraction,
+        )

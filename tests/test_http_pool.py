@@ -1,0 +1,228 @@
+"""Tests for the HTTP connection pool: reuse, resumption, H1 queueing."""
+
+import random
+
+import pytest
+
+from repro.cdn import EdgeServer, OriginServer, get_provider
+from repro.events import EventLoop
+from repro.http import ConnectionPool, HttpProtocol
+from repro.netsim import NetemProfile, NetworkPath
+from repro.tls import SessionTicketCache
+
+RTT = 30.0
+
+
+@pytest.fixture()
+def loop():
+    return EventLoop()
+
+
+def make_path(loop):
+    return NetworkPath(loop, NetemProfile(delay_ms=RTT / 2, rate_mbps=None),
+                       rng=random.Random(0))
+
+
+def make_edge(hostname="cdnjs.cloudflare.com", **kwargs):
+    kwargs.setdefault("base_think_ms", 10.0)
+    kwargs.setdefault("origin_fetch_ms", 50.0)
+    # Deterministic resumption in unit tests (the default 0.75 models
+    # ticket-key rotation across a load-balanced fleet).
+    kwargs.setdefault("resumption_rate", 1.0)
+    return EdgeServer(hostname, get_provider("cloudflare"), **kwargs)
+
+
+def fetch_all(pool, loop, server, path, protocol, n, response_bytes=5000):
+    records = []
+    for i in range(n):
+        pool.fetch(
+            server=server,
+            path=path,
+            protocol=protocol,
+            url=f"https://{server.hostname}/r{i}",
+            request_bytes=400,
+            response_bytes=response_bytes,
+            on_complete=records.append,
+        )
+    loop.run_until(lambda: len(records) == n)
+    return records
+
+
+class TestMultiplexedReuse:
+    def test_single_connection_for_many_requests(self, loop):
+        pool = ConnectionPool(loop)
+        server, path = make_edge(), make_path(loop)
+        records = fetch_all(pool, loop, server, path, HttpProtocol.H2, 5)
+        assert pool.stats.connections_created == 1
+        assert pool.stats.reused_requests == 4
+        openers = [r for r in records if not r.reused]
+        assert len(openers) == 1
+        assert openers[0].timing.connect > 0
+
+    def test_reused_requests_have_zero_connect(self, loop):
+        """The paper's reuse criterion: connect time == 0."""
+        pool = ConnectionPool(loop)
+        records = fetch_all(pool, loop, make_edge(), make_path(loop), HttpProtocol.H2, 4)
+        reused = [r for r in records if r.reused]
+        assert len(reused) == 3
+        for record in reused:
+            assert record.timing.connect == 0.0
+
+    def test_h2_and_h3_use_separate_connections(self, loop):
+        pool = ConnectionPool(loop)
+        server, path = make_edge(), make_path(loop)
+        fetch_all(pool, loop, server, path, HttpProtocol.H2, 2)
+        fetch_all(pool, loop, server, path, HttpProtocol.H3, 2)
+        assert pool.stats.connections_created == 2
+
+    def test_h3_connect_faster_than_h2(self, loop):
+        # Separate pools with separate ticket caches: both handshakes
+        # are full (a shared cache would legitimately let H3 resume).
+        server, path = make_edge(), make_path(loop)
+        pool_h2 = ConnectionPool(loop, session_cache=SessionTicketCache())
+        pool_h3 = ConnectionPool(loop, session_cache=SessionTicketCache())
+        (h2_opener,) = fetch_all(pool_h2, loop, server, path, HttpProtocol.H2, 1)
+        (h3_opener,) = fetch_all(pool_h3, loop, server, path, HttpProtocol.H3, 1)
+        # TLS1.3: H2 pays 2 RTT, H3 pays 1 RTT.
+        assert h2_opener.timing.connect == pytest.approx(2 * RTT)
+        assert h3_opener.timing.connect == pytest.approx(RTT)
+
+    def test_requests_during_handshake_wait_and_report_blocked(self, loop):
+        pool = ConnectionPool(loop)
+        server, path = make_edge(), make_path(loop)
+        records = []
+        for i in range(3):
+            pool.fetch(server, path, HttpProtocol.H2, f"https://x/r{i}", 400, 2000,
+                       records.append)
+        loop.run_until(lambda: len(records) == 3)
+        followers = [r for r in records if r.reused]
+        assert len(followers) == 2
+        for record in followers:
+            assert record.timing.blocked == pytest.approx(2 * RTT)  # handshake wait
+
+
+class TestSessionResumption:
+    def test_ticket_stored_after_handshake(self, loop):
+        cache = SessionTicketCache()
+        pool = ConnectionPool(loop, session_cache=cache)
+        server, path = make_edge(), make_path(loop)
+        fetch_all(pool, loop, server, path, HttpProtocol.H3, 1)
+        assert server.hostname in cache
+
+    def test_second_pool_resumes_with_zero_rtt(self, loop):
+        """Fresh pool (new page), same ticket cache: H3 resumes 0-RTT."""
+        cache = SessionTicketCache()
+        server, path = make_edge(), make_path(loop)
+        pool1 = ConnectionPool(loop, session_cache=cache)
+        fetch_all(pool1, loop, server, path, HttpProtocol.H3, 1)
+        pool1.close()
+        pool2 = ConnectionPool(loop, session_cache=cache)
+        records = fetch_all(pool2, loop, server, path, HttpProtocol.H3, 1)
+        assert records[0].resumed
+        assert records[0].timing.connect == 0.0
+        assert pool2.stats.resumed_connections == 1
+        assert pool2.stats.zero_rtt_connections == 1
+
+    def test_h2_resumption_saves_no_round_trip(self, loop):
+        """Resumed H2 still pays TCP + TLS1.3 round trips (browsers
+        send no TCP early data); only H3 resumption removes latency —
+        the paper's Section VI-D asymmetry."""
+        cache = SessionTicketCache()
+        server, path = make_edge(), make_path(loop)
+        pool1 = ConnectionPool(loop, session_cache=cache)
+        fetch_all(pool1, loop, server, path, HttpProtocol.H2, 1)
+        pool1.close()
+        pool2 = ConnectionPool(loop, session_cache=cache)
+        records = fetch_all(pool2, loop, server, path, HttpProtocol.H2, 1)
+        assert records[0].resumed
+        assert records[0].timing.connect == pytest.approx(2 * RTT)
+
+    def test_tickets_disabled_never_resumes(self, loop):
+        cache = SessionTicketCache()
+        server, path = make_edge(), make_path(loop)
+        pool1 = ConnectionPool(loop, session_cache=cache, use_session_tickets=False)
+        fetch_all(pool1, loop, server, path, HttpProtocol.H3, 1)
+        assert server.hostname not in cache
+        pool2 = ConnectionPool(loop, session_cache=cache, use_session_tickets=False)
+        records = fetch_all(pool2, loop, server, path, HttpProtocol.H3, 1)
+        assert not records[0].resumed
+
+    def test_server_without_tickets_never_stores(self, loop):
+        cache = SessionTicketCache()
+        server = make_edge(issues_tickets=False)
+        pool = ConnectionPool(loop, session_cache=cache)
+        fetch_all(pool, loop, server, make_path(loop), HttpProtocol.H3, 1)
+        assert server.hostname not in cache
+
+
+class TestH1Semantics:
+    def test_h1_opens_parallel_connections_up_to_six(self, loop):
+        origin = OriginServer("old.example.com", supports_h2=False, base_think_ms=10.0)
+        pool = ConnectionPool(loop)
+        path = make_path(loop)
+        fetch_all(pool, loop, origin, path, HttpProtocol.H1, 8)
+        assert pool.stats.connections_created == 6
+        assert pool.stats.reused_requests == 2
+
+    def test_h1_serializes_per_connection(self, loop):
+        origin = OriginServer("old.example.com", supports_h2=False, base_think_ms=10.0)
+        pool = ConnectionPool(loop)
+        path = make_path(loop)
+        records = fetch_all(pool, loop, origin, path, HttpProtocol.H1, 7)
+        # The 7th request had to wait for one of the six connections.
+        queued = [r for r in records if r.reused]
+        assert len(queued) == 1
+        assert queued[0].timing.blocked > 0
+
+    def test_h1_reuses_idle_connection(self, loop):
+        origin = OriginServer("old.example.com", supports_h2=False, base_think_ms=5.0)
+        pool = ConnectionPool(loop)
+        path = make_path(loop)
+        fetch_all(pool, loop, origin, path, HttpProtocol.H1, 1)
+        records = fetch_all(pool, loop, origin, path, HttpProtocol.H1, 1)
+        assert pool.stats.connections_created == 1
+        assert records[0].reused
+
+
+class TestPoolLifecycle:
+    def test_cache_hit_flag_propagates(self, loop):
+        server, path = make_edge(), make_path(loop)
+        server.warm("https://cdnjs.cloudflare.com/r0", 5000)
+        pool = ConnectionPool(loop)
+        records = fetch_all(pool, loop, server, path, HttpProtocol.H2, 1)
+        assert records[0].cache_hit
+
+    def test_wait_time_includes_think(self, loop):
+        server = make_edge(base_think_ms=25.0, tls_setup_cpu_ms=0.0)
+        server.warm("https://cdnjs.cloudflare.com/r0", 5000)
+        pool = ConnectionPool(loop)
+        records = fetch_all(pool, loop, server, make_path(loop), HttpProtocol.H2, 1)
+        assert records[0].timing.wait == pytest.approx(RTT + 25.0)
+
+    def test_opener_wait_includes_tls_setup_cpu(self, loop):
+        server = make_edge(base_think_ms=25.0, tls_setup_cpu_ms=9.0)
+        server.warm("https://cdnjs.cloudflare.com/r0", 5000)
+        server.warm("https://cdnjs.cloudflare.com/r1", 5000)
+        pool = ConnectionPool(loop)
+        records = fetch_all(pool, loop, server, make_path(loop), HttpProtocol.H2, 2)
+        opener = [r for r in records if not r.reused][0]
+        follower = [r for r in records if r.reused][0]
+        assert opener.timing.wait == pytest.approx(RTT + 25.0 + 9.0)
+        assert follower.timing.wait == pytest.approx(RTT + 25.0)
+
+    def test_closed_pool_rejects_fetches(self, loop):
+        pool = ConnectionPool(loop)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.fetch(make_edge(), make_path(loop), HttpProtocol.H2,
+                       "https://x/", 400, 100, lambda r: None)
+
+    def test_stats_merge(self, loop):
+        from repro.http import PoolStats
+
+        a = PoolStats(requests=2, connections_created=1)
+        b = PoolStats(requests=3, reused_requests=2)
+        merged = a.merged_with(b)
+        assert merged.requests == 5
+        assert merged.connections_created == 1
+        assert merged.reused_requests == 2

@@ -1,0 +1,132 @@
+"""Cross-layer property tests: invariants that must hold for any seed.
+
+These are the guardrails that keep the simulation trustworthy as the
+substrate evolves: conservation (every resource fetched exactly once),
+timing sanity (entries end before onLoad; phases are non-negative),
+classification agreement, and accounting consistency.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.browser import Browser, BrowserConfig
+from repro.browser.browser import H2_ONLY, H3_ENABLED
+from repro.events import EventLoop
+from repro.measurement import Probe, ProbeNetProfile, ServerFarm
+from repro.web import GeneratorConfig, TopSitesGenerator
+
+
+def load_page(seed, mode=H3_ENABLED, loss=0.0, page_index=4, n_sites=6):
+    universe = TopSitesGenerator(GeneratorConfig(n_sites=n_sites)).generate(seed=seed)
+    page = universe.pages[page_index % len(universe.pages)]
+    loop = EventLoop()
+    farm = ServerFarm(
+        loop, universe.hosts, ProbeNetProfile(loss_rate=loss),
+        rng=random.Random(seed),
+    )
+    farm.warm_caches([page])
+    browser = Browser(loop, farm, BrowserConfig(protocol_mode=mode),
+                      rng=random.Random(seed + 1))
+    return page, browser.visit(page)
+
+
+class TestPageLoadInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=2000),
+        mode=st.sampled_from([H2_ONLY, H3_ENABLED]),
+        loss=st.sampled_from([0.0, 0.01]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_every_resource_fetched_exactly_once(self, seed, mode, loss):
+        page, visit = load_page(seed, mode, loss)
+        fetched = [entry.url for entry in visit.entries]
+        assert sorted(fetched) == sorted(r.url for r in page.all_resources)
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=10, deadline=None)
+    def test_plt_bounds_every_entry(self, seed):
+        __, visit = load_page(seed)
+        start = visit.har.started_at_ms
+        for entry in visit.entries:
+            assert entry.started_at_ms + entry.time_ms <= start + visit.plt_ms + 1e-6
+
+    @given(seed=st.integers(min_value=0, max_value=2000),
+           loss=st.sampled_from([0.0, 0.02]))
+    @settings(max_examples=10, deadline=None)
+    def test_timing_phases_non_negative(self, seed, loss):
+        __, visit = load_page(seed, loss=loss)
+        for entry in visit.entries:
+            t = entry.timings
+            assert t.blocked >= 0 and t.connect >= 0 and t.ssl >= 0
+            assert t.wait >= 0 and t.receive >= 0
+            assert t.ssl <= t.connect + 1e-9 or t.connect == 0.0
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=8, deadline=None)
+    def test_response_bytes_match_resources(self, seed):
+        page, visit = load_page(seed)
+        sizes = {r.url: r.size_bytes for r in page.all_resources}
+        for entry in visit.entries:
+            assert entry.response_bytes == sizes[entry.url]
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=8, deadline=None)
+    def test_classifier_agrees_with_ground_truth(self, seed):
+        page, visit = load_page(seed)
+        truth = {r.url: r.provider_name for r in page.all_resources}
+        for entry in visit.entries:
+            assert entry.is_cdn == (truth[entry.url] is not None), entry.url
+            if entry.is_cdn:
+                assert entry.provider == truth[entry.url]
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=8, deadline=None)
+    def test_h2_only_mode_never_h3(self, seed):
+        __, visit = load_page(seed, mode=H2_ONLY)
+        assert all(entry.protocol != "h3" for entry in visit.entries)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=6, deadline=None)
+    def test_determinism_same_seed_same_visit(self, seed):
+        __, first = load_page(seed)
+        __, second = load_page(seed)
+        assert first.plt_ms == second.plt_ms
+        assert [e.url for e in first.entries] == [e.url for e in second.entries]
+
+
+class TestProbeAccounting:
+    def test_traffic_rate_positive_after_visits(self):
+        universe = TopSitesGenerator(GeneratorConfig(n_sites=5)).generate(seed=2)
+        probe = Probe("p", universe, seed=1)
+        assert probe.average_traffic_kbps() == 0.0
+        probe.measure_page(universe.pages[0], H2_ONLY, visits=1)
+        rate = probe.average_traffic_kbps()
+        assert rate > 0.0
+        # Sanity: a probe loading pages sequentially stays well under
+        # its 50 Mbps access rate on average.
+        assert rate < 50_000.0
+
+    def test_bytes_conserved_across_paths(self):
+        universe = TopSitesGenerator(GeneratorConfig(n_sites=5)).generate(seed=2)
+        probe = Probe("p", universe, seed=1)
+        visit = probe.measure_page(universe.pages[0], H2_ONLY, visits=1)
+        payload = sum(e.response_bytes for e in visit.entries)
+        # Wire bytes include headers, acks and handshakes: strictly more
+        # than the payload, but within a sane envelope.
+        wire = probe.farm.total_bytes_transferred()
+        assert payload < wire < payload * 1.6
+
+
+class TestWaveOrderingUnderLoss:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=6, deadline=None)
+    def test_html_always_first(self, seed):
+        page, visit = load_page(seed, loss=0.01)
+        html_entry = visit.entries[0]
+        assert html_entry.url == page.html.url
+        assert html_entry.started_at_ms <= min(
+            e.started_at_ms for e in visit.entries
+        )

@@ -1,0 +1,112 @@
+"""Tests for session tickets and handshake planning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tls import SessionTicketCache, plan_handshake
+from repro.transport import TlsVersion
+
+
+class TestSessionTicketCache:
+    def test_lookup_empty_is_miss(self):
+        cache = SessionTicketCache()
+        assert cache.lookup("cdn.example.com", now_ms=0.0) is None
+        assert cache.misses == 1
+
+    def test_store_then_lookup_hits(self):
+        cache = SessionTicketCache()
+        cache.store("cdn.example.com", now_ms=10.0)
+        ticket = cache.lookup("cdn.example.com", now_ms=20.0)
+        assert ticket is not None
+        assert ticket.host == "cdn.example.com"
+        assert cache.hits == 1
+
+    def test_ticket_expires(self):
+        cache = SessionTicketCache()
+        cache.store("h.example", now_ms=0.0, lifetime_ms=100.0)
+        assert cache.lookup("h.example", now_ms=99.0) is not None
+        assert cache.lookup("h.example", now_ms=100.0) is None
+        # Expired ticket was evicted entirely.
+        assert "h.example" not in cache
+
+    def test_newer_ticket_replaces_older(self):
+        cache = SessionTicketCache()
+        first = cache.store("h.example", now_ms=0.0)
+        second = cache.store("h.example", now_ms=50.0)
+        assert second.ticket_id != first.ticket_id
+        assert cache.lookup("h.example", now_ms=60.0).ticket_id == second.ticket_id
+
+    def test_clear_forgets_everything(self):
+        cache = SessionTicketCache()
+        cache.store("a.example", now_ms=0.0)
+        cache.store("b.example", now_ms=0.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.lookup("a.example", now_ms=1.0) is None
+
+    def test_hosts_listing(self):
+        cache = SessionTicketCache()
+        cache.store("a.example", now_ms=0.0)
+        cache.store("b.example", now_ms=0.0)
+        assert cache.hosts() == frozenset({"a.example", "b.example"})
+
+    def test_ticket_not_valid_before_issue(self):
+        cache = SessionTicketCache()
+        ticket = cache.store("h.example", now_ms=100.0)
+        assert not ticket.valid_at(50.0)
+
+    @given(
+        issue=st.floats(min_value=0, max_value=1e6),
+        lifetime=st.floats(min_value=1.0, max_value=1e7),
+        probe=st.floats(min_value=0, max_value=2e7),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_validity_window_is_half_open(self, issue, lifetime, probe):
+        cache = SessionTicketCache()
+        ticket = cache.store("h", now_ms=issue, lifetime_ms=lifetime)
+        expected = issue <= probe < issue + lifetime
+        assert ticket.valid_at(probe) == expected
+
+
+class TestHandshakePlan:
+    @pytest.mark.parametrize(
+        "protocol,tls,ticket,rtts",
+        [
+            ("h2", TlsVersion.TLS12, False, 3),
+            ("h2", TlsVersion.TLS12, True, 2),
+            ("h2", TlsVersion.TLS13, False, 2),
+            ("h2", TlsVersion.TLS13, True, 2),  # no TCP early data
+            ("h1", TlsVersion.TLS13, False, 2),
+            ("h3", TlsVersion.TLS13, False, 1),
+            ("h3", TlsVersion.TLS13, True, 0),
+        ],
+    )
+    def test_rtt_table_from_the_paper(self, protocol, tls, ticket, rtts):
+        plan = plan_handshake(protocol, tls, has_ticket=ticket)
+        assert plan.rtts_before_request == rtts
+
+    def test_tls13_early_data_saves_a_round_trip(self):
+        plan = plan_handshake("h2", TlsVersion.TLS13, has_ticket=True,
+                              tls13_early_data=True)
+        assert plan.rtts_before_request == 1
+
+    def test_only_resumed_h3_is_zero_rtt(self):
+        assert plan_handshake("h3", has_ticket=True).zero_rtt
+        assert not plan_handshake("h3", has_ticket=False).zero_rtt
+        assert not plan_handshake("h2", has_ticket=True).zero_rtt
+
+    def test_h3_advantage_grows_with_resumption(self):
+        """The paper's core 'fast connection' claim, as arithmetic: H3
+        saves 1 RTT on full handshakes and 2 RTTs when resumed (H2
+        resumption buys no latency without early data)."""
+        h2_full = plan_handshake("h2", TlsVersion.TLS13, has_ticket=False)
+        h3_full = plan_handshake("h3", has_ticket=False)
+        assert h2_full.rtts_before_request - h3_full.rtts_before_request == 1
+        h2_resumed = plan_handshake("h2", TlsVersion.TLS13, has_ticket=True)
+        h3_resumed = plan_handshake("h3", has_ticket=True)
+        assert h2_resumed.rtts_before_request - h3_resumed.rtts_before_request == 2
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            plan_handshake("spdy")

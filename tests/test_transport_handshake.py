@@ -1,0 +1,166 @@
+"""Handshake-latency semantics: the 'fast connection' half of the paper.
+
+The protocol suites must pay exactly the round trips the paper describes
+(Section II-A / VI-D): H2+TLS1.2 = 3 RTT, H2+TLS1.3 = 2 RTT, resumed
+H2+TLS1.3 = 1 RTT, H3 = 1 RTT, resumed H3 (0-RTT) = 0 RTT.
+"""
+
+import random
+
+import pytest
+
+from repro.events import EventLoop
+from repro.netsim import NetemProfile, NetworkPath
+from repro.transport import (
+    QuicConnection,
+    TcpConnection,
+    TlsVersion,
+    TransportError,
+)
+
+RTT = 30.0
+
+
+def make_path(loop, loss=0.0, seed=0):
+    profile = NetemProfile(delay_ms=RTT / 2, loss_rate=loss, rate_mbps=None)
+    return NetworkPath(loop, profile, rng=random.Random(seed))
+
+
+def complete_handshake(conn, loop):
+    results = []
+    conn.connect(results.append)
+    loop.run_until(lambda: bool(results))
+    return results[0]
+
+
+class TestHandshakeLatency:
+    def test_tcp_tls13_full_takes_two_rtts(self):
+        loop = EventLoop()
+        conn = TcpConnection(loop, make_path(loop), tls_version=TlsVersion.TLS13)
+        result = complete_handshake(conn, loop)
+        assert result.connect_ms == pytest.approx(2 * RTT)
+        assert not result.zero_rtt
+
+    def test_tcp_tls12_full_takes_three_rtts(self):
+        loop = EventLoop()
+        conn = TcpConnection(loop, make_path(loop), tls_version=TlsVersion.TLS12)
+        result = complete_handshake(conn, loop)
+        assert result.connect_ms == pytest.approx(3 * RTT)
+
+    def test_tcp_tls13_resumed_still_takes_two_rtts(self):
+        """Browsers do not send TCP early data, so a resumed TLS 1.3
+        session saves CPU but no round trips — unlike H3's 0-RTT.
+        This asymmetry is the paper's Section VI-D mechanism."""
+        loop = EventLoop()
+        conn = TcpConnection(
+            loop, make_path(loop), tls_version=TlsVersion.TLS13, resumed=True
+        )
+        result = complete_handshake(conn, loop)
+        assert result.connect_ms == pytest.approx(2 * RTT)
+
+    def test_tcp_tls13_resumed_with_early_data_takes_one_rtt(self):
+        """With 0-RTT early data enabled (ablation knob), only the TCP
+        round trip remains."""
+        from repro.transport import TransportConfig
+
+        loop = EventLoop()
+        conn = TcpConnection(
+            loop,
+            make_path(loop),
+            config=TransportConfig(tls13_early_data=True),
+            tls_version=TlsVersion.TLS13,
+            resumed=True,
+        )
+        result = complete_handshake(conn, loop)
+        assert result.connect_ms == pytest.approx(RTT)
+
+    def test_tcp_tls12_resumed_takes_two_rtts(self):
+        loop = EventLoop()
+        conn = TcpConnection(
+            loop, make_path(loop), tls_version=TlsVersion.TLS12, resumed=True
+        )
+        result = complete_handshake(conn, loop)
+        assert result.connect_ms == pytest.approx(2 * RTT)
+
+    def test_quic_full_takes_one_rtt(self):
+        loop = EventLoop()
+        conn = QuicConnection(loop, make_path(loop))
+        result = complete_handshake(conn, loop)
+        assert result.connect_ms == pytest.approx(RTT)
+
+    def test_quic_resumed_is_zero_rtt(self):
+        loop = EventLoop()
+        conn = QuicConnection(loop, make_path(loop), resumed=True)
+        result = complete_handshake(conn, loop)
+        assert result.connect_ms == 0.0
+        assert result.zero_rtt
+        assert conn.can_send_requests
+
+    def test_h3_beats_h2_by_one_rtt_full(self):
+        loop = EventLoop()
+        h2 = complete_handshake(TcpConnection(loop, make_path(loop)), loop)
+        h3 = complete_handshake(QuicConnection(loop, make_path(loop)), loop)
+        assert h2.connect_ms - h3.connect_ms == pytest.approx(RTT)
+
+    def test_tcp_ssl_split(self):
+        loop = EventLoop()
+        conn = TcpConnection(loop, make_path(loop), tls_version=TlsVersion.TLS13)
+        complete_handshake(conn, loop)
+        assert conn.tcp_connect_ms == pytest.approx(RTT)
+        assert conn.ssl_ms == pytest.approx(RTT)
+
+    def test_quic_ssl_is_whole_handshake(self):
+        loop = EventLoop()
+        conn = QuicConnection(loop, make_path(loop))
+        complete_handshake(conn, loop)
+        assert conn.ssl_ms == pytest.approx(RTT)
+
+
+class TestHandshakeRobustness:
+    def test_handshake_survives_loss(self):
+        loop = EventLoop()
+        path = make_path(loop, loss=0.3, seed=77)
+        conn = TcpConnection(loop, path)
+        result = complete_handshake(conn, loop)
+        assert conn.established
+        assert result.connect_ms >= 2 * RTT
+
+    def test_handshake_retry_counted(self):
+        loop = EventLoop()
+        path = make_path(loop)
+        # Drop the first SYN deterministically.
+        dropped = []
+
+        def drop_first(pkt):
+            if not dropped:
+                dropped.append(pkt)
+                return True
+            return False
+
+        path.uplink.drop_filter = drop_first
+        conn = TcpConnection(loop, path)
+        result = complete_handshake(conn, loop)
+        assert result.retries == 1
+        assert result.connect_ms > 2 * RTT  # paid a timeout
+
+    def test_handshake_gives_up_eventually(self):
+        loop = EventLoop()
+        path = make_path(loop)
+        path.uplink.drop_filter = lambda pkt: True  # black hole
+        conn = TcpConnection(loop, path)
+        conn.connect(lambda result: None)
+        with pytest.raises(TransportError):
+            loop.run()
+
+    def test_connect_twice_rejected(self):
+        loop = EventLoop()
+        conn = QuicConnection(loop, make_path(loop))
+        conn.connect(lambda r: None)
+        with pytest.raises(TransportError):
+            conn.connect(lambda r: None)
+
+    def test_request_before_handshake_rejected(self):
+        loop = EventLoop()
+        conn = TcpConnection(loop, make_path(loop))
+        with pytest.raises(TransportError):
+            conn.request(400, 1000)

@@ -1,0 +1,304 @@
+"""Data-transfer behaviour: reliability, pacing, loss recovery, HoL.
+
+The decisive test here is `TestHeadOfLineBlocking`: with an identical
+single-packet loss injected into a two-stream transfer, the *unrelated*
+stream must stall on TCP but sail through on QUIC.  This is the causal
+mechanism behind the paper's Fig. 9.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import EventLoop
+from repro.netsim import NetemProfile, NetworkPath, PacketKind
+from repro.transport import QuicConnection, TcpConnection, TransportConfig
+
+RTT = 30.0
+
+
+def make_path(loop, loss=0.0, seed=0, rate_mbps=None):
+    profile = NetemProfile(delay_ms=RTT / 2, loss_rate=loss, rate_mbps=rate_mbps)
+    return NetworkPath(loop, profile, rng=random.Random(seed))
+
+
+def connect(conn, loop):
+    done = []
+    conn.connect(done.append)
+    loop.run_until(lambda: bool(done))
+    return done[0]
+
+
+def fetch(conn, loop, response_bytes, request_bytes=400, think_ms=0.0):
+    stream = conn.request(request_bytes, response_bytes, think_ms=think_ms)
+    loop.run_until(lambda: stream.complete)
+    return stream
+
+
+class TestBasicTransfer:
+    @pytest.mark.parametrize("conn_cls", [TcpConnection, QuicConnection])
+    def test_small_response_delivered(self, conn_cls):
+        loop = EventLoop()
+        conn = conn_cls(loop, make_path(loop))
+        connect(conn, loop)
+        stream = fetch(conn, loop, response_bytes=1000)
+        assert stream.received == 1000
+        assert stream.t_first_byte is not None
+        assert stream.t_complete is not None
+
+    @pytest.mark.parametrize("conn_cls", [TcpConnection, QuicConnection])
+    def test_wait_time_is_rtt_plus_think(self, conn_cls):
+        loop = EventLoop()
+        conn = conn_cls(loop, make_path(loop))
+        connect(conn, loop)
+        think = 20.0
+        start = loop.now
+        stream = fetch(conn, loop, response_bytes=1000, think_ms=think)
+        wait = stream.t_first_byte - start
+        assert wait == pytest.approx(RTT + think)
+
+    def test_multi_packet_response(self):
+        loop = EventLoop()
+        conn = QuicConnection(loop, make_path(loop))
+        connect(conn, loop)
+        stream = fetch(conn, loop, response_bytes=50_000)
+        assert stream.received == 50_000
+        assert conn.stats.data_packets_sent >= 35  # ceil(50000/1460)
+
+    def test_large_transfer_needs_multiple_windows(self):
+        """200 KB exceeds the 10-packet initial window, so the transfer
+        must take multiple round trips while cwnd grows."""
+        loop = EventLoop()
+        conn = QuicConnection(loop, make_path(loop))
+        connect(conn, loop)
+        start = loop.now
+        stream = fetch(conn, loop, response_bytes=200_000)
+        duration = stream.t_complete - start
+        assert duration > 2 * RTT  # request RTT + at least one more window
+
+    def test_bandwidth_bound_transfer(self):
+        """At 8 Mbps, 100 KB of payload needs >= 100 ms of serialization."""
+        loop = EventLoop()
+        conn = QuicConnection(loop, make_path(loop, rate_mbps=8.0))
+        connect(conn, loop)
+        start = loop.now
+        stream = fetch(conn, loop, response_bytes=100_000)
+        assert stream.t_complete - start >= 100.0
+
+    def test_concurrent_streams_interleave(self):
+        loop = EventLoop()
+        conn = QuicConnection(loop, make_path(loop))
+        connect(conn, loop)
+        streams = [conn.request(400, 30_000) for _ in range(3)]
+        loop.run_until(lambda: all(s.complete for s in streams))
+        completes = [s.t_complete for s in streams]
+        # Round-robin scheduling should finish them close together, not
+        # strictly sequentially.
+        assert max(completes) - min(completes) < 20.0
+
+    def test_request_sizes_validated(self):
+        loop = EventLoop()
+        conn = QuicConnection(loop, make_path(loop), resumed=True)
+        conn.connect(lambda r: None)
+        with pytest.raises(ValueError):
+            conn.request(0, 100)
+        with pytest.raises(ValueError):
+            conn.request(100, -1)
+
+    def test_zero_rtt_first_byte_after_one_rtt(self):
+        """0-RTT: the request leaves immediately, so the first response
+        byte arrives a single RTT after connect."""
+        loop = EventLoop()
+        conn = QuicConnection(loop, make_path(loop), resumed=True)
+        connect(conn, loop)
+        stream = fetch(conn, loop, response_bytes=1000)
+        assert stream.t_first_byte == pytest.approx(RTT)
+
+
+class TestLossRecovery:
+    @pytest.mark.parametrize("conn_cls", [TcpConnection, QuicConnection])
+    def test_transfer_completes_under_loss(self, conn_cls):
+        loop = EventLoop()
+        conn = conn_cls(loop, make_path(loop, loss=0.05, seed=123))
+        connect(conn, loop)
+        stream = fetch(conn, loop, response_bytes=100_000)
+        assert stream.received == 100_000
+        assert conn.stats.retransmissions > 0
+
+    def test_loss_slows_transfer_down(self):
+        def run(loss, seed):
+            loop = EventLoop()
+            conn = TcpConnection(loop, make_path(loop, loss=loss, seed=seed))
+            connect(conn, loop)
+            start = loop.now
+            stream = fetch(conn, loop, response_bytes=150_000)
+            return stream.t_complete - start
+
+        clean = run(0.0, 1)
+        lossy = sum(run(0.05, seed) for seed in range(5)) / 5
+        assert lossy > clean
+
+    def test_single_loss_recovers_via_fast_retransmit(self):
+        loop = EventLoop()
+        path = make_path(loop)
+        state = {"dropped": False}
+
+        def drop_first_data(pkt):
+            if pkt.kind is PacketKind.DATA and not state["dropped"]:
+                state["dropped"] = True
+                return True
+            return False
+
+        path.downlink.drop_filter = drop_first_data
+        conn = QuicConnection(loop, path)
+        connect(conn, loop)
+        stream = fetch(conn, loop, response_bytes=30_000)
+        assert stream.received == 30_000
+        assert conn.stats.data_packets_lost == 1
+        assert conn.stats.retransmissions == 1
+        assert conn.stats.rto_events == 0  # packet-threshold, not timeout
+
+    def test_tail_loss_recovers_via_pto(self):
+        """If the *last* packet is lost there are no later acks to
+        trigger the packet threshold; only the PTO can recover."""
+        loop = EventLoop()
+        path = make_path(loop)
+        total = 14_600  # exactly 10 MSS -> fits in the initial window
+        state = {"seen": 0}
+
+        def drop_last(pkt):
+            if pkt.kind is PacketKind.DATA:
+                state["seen"] += 1
+                if state["seen"] == 10:
+                    return True
+            return False
+
+        path.downlink.drop_filter = drop_last
+        conn = QuicConnection(loop, path)
+        connect(conn, loop)
+        stream = fetch(conn, loop, response_bytes=total)
+        assert stream.received == total
+        assert conn.stats.rto_events >= 1
+
+    def test_cwnd_shrinks_on_loss(self):
+        loop = EventLoop()
+        conn = QuicConnection(loop, make_path(loop, loss=0.05, seed=42))
+        connect(conn, loop)
+        fetch(conn, loop, response_bytes=200_000)
+        assert conn.cc.loss_events > 0
+
+
+class TestHeadOfLineBlocking:
+    """The decisive H2-vs-H3 difference, isolated."""
+
+    @staticmethod
+    def run_two_streams(conn_cls, inject_loss):
+        loop = EventLoop()
+        path = make_path(loop)
+        state = {"dropped": False}
+
+        def drop_first_stream1_data(pkt):
+            if (
+                inject_loss
+                and not state["dropped"]
+                and pkt.kind is PacketKind.DATA
+                and pkt.chunks
+                and pkt.chunks[0].stream_id == 1
+            ):
+                state["dropped"] = True
+                return True
+            return False
+
+        path.downlink.drop_filter = drop_first_stream1_data
+        conn = conn_cls(loop, path)
+        done = []
+        conn.connect(done.append)
+        loop.run_until(lambda: bool(done))
+        # Both streams fit inside the initial congestion window, so in
+        # the clean case everything arrives in one flight and the HoL
+        # delay (if any) is visible on the completion times.
+        s1 = conn.request(400, 5_000)
+        s2 = conn.request(400, 5_000)
+        loop.run_until(lambda: s1.complete and s2.complete)
+        return s1, s2
+
+    def test_tcp_loss_blocks_unrelated_stream(self):
+        s1_clean, s2_clean = self.run_two_streams(TcpConnection, inject_loss=False)
+        s1_lossy, s2_lossy = self.run_two_streams(TcpConnection, inject_loss=True)
+        # The loss was on stream 1, but stream 2 is delayed too: HoL.
+        assert s2_lossy.t_complete > s2_clean.t_complete + RTT / 2
+        assert s1_lossy.t_complete > s1_clean.t_complete
+
+    def test_quic_loss_does_not_block_unrelated_stream(self):
+        __, s2_clean = self.run_two_streams(QuicConnection, inject_loss=False)
+        s1_lossy, s2_lossy = self.run_two_streams(QuicConnection, inject_loss=True)
+        # Stream 2 finishes essentially on schedule despite stream 1's loss.
+        assert s2_lossy.t_complete <= s2_clean.t_complete + 1.0
+        assert s1_lossy.received == 5_000
+
+    def test_quic_beats_tcp_for_the_unaffected_stream(self):
+        __, s2_tcp = self.run_two_streams(TcpConnection, inject_loss=True)
+        __, s2_quic = self.run_two_streams(QuicConnection, inject_loss=True)
+        assert s2_quic.t_complete < s2_tcp.t_complete
+
+    def test_tcp_counts_hol_blocked_chunks(self):
+        loop = EventLoop()
+        path = make_path(loop)
+        state = {"dropped": False}
+
+        def drop_first_data(pkt):
+            if pkt.kind is PacketKind.DATA and not state["dropped"]:
+                state["dropped"] = True
+                return True
+            return False
+
+        path.downlink.drop_filter = drop_first_data
+        conn = TcpConnection(loop, path)
+        done = []
+        conn.connect(done.append)
+        loop.run_until(lambda: bool(done))
+        stream = conn.request(400, 20_000)
+        loop.run_until(lambda: stream.complete)
+        assert conn.stats.hol_blocked_chunks > 0
+
+
+class TestDeliveryInvariants:
+    """Property-based: whatever the loss pattern, every stream delivers
+    exactly its bytes, exactly once, in order."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        loss=st.sampled_from([0.0, 0.02, 0.08, 0.2]),
+        sizes=st.lists(st.integers(min_value=1, max_value=40_000), min_size=1, max_size=5),
+        conn_kind=st.sampled_from(["tcp", "quic"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_bytes_delivered_exactly_once(self, seed, loss, sizes, conn_kind):
+        loop = EventLoop()
+        path = make_path(loop, loss=loss, seed=seed)
+        cls = TcpConnection if conn_kind == "tcp" else QuicConnection
+        conn = cls(loop, path, config=TransportConfig(max_request_retries=30,
+                                                      max_handshake_retries=30))
+        done = []
+        conn.connect(done.append)
+        loop.run_until(lambda: bool(done))
+        streams = [conn.request(300, size) for size in sizes]
+        loop.run_until(lambda: all(s.complete for s in streams))
+        for stream, size in zip(streams, sizes):
+            assert stream.received == size
+            assert stream.t_first_byte <= stream.t_complete
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_first_byte_never_before_request_rtt(self, seed):
+        loop = EventLoop()
+        path = make_path(loop, loss=0.05, seed=seed)
+        conn = QuicConnection(loop, path, resumed=True)
+        done = []
+        conn.connect(done.append)
+        loop.run_until(lambda: bool(done))
+        stream = conn.request(400, 5000)
+        loop.run_until(lambda: stream.complete)
+        assert stream.t_first_byte >= RTT  # physics: one RTT minimum

@@ -1,0 +1,276 @@
+"""Tests for the web substrate: resources, pages, and the generator.
+
+The `TestCalibration` class is the contract between the synthetic
+universe and the paper's reported marginals — if these fail, every
+downstream experiment is built on sand.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.web import (
+    GeneratorConfig,
+    HostSpec,
+    Resource,
+    ResourceType,
+    TopSitesGenerator,
+    Webpage,
+)
+
+
+def make_resource(host="cdn.example.com", provider=None, size=1000, rtype=ResourceType.IMAGE):
+    return Resource(
+        url=f"https://{host}/x.{rtype.value}",
+        host=host,
+        rtype=rtype,
+        size_bytes=size,
+        provider_name=provider,
+    )
+
+
+def make_page(resources):
+    html = Resource(
+        url="https://www.site.example/",
+        host="www.site.example",
+        rtype=ResourceType.HTML,
+        size_bytes=30_000,
+    )
+    return Webpage(
+        url="https://www.site.example/",
+        origin_host="www.site.example",
+        html=html,
+        resources=tuple(resources),
+    )
+
+
+class TestResource:
+    def test_cdn_flag_follows_provider(self):
+        assert make_resource(provider="google").is_cdn
+        assert not make_resource(provider=None).is_cdn
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_resource(size=0)
+
+    def test_invalid_wave_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(
+                url="https://x/y", host="x", rtype=ResourceType.JS,
+                size_bytes=10, wave=2,
+            )
+
+    def test_request_bytes_scale_with_url(self):
+        short = make_resource()
+        assert short.request_bytes > 400
+
+
+class TestWebpage:
+    def test_cdn_fraction(self):
+        page = make_page(
+            [make_resource(provider="google")] * 3 + [make_resource()] * 1
+        )
+        # 3 CDN / 5 total requests (incl. HTML).
+        assert page.cdn_fraction == pytest.approx(0.6)
+
+    def test_providers_and_counts(self):
+        page = make_page([
+            make_resource(provider="google"),
+            make_resource(provider="google"),
+            make_resource(provider="cloudflare"),
+            make_resource(),
+        ])
+        assert page.providers == {"google", "cloudflare"}
+        assert page.resources_by_provider() == {"google": 2, "cloudflare": 1}
+
+    def test_html_must_be_html(self):
+        with pytest.raises(ValueError, match="must have type HTML"):
+            Webpage(
+                url="https://x/",
+                origin_host="x",
+                html=make_resource(rtype=ResourceType.JS),
+            )
+
+    def test_hosts_include_origin(self):
+        page = make_page([make_resource(host="cdn.a.example")])
+        assert "www.site.example" in page.hosts()
+        assert "cdn.a.example" in page.hosts()
+
+
+class TestHostSpec:
+    def test_edge_requires_provider(self):
+        with pytest.raises(ValueError, match="needs a provider"):
+            HostSpec("h", "edge", None, True, True, 20.0, 8.0)
+
+    def test_origin_cannot_have_provider(self):
+        with pytest.raises(ValueError, match="have no provider"):
+            HostSpec("h", "origin", "google", False, True, 90.0, 25.0)
+
+    def test_h1_only_detection(self):
+        spec = HostSpec("h", "origin", None, False, False, 90.0, 25.0)
+        assert spec.h1_only
+
+    def test_instantiate_edge(self):
+        spec = HostSpec("fonts.gstatic.com", "edge", "google", True, True, 20.0, 8.0)
+        server = spec.instantiate()
+        assert server.kind == "edge"
+        assert server.provider.name == "google"
+        assert server.supports_h3
+
+    def test_instantiate_origin(self):
+        spec = HostSpec("www.x.example", "origin", None, False, True, 90.0, 25.0)
+        server = spec.instantiate()
+        assert server.kind == "origin"
+        assert not server.supports_h3
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_universe(self):
+        a = TopSitesGenerator().generate(seed=5)
+        b = TopSitesGenerator().generate(seed=5)
+        assert [w.domain for w in a.websites] == [w.domain for w in b.websites]
+        assert a.summary() == b.summary()
+        assert set(a.hosts) == set(b.hosts)
+
+    def test_different_seed_different_universe(self):
+        a = TopSitesGenerator().generate(seed=5)
+        b = TopSitesGenerator().generate(seed=6)
+        assert a.summary() != b.summary()
+
+    def test_named_sites_present(self):
+        uni = TopSitesGenerator().generate(seed=5)
+        domains = [w.domain for w in uni.websites[:4]]
+        assert domains == ["youtube.com", "wordpress.com", "spotify.com", "zoom.us"]
+
+    def test_youtube_is_all_google_and_h3(self):
+        uni = TopSitesGenerator().generate(seed=5)
+        youtube = uni.websites[0].landing_page
+        assert youtube.providers == {"google"}
+        for resource in youtube.cdn_resources:
+            assert uni.hosts[resource.host].supports_h3
+
+    def test_spotify_and_zoom_share_three_giants(self):
+        """The paper's example: both use Amazon, Cloudflare and Google."""
+        uni = TopSitesGenerator().generate(seed=5)
+        spotify = uni.websites[2].landing_page
+        zoom = uni.websites[3].landing_page
+        shared = spotify.providers & zoom.providers
+        assert shared == {"amazon", "cloudflare", "google"}
+
+
+class TestCalibration:
+    """Cohort marginals vs the paper's reported numbers (with slack)."""
+
+    @pytest.fixture(scope="class")
+    def universe(self):
+        return TopSitesGenerator().generate(seed=7)
+
+    def test_site_count(self, universe):
+        assert len(universe.websites) == 325
+
+    def test_total_requests_near_paper(self, universe):
+        # Paper: 36 057 requests over 325 pages.
+        assert 28_000 <= universe.summary()["total_requests"] <= 46_000
+
+    def test_cdn_share_of_requests(self, universe):
+        # Paper Table II: 67.0 %.
+        assert 0.60 <= universe.summary()["cdn_request_fraction"] <= 0.73
+
+    def test_h3_share_of_all_requests(self, universe):
+        # Paper Table II: 32.6 %.
+        assert 0.28 <= universe.summary()["h3_fraction_of_all"] <= 0.42
+
+    def test_h1_only_share(self, universe):
+        # Paper Table II "Others": 6.2 %.
+        assert 0.03 <= universe.summary()["h1_only_fraction_of_all"] <= 0.10
+
+    def test_pages_with_multiple_providers(self, universe):
+        # Paper Fig 4b: 94.8 % of pages use >= 2 providers.
+        assert universe.summary()["pages_with_2plus_providers"] >= 0.90
+
+    def test_majority_cdn_pages(self, universe):
+        # Paper Fig 3: 75 % of pages have > 50 % CDN resources.
+        assert 0.65 <= universe.summary()["pages_majority_cdn"] <= 0.88
+
+    def test_h3_cdn_requests_dominated_by_google_and_cloudflare(self, universe):
+        # Paper Fig 2: Google ~50 %, Cloudflare ~45 % of H3 CDN requests.
+        from collections import Counter
+
+        counts = Counter()
+        for page in universe.pages:
+            for resource in page.cdn_resources:
+                if universe.hosts[resource.host].supports_h3:
+                    counts[resource.provider_name] += 1
+        total = sum(counts.values())
+        assert counts["google"] / total > 0.35
+        assert counts["cloudflare"] / total > 0.28
+        assert (counts["google"] + counts["cloudflare"]) / total > 0.75
+
+    def test_resource_sizes_mostly_small(self, universe):
+        # Paper Section VI-E: 75 % of CDN resources below 20 KB.
+        sizes = sorted(
+            r.size_bytes for p in universe.pages for r in p.cdn_resources
+        )
+        p75 = sizes[int(0.75 * len(sizes))]
+        assert p75 < 30_000
+
+    def test_giant_provider_page_presence(self, universe):
+        # Paper Fig 4a: top providers appear on > 50 % of pages.
+        from collections import Counter
+
+        appearance = Counter()
+        for page in universe.pages:
+            for provider in page.providers:
+                appearance[provider] += 1
+        top4 = [name for name, __ in appearance.most_common(4)]
+        for name in top4:
+            assert appearance[name] / len(universe.pages) > 0.45, name
+
+    def test_cloudflare_google_pages_have_many_resources(self, universe):
+        # Paper Fig 5: ~50 % of pages using Cloudflare/Google have > 10
+        # resources from that provider.
+        for provider in ("cloudflare", "google"):
+            pages_using = [p for p in universe.pages if provider in p.providers]
+            over10 = sum(
+                1 for p in pages_using if p.resources_by_provider()[provider] > 10
+            )
+            assert over10 / len(pages_using) > 0.40, provider
+
+    def test_all_resource_hosts_have_specs(self, universe):
+        for page in universe.pages:
+            for resource in page.all_resources:
+                assert resource.host in universe.hosts
+
+    def test_cdn_resources_on_edge_hosts(self, universe):
+        for page in universe.pages:
+            for resource in page.resources:
+                spec = universe.hosts[resource.host]
+                if resource.is_cdn:
+                    assert spec.kind == "edge"
+                    assert spec.provider_name == resource.provider_name
+                else:
+                    assert spec.kind == "origin"
+
+
+class TestGeneratorConfigurability:
+    def test_small_universe(self):
+        config = GeneratorConfig(n_sites=10)
+        uni = TopSitesGenerator(config).generate(seed=1)
+        assert len(uni.websites) == 10
+
+    def test_resource_count_respects_bounds(self):
+        config = GeneratorConfig(n_sites=30, min_resources=20, max_resources=40)
+        uni = TopSitesGenerator(config).generate(seed=1)
+        for page in uni.pages:
+            assert 20 <= page.total_requests <= 40
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_any_seed_produces_valid_universe(self, seed):
+        config = GeneratorConfig(n_sites=12)
+        uni = TopSitesGenerator(config).generate(seed=seed)
+        assert len(uni.websites) == 12
+        for page in uni.pages:
+            assert page.total_requests >= 1
+            for resource in page.all_resources:
+                assert resource.host in uni.hosts
