@@ -1,0 +1,21 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench-smoke lint
+
+# Tier-1 suite. tests/test_parallel.py runs 2- and 4-worker campaigns
+# against the serial baseline, so the parallel path is exercised on
+# every `make test` and cannot rot silently.
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Quick perf sanity: a small campaign serially and with 2 workers
+# (includes the determinism cross-check), plus substrate events/sec.
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_campaign.py \
+		--pages 8 --sites 8 --workers 2 --out BENCH_campaign_smoke.json
+
+# No third-party linters in the container; bytecode compilation catches
+# syntax errors and obvious breakage across the whole tree.
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples

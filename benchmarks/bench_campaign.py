@@ -1,0 +1,158 @@
+"""Campaign-engine benchmark: serial vs parallel wall-clock + substrate.
+
+Standalone script (not a pytest-benchmark module) so the perf
+trajectory of the parallel runner is tracked as one JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py \
+        --pages 32 --workers 2,4 --out BENCH_campaign.json
+
+It measures, on one ≥32-page universe:
+
+* serial (``workers=1``) campaign wall-clock,
+* parallel campaign wall-clock per worker count, with a determinism
+  check against the serial result,
+* DES substrate events/sec (event-loop kernel and a lossy 500 KB
+  transfer), the numbers the hot-path pass is accountable for.
+
+Speedup expectations scale with *available cores* (recorded in the
+output): on a single-core container the pool cannot beat the serial
+run, and the artifact says so rather than pretending otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import time
+
+from repro.events import EventLoop
+from repro.measurement import Campaign, CampaignConfig
+from repro.netsim import NetemProfile, NetworkPath
+from repro.transport import QuicConnection
+from repro.web.topsites import GeneratorConfig, cached_universe
+
+
+def bench_kernel_events_per_sec(n_events: int = 200_000) -> float:
+    """Chained call_later throughput: the scheduler's inner loop."""
+    loop = EventLoop()
+    state = {"n": 0}
+
+    def tick() -> None:
+        state["n"] += 1
+        if state["n"] < n_events:
+            loop.call_later(0.01, tick)
+
+    loop.call_later(0.0, tick)
+    start = time.perf_counter()
+    loop.run()
+    return n_events / (time.perf_counter() - start)
+
+
+def bench_transfer_events_per_sec(response_bytes: int = 500_000) -> dict:
+    """A lossy QUIC transfer: packets, acks, timers — the real mix."""
+    loop = EventLoop()
+    path = NetworkPath(
+        loop,
+        NetemProfile(delay_ms=15.0, loss_rate=0.02, rate_mbps=50.0),
+        rng=random.Random(7),
+    )
+    conn = QuicConnection(loop, path)
+    done: list = []
+    conn.connect(done.append)
+    loop.run_until(lambda: bool(done))
+    stream = conn.request(400, response_bytes)
+    start = time.perf_counter()
+    loop.run_until(lambda: stream.complete)
+    elapsed = time.perf_counter() - start
+    return {
+        "events": loop.processed_events,
+        "events_per_sec": loop.processed_events / elapsed,
+    }
+
+
+def fingerprint(result) -> list:
+    return [
+        (pv.probe_name, pv.page.url, pv.h2.plt_ms, pv.h3.plt_ms)
+        for pv in result.paired_visits
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pages", type=int, default=32)
+    parser.add_argument("--sites", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--workers", default="2,4",
+                        help="comma-separated worker counts to benchmark")
+    parser.add_argument("--out", default="BENCH_campaign.json")
+    args = parser.parse_args(argv)
+
+    worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+    universe = cached_universe(GeneratorConfig(n_sites=args.sites), seed=args.seed)
+    pages = universe.pages[: args.pages]
+    config = CampaignConfig(seed=3)
+    campaign = Campaign(universe, config)
+
+    print(f"universe: {args.sites} sites, measuring {len(pages)} pages")
+    start = time.perf_counter()
+    serial = campaign.run(pages, workers=1)
+    serial_s = time.perf_counter() - start
+    print(f"serial (workers=1): {serial_s:.2f}s")
+
+    runs = {}
+    serial_print = fingerprint(serial)
+    for workers in worker_counts:
+        start = time.perf_counter()
+        result = campaign.run(pages, workers=workers)
+        elapsed = time.perf_counter() - start
+        identical = fingerprint(result) == serial_print
+        runs[str(workers)] = {
+            "seconds": elapsed,
+            "speedup_vs_serial": serial_s / elapsed,
+            "identical_to_serial": identical,
+        }
+        print(
+            f"workers={workers}: {elapsed:.2f}s "
+            f"(speedup {serial_s / elapsed:.2f}x, identical={identical})"
+        )
+        if not identical:
+            raise SystemExit(f"workers={workers} diverged from the serial run")
+
+    kernel = bench_kernel_events_per_sec()
+    transfer = bench_transfer_events_per_sec()
+    print(f"substrate kernel: {kernel:,.0f} events/s")
+    print(
+        f"substrate transfer: {transfer['events']} events, "
+        f"{transfer['events_per_sec']:,.0f} events/s"
+    )
+
+    payload = {
+        "benchmark": "campaign-engine",
+        "pages": len(pages),
+        "sites": args.sites,
+        "cpu_count": os.cpu_count(),
+        "sched_affinity_cpus": (
+            len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else None
+        ),
+        "serial_seconds": serial_s,
+        "parallel": runs,
+        "substrate": {
+            "kernel_events_per_sec": kernel,
+            "transfer_events": transfer["events"],
+            "transfer_events_per_sec": transfer["events_per_sec"],
+        },
+        "note": (
+            "speedup is bounded by available cores; on a 1-core host the "
+            "pool adds serialization overhead instead of parallelism"
+        ),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

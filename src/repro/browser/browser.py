@@ -102,6 +102,37 @@ class PageVisit:
     def entries(self) -> list[HarEntry]:
         return self.har.entries
 
+    def to_dict(self) -> dict:
+        """Compact, picklable rendering of this visit.
+
+        This is the parallel campaign runner's worker→parent boundary:
+        a visit crosses the process gap as plain dicts (HAR-1.2 document
+        plus counters) instead of a live ``EventLoop`` object graph.
+        """
+        return {
+            "format": "repro-h3cdn-visit/1",
+            "pageUrl": self.page_url,
+            "protocolMode": self.protocol_mode,
+            "pltMs": self.plt_ms,
+            "poolStats": self.pool_stats.to_dict(),
+            "har": self.har.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "PageVisit":
+        """Reconstruct a visit rendered by :meth:`to_dict`."""
+        if document.get("format") != "repro-h3cdn-visit/1":
+            raise ValueError(
+                f"unrecognized visit format: {document.get('format')!r}"
+            )
+        return cls(
+            page_url=document["pageUrl"],
+            protocol_mode=document["protocolMode"],
+            har=HarLog.from_dict(document["har"]),
+            plt_ms=document["pltMs"],
+            pool_stats=PoolStats.from_dict(document["poolStats"]),
+        )
+
 
 class Browser:
     """A simulated Chrome profile bound to one probe's network."""

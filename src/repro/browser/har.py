@@ -84,6 +84,7 @@ class HarEntry:
             "_cdn": {"isCdn": self.is_cdn, "provider": self.provider},
             "_reused": self.reused,
             "_resumed": self.resumed,
+            "_cacheHit": self.cache_hit,
         }
 
 
@@ -192,6 +193,7 @@ class HarLog:
                     status=raw.get("response", {}).get("status", 200),
                     reused=raw.get("_reused", timing.connect == 0.0),
                     resumed=raw.get("_resumed", False),
+                    cache_hit=raw.get("_cacheHit", False),
                     is_cdn=is_cdn,
                     provider=provider,
                 )

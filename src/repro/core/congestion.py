@@ -13,7 +13,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.stats import LinearFit, linear_fit, median
-from repro.measurement.campaign import Campaign, CampaignConfig
+from repro.measurement.campaign import CampaignConfig
+from repro.measurement.parallel import run_campaigns
 from repro.web.page import Webpage
 from repro.web.topsites import WebUniverse
 
@@ -83,31 +84,48 @@ def loss_sweep(
     seed: int = 0,
     repetitions: int = 1,
     campaign_config: CampaignConfig | None = None,
+    workers: int = 1,
+    chunk_size: int | None = None,
 ) -> list[LossSweepSeries]:
     """Run the Fig. 9 experiment: one campaign per loss rate.
 
     ``repetitions`` re-runs each campaign with distinct seeds and pools
     the points — loss is stochastic, so the paper-style fitted slopes
     stabilize with a few repetitions.
+
+    All ``loss_rate × repetition`` campaigns are submitted to one
+    worker pool (``workers > 1``), so every loss rate is just another
+    set of independent shards rather than a serial outer loop.
     """
     target_pages = tuple(pages if pages is not None else universe.pages)
     base = campaign_config or CampaignConfig()
+    configs = {
+        (loss_rate, repetition): CampaignConfig(
+            visits_per_page=base.visits_per_page,
+            probes_per_vantage=base.probes_per_vantage,
+            max_vantage_points=base.max_vantage_points,
+            loss_rate=loss_rate,
+            rate_mbps=base.rate_mbps,
+            warm_popular=base.warm_popular,
+            seed=seed + repetition,
+            transport_config=base.transport_config,
+            use_session_tickets=base.use_session_tickets,
+        )
+        for loss_rate in loss_rates
+        for repetition in range(repetitions)
+    }
+    results = run_campaigns(
+        universe,
+        configs,
+        pages=target_pages,
+        workers=workers,
+        chunk_size=chunk_size,
+    )
     series: list[LossSweepSeries] = []
     for loss_rate in loss_rates:
         points: list[tuple[int, float]] = []
         for repetition in range(repetitions):
-            config = CampaignConfig(
-                visits_per_page=base.visits_per_page,
-                probes_per_vantage=base.probes_per_vantage,
-                max_vantage_points=base.max_vantage_points,
-                loss_rate=loss_rate,
-                rate_mbps=base.rate_mbps,
-                warm_popular=base.warm_popular,
-                seed=seed + repetition,
-                transport_config=base.transport_config,
-                use_session_tickets=base.use_session_tickets,
-            )
-            result = Campaign(universe, config).run(target_pages)
+            result = results[(loss_rate, repetition)]
             points.extend(
                 (len(pv.page.cdn_resources), pv.plt_reduction_ms)
                 for pv in result.paired_visits

@@ -25,7 +25,7 @@ from repro.core.sharing import CaseStudyResult
 from repro.measurement.campaign import Campaign, CampaignConfig, CampaignResult
 from repro.measurement.consecutive import ConsecutiveRun, ConsecutiveVisitRunner
 from repro.web.page import Webpage
-from repro.web.topsites import GeneratorConfig, TopSitesGenerator, WebUniverse
+from repro.web.topsites import GeneratorConfig, WebUniverse, cached_universe
 
 
 @dataclass(frozen=True)
@@ -49,6 +49,8 @@ class StudyConfig:
     max_loss_sweep_pages: int | None = None
     #: Repetitions for the loss sweep (loss is stochastic).
     loss_sweep_repetitions: int = 1
+    #: Worker processes for the campaign and loss sweep (1 = in-process).
+    workers: int = 1
 
     def resolved_generator_config(self) -> GeneratorConfig:
         if self.generator_config is not None:
@@ -73,8 +75,9 @@ class H3CdnStudy:
     def universe(self) -> WebUniverse:
         """The synthetic top-site universe (generated on first use)."""
         if self._universe is None:
-            generator = TopSitesGenerator(self.config.resolved_generator_config())
-            self._universe = generator.generate(seed=self.config.seed)
+            self._universe = cached_universe(
+                self.config.resolved_generator_config(), seed=self.config.seed
+            )
         return self._universe
 
     def _pages(self, cap: int | None) -> tuple[Webpage, ...]:
@@ -87,7 +90,8 @@ class H3CdnStudy:
         if self._campaign_result is None:
             campaign = Campaign(self.universe, self.config.campaign_config)
             self._campaign_result = campaign.run(
-                self._pages(self.config.max_campaign_pages)
+                self._pages(self.config.max_campaign_pages),
+                workers=self.config.workers,
             )
         return self._campaign_result
 
@@ -194,6 +198,7 @@ class H3CdnStudy:
                 seed=self.config.seed,
                 repetitions=self.config.loss_sweep_repetitions,
                 campaign_config=self.config.campaign_config,
+                workers=self.config.workers,
             )
         return self._loss_sweep
 

@@ -12,13 +12,17 @@ Design notes
 * Events can be cancelled.  Cancellation is O(1): the heap entry is
   marked dead and skipped when popped.  This is the standard "lazy
   deletion" approach and is what retransmission timers rely on.
+* This is the simulator's innermost loop — a full campaign pushes tens
+  of millions of events through it — so :class:`ScheduledEvent` is a
+  ``__slots__`` class with a hand-written ``__lt__`` (a dataclass with
+  ``order=True`` pays for generated tuple comparisons and a ``__dict__``
+  per event), and the loop keeps a live-event counter so ``len(loop)``
+  is O(1).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
@@ -26,24 +30,50 @@ class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
 
 
-@dataclass(order=True)
 class ScheduledEvent:
     """A single entry in the event queue.
 
     Instances are ordered by ``(time, seq)`` so that simultaneous events
     preserve scheduling order.  ``callback`` and ``args`` are excluded
-    from comparisons.
+    from comparisons.  ``_loop`` doubles as the "still pending" marker:
+    it is cleared when the event is popped (executed or discarded) so
+    the loop's live-event counter stays exact under double-cancels and
+    cancels of already-fired events.
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_loop")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        loop: "EventLoop | None" = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._loop = loop
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when popped."""
         self.cancelled = True
+        loop = self._loop
+        if loop is not None:
+            self._loop = None
+            loop._live -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time} seq={self.seq} {state}>"
 
 
 class Timer:
@@ -53,6 +83,8 @@ class Timer:
     timer, ``stop`` disarms it, and re-arming implicitly cancels the
     previous deadline.
     """
+
+    __slots__ = ("_loop", "_callback", "_event")
 
     def __init__(self, loop: "EventLoop", callback: Callable[[], None]) -> None:
         self._loop = loop
@@ -98,9 +130,12 @@ class EventLoop:
 
     def __init__(self) -> None:
         self._queue: list[ScheduledEvent] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._now = 0.0
         self._processed = 0
+        # Live (scheduled, not cancelled) events; maintained on push,
+        # cancel and pop so __len__ is O(1).
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -113,7 +148,7 @@ class EventLoop:
         return self._processed
 
     def __len__(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        return self._live
 
     def call_later(
         self, delay_ms: float, callback: Callable[..., None], *args: Any
@@ -121,7 +156,11 @@ class EventLoop:
         """Schedule ``callback(*args)`` to run ``delay_ms`` from now."""
         if delay_ms < 0:
             raise SimulationError(f"cannot schedule {delay_ms}ms in the past")
-        return self.call_at(self._now + delay_ms, callback, *args)
+        self._seq += 1
+        event = ScheduledEvent(self._now + delay_ms, self._seq, callback, args, self)
+        heapq.heappush(self._queue, event)
+        self._live += 1
+        return event
 
     def call_at(
         self, time_ms: float, callback: Callable[..., None], *args: Any
@@ -131,8 +170,10 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule at {time_ms}ms, already at {self._now}ms"
             )
-        event = ScheduledEvent(time_ms, next(self._seq), callback, args)
+        self._seq += 1
+        event = ScheduledEvent(time_ms, self._seq, callback, args, self)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def step(self) -> bool:
@@ -141,10 +182,13 @@ class EventLoop:
         Returns ``True`` if an event ran, ``False`` if the queue was
         empty (dead entries are skipped silently).
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)
             if event.cancelled:
                 continue
+            event._loop = None
+            self._live -= 1
             self._now = event.time
             self._processed += 1
             event.callback(*event.args)
@@ -161,35 +205,52 @@ class EventLoop:
             exactly ``until_ms`` still run.
         max_events:
             Safety valve against runaway simulations; raises
-            :class:`SimulationError` when exceeded.
+            :class:`SimulationError` as soon as a pending event would
+            exceed the bound, so exactly ``max_events`` events execute
+            before the error.
         """
+        queue = self._queue
+        pop = heapq.heappop
         executed = 0
-        while self._queue:
-            head = self._peek()
-            if head is None:
-                return
-            if until_ms is not None and head.time > until_ms:
+        while queue:
+            event = queue[0]
+            if event.cancelled:
+                pop(queue)
+                continue
+            if until_ms is not None and event.time > until_ms:
                 self._now = until_ms
                 return
-            self.step()
-            executed += 1
-            if max_events is not None and executed > max_events:
+            if max_events is not None and executed >= max_events:
                 raise SimulationError(f"exceeded {max_events} events; likely livelock")
+            pop(queue)
+            event._loop = None
+            self._live -= 1
+            self._now = event.time
+            self._processed += 1
+            executed += 1
+            event.callback(*event.args)
 
     def run_until(self, predicate: Callable[[], bool], max_events: int = 50_000_000) -> None:
-        """Run until ``predicate()`` becomes true or the queue drains."""
+        """Run until ``predicate()`` becomes true or the queue drains.
+
+        Raises :class:`SimulationError` if the predicate is still false
+        after exactly ``max_events`` events have executed.
+        """
         executed = 0
+        step = self.step
         while not predicate():
-            if not self.step():
+            if executed >= max_events:
+                raise SimulationError(f"exceeded {max_events} events; likely livelock")
+            if not step():
                 return
             executed += 1
-            if executed > max_events:
-                raise SimulationError(f"exceeded {max_events} events; likely livelock")
 
     def _peek(self) -> ScheduledEvent | None:
-        while self._queue:
-            if self._queue[0].cancelled:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head.cancelled:
+                heapq.heappop(queue)
                 continue
-            return self._queue[0]
+            return head
         return None

@@ -54,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--sites", type=int, help="override number of sites")
     parser.add_argument("--seed", type=int, default=7, help="study seed (default 7)")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for campaigns and the loss sweep "
+        "(default 1 = in-process; results are identical for any value)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     parser.add_argument(
@@ -108,6 +115,7 @@ def make_study(args: argparse.Namespace) -> H3CdnStudy:
             max_consecutive_pages=consecutive_pages,
             max_loss_sweep_pages=loss_pages,
             loss_sweep_repetitions=loss_reps,
+            workers=args.workers,
         )
     )
 

@@ -61,6 +61,25 @@ class PoolStats:
             zero_rtt_connections=self.zero_rtt_connections + other.zero_rtt_connections,
         )
 
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "requests": self.requests,
+            "connectionsCreated": self.connections_created,
+            "resumedConnections": self.resumed_connections,
+            "reusedRequests": self.reused_requests,
+            "zeroRttConnections": self.zero_rtt_connections,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, int]) -> "PoolStats":
+        return cls(
+            requests=raw.get("requests", 0),
+            connections_created=raw.get("connectionsCreated", 0),
+            resumed_connections=raw.get("resumedConnections", 0),
+            reused_requests=raw.get("reusedRequests", 0),
+            zero_rtt_connections=raw.get("zeroRttConnections", 0),
+        )
+
 
 @dataclass
 class _PendingFetch:

@@ -17,6 +17,12 @@ from repro.measurement.campaign import (
 )
 from repro.measurement.consecutive import ConsecutiveVisitRunner
 from repro.measurement.farm import ProbeNetProfile, ServerFarm
+from repro.measurement.parallel import (
+    ParallelCampaign,
+    derive_seed,
+    measure_paired_visit,
+    run_campaigns,
+)
 from repro.measurement.probe import Probe
 from repro.measurement.report import CampaignReport, ModeSummary, campaign_report
 from repro.measurement.vantage import (
@@ -33,11 +39,15 @@ __all__ = [
     "ConsecutiveVisitRunner",
     "PairedVisit",
     "ModeSummary",
+    "ParallelCampaign",
     "Probe",
     "ProbeNetProfile",
     "ServerFarm",
     "VantagePoint",
     "campaign_report",
     "default_vantage_points",
+    "derive_seed",
     "global_vantage_points",
+    "measure_paired_visit",
+    "run_campaigns",
 ]

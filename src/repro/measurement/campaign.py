@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.browser.browser import H2_ONLY, H3_ENABLED, PageVisit
-from repro.measurement.probe import Probe
 from repro.measurement.vantage import VantagePoint, default_vantage_points
 from repro.transport.config import TransportConfig
 from repro.web.page import Webpage
@@ -101,47 +100,32 @@ class Campaign:
             vps = vps[: self.config.max_vantage_points]
         self.vantage_points = vps
 
-    def _build_probes(self) -> list[Probe]:
-        cfg = self.config
-        probes = []
-        for vp_index, vp in enumerate(self.vantage_points):
-            for probe_index in range(cfg.probes_per_vantage):
-                probes.append(
-                    Probe(
-                        name=f"{vp.name}-{probe_index}",
-                        universe=self.universe,
-                        net_profile=vp.net_profile(
-                            loss_rate=cfg.loss_rate, rate_mbps=cfg.rate_mbps
-                        ),
-                        seed=cfg.seed * 1000 + vp_index * 10 + probe_index,
-                        transport_config=cfg.transport_config,
-                        use_session_tickets=cfg.use_session_tickets,
-                    )
-                )
-        return probes
-
-    def run(self, pages: tuple[Webpage, ...] | None = None) -> CampaignResult:
+    def run(
+        self,
+        pages: tuple[Webpage, ...] | None = None,
+        *,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        start_method: str | None = None,
+    ) -> CampaignResult:
         """Measure ``pages`` (default: the whole universe) everywhere.
 
-        Pages are visited sequentially in a fixed order per probe,
-        each under H2 then H3 (separate browser instances), with edge
-        caches optionally pre-warmed.
+        Every ``(vantage, probe, page)`` paired visit runs in its own
+        isolated simulation with a seed derived from that triple, each
+        page under H2 then H3 (separate browser instances), with edge
+        caches optionally pre-warmed.  ``workers > 1`` shards the visits
+        across a process pool; results are identical for any worker
+        count (see :mod:`repro.measurement.parallel`).
         """
-        target_pages = pages if pages is not None else self.universe.pages
-        paired: list[PairedVisit] = []
-        for probe in self._build_probes():
-            if self.config.warm_popular:
-                probe.warm_edges(target_pages)
-            for page in target_pages:
-                h2_visit = probe.measure_page(
-                    page, H2_ONLY, visits=self.config.visits_per_page
-                )
-                h3_visit = probe.measure_page(
-                    page, H3_ENABLED, visits=self.config.visits_per_page
-                )
-                paired.append(
-                    PairedVisit(
-                        page=page, probe_name=probe.name, h2=h2_visit, h3=h3_visit
-                    )
-                )
-        return CampaignResult(self.universe, self.config, paired)
+        from repro.measurement.parallel import run_campaigns
+
+        results = run_campaigns(
+            self.universe,
+            {"campaign": self.config},
+            pages=pages,
+            vantage_points=self.vantage_points,
+            workers=workers,
+            chunk_size=chunk_size,
+            start_method=start_method,
+        )
+        return results["campaign"]

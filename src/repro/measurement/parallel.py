@@ -1,0 +1,286 @@
+"""Parallel campaign execution: sharding paired visits across processes.
+
+The paper's protocol is embarrassingly parallel: every ``(vantage,
+probe, page)`` paired visit is an isolated simulation with its own
+:class:`~repro.events.loop.EventLoop` and RNG stream.  This module
+exploits that:
+
+* **Work units** are ``(campaign, vantage, probe, page-chunk)`` tuples.
+  A worker process replays each page's paired visit (H2 then H3,
+  ``visits_per_page`` times each, edge caches warmed per page) in a
+  fresh single-page simulation.
+* **Seeding** is derived per ``(campaign seed, vantage, probe, page)``
+  with a stable hash — not Python's process-randomized ``hash()`` — so
+  any worker count, chunking, or scheduling order reproduces the
+  ``workers=1`` run bit-for-bit.
+* **The process boundary** carries compact dicts (HAR-1.2 documents via
+  :meth:`PageVisit.to_dict`), never live simulation object graphs.
+* **Multiple campaigns** (e.g. every loss rate × repetition of the
+  Fig. 9 sweep) can share one pool: :func:`run_campaigns` takes a dict
+  of configs and every paired visit of every config becomes one more
+  independent shard.
+
+``workers <= 1`` falls back to an in-process loop over the same work
+units — no pool, no serialization round trip, identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from typing import Hashable, Iterable, Sequence
+
+from repro.browser.browser import H2_ONLY, H3_ENABLED, PageVisit
+from repro.measurement.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    PairedVisit,
+)
+from repro.measurement.probe import Probe
+from repro.measurement.vantage import VantagePoint, default_vantage_points
+from repro.web.page import Webpage
+from repro.web.topsites import WebUniverse
+
+
+def derive_seed(
+    base_seed: int, vp_index: int, probe_index: int, page_index: int
+) -> int:
+    """Stable per-visit seed for ``(campaign, vantage, probe, page)``.
+
+    Uses BLAKE2b (not ``hash()``, which is randomized per process) so
+    every process — and every future session — derives the same stream.
+    """
+    key = f"{base_seed}:{vp_index}:{probe_index}:{page_index}".encode()
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")
+
+
+def measure_paired_visit(
+    universe: WebUniverse,
+    vantage: VantagePoint,
+    vp_index: int,
+    probe_index: int,
+    config: CampaignConfig,
+    page: Webpage,
+    page_index: int,
+) -> PairedVisit:
+    """Measure one page from one probe in a fresh, isolated simulation.
+
+    This is *the* unit of campaign work — the serial fallback and the
+    worker processes both call it, which is what makes parallel runs
+    reproduce serial ones exactly: nothing (event-loop clock, RNG
+    position, cache state) leaks between pages.
+    """
+    probe = Probe(
+        name=f"{vantage.name}-{probe_index}",
+        universe=universe,
+        net_profile=vantage.net_profile(
+            loss_rate=config.loss_rate, rate_mbps=config.rate_mbps
+        ),
+        seed=derive_seed(config.seed, vp_index, probe_index, page_index),
+        transport_config=config.transport_config,
+        use_session_tickets=config.use_session_tickets,
+    )
+    if config.warm_popular:
+        probe.warm_edges((page,))
+    h2 = probe.measure_page(page, H2_ONLY, visits=config.visits_per_page)
+    h3 = probe.measure_page(page, H3_ENABLED, visits=config.visits_per_page)
+    return PairedVisit(page=page, probe_name=probe.name, h2=h2, h3=h3)
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+
+#: Per-worker context installed by the pool initializer.  Module-level so
+#: it survives both ``fork`` (inherited) and ``spawn`` (re-initialized in
+#: the fresh interpreter) start methods.
+_WORKER_CTX: dict = {}
+
+#: A work unit: ``(config key, vp_index, probe_index, page indices)``.
+_WorkUnit = tuple[Hashable, int, int, tuple[int, ...]]
+
+
+def _init_worker(
+    universe: WebUniverse,
+    vantage_points: tuple[VantagePoint, ...],
+    configs: dict[Hashable, CampaignConfig],
+    pages: tuple[Webpage, ...],
+) -> None:
+    _WORKER_CTX["universe"] = universe
+    _WORKER_CTX["vantage_points"] = vantage_points
+    _WORKER_CTX["configs"] = configs
+    _WORKER_CTX["pages"] = pages
+
+
+def _run_unit(unit: _WorkUnit) -> list[tuple[int, dict, dict]]:
+    """Replay one work unit; results cross the process gap as dicts."""
+    key, vp_index, probe_index, page_indices = unit
+    universe = _WORKER_CTX["universe"]
+    vantage = _WORKER_CTX["vantage_points"][vp_index]
+    config = _WORKER_CTX["configs"][key]
+    pages = _WORKER_CTX["pages"]
+    out = []
+    for page_index in page_indices:
+        paired = measure_paired_visit(
+            universe, vantage, vp_index, probe_index, config,
+            pages[page_index], page_index,
+        )
+        out.append((page_index, paired.h2.to_dict(), paired.h3.to_dict()))
+    return out
+
+
+def _chunked(indices: Sequence[int], chunk_size: int) -> Iterable[tuple[int, ...]]:
+    for start in range(0, len(indices), chunk_size):
+        yield tuple(indices[start : start + chunk_size])
+
+
+# ----------------------------------------------------------------------
+# Orchestration
+# ----------------------------------------------------------------------
+
+
+def run_campaigns(
+    universe: WebUniverse,
+    configs: dict[Hashable, CampaignConfig],
+    pages: tuple[Webpage, ...] | None = None,
+    vantage_points: tuple[VantagePoint, ...] | None = None,
+    workers: int = 1,
+    chunk_size: int | None = None,
+    start_method: str | None = None,
+) -> dict[Hashable, CampaignResult]:
+    """Run one or more campaigns over shared worker processes.
+
+    Every ``(config, vantage, probe, page-chunk)`` becomes an
+    independent shard; results come back keyed like ``configs``, with
+    each campaign's paired visits in the canonical serial order
+    (vantage-major, then probe, then page).  With ``workers <= 1`` the
+    same units run in-process, in the same order, with the same derived
+    seeds — so worker count never changes a single result.
+    """
+    target_pages = tuple(pages if pages is not None else universe.pages)
+    all_vps = tuple(
+        vantage_points if vantage_points is not None else default_vantage_points()
+    )
+
+    # Deterministic unit list: configs in insertion order, vantage-major.
+    units: list[_WorkUnit] = []
+    for key, config in configs.items():
+        vps = all_vps
+        if config.max_vantage_points is not None:
+            vps = vps[: config.max_vantage_points]
+        page_indices = list(range(len(target_pages)))
+        per_chunk = chunk_size if chunk_size is not None else _default_chunk_size(
+            len(page_indices), workers
+        )
+        for vp_index in range(len(vps)):
+            for probe_index in range(config.probes_per_vantage):
+                for chunk in _chunked(page_indices, per_chunk):
+                    units.append((key, vp_index, probe_index, chunk))
+
+    if workers <= 1:
+        unit_results = [_run_unit_inprocess(unit, universe, all_vps, configs,
+                                            target_pages) for unit in units]
+    else:
+        ctx = multiprocessing.get_context(start_method)
+        with ctx.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(universe, all_vps, configs, target_pages),
+        ) as pool:
+            raw = pool.map(_run_unit, units)
+        unit_results = [
+            [
+                (page_index,
+                 PageVisit.from_dict(h2_doc),
+                 PageVisit.from_dict(h3_doc))
+                for page_index, h2_doc, h3_doc in chunk_result
+            ]
+            for chunk_result in raw
+        ]
+
+    # Reassemble per campaign, in canonical order.  ``pool.map``
+    # preserves input order, so zipping units with results suffices.
+    results: dict[Hashable, CampaignResult] = {}
+    paired_by_key: dict[Hashable, list[PairedVisit]] = {key: [] for key in configs}
+    for (key, vp_index, probe_index, _), chunk_result in zip(units, unit_results):
+        vantage = all_vps[vp_index]
+        for page_index, h2, h3 in chunk_result:
+            paired_by_key[key].append(
+                PairedVisit(
+                    page=target_pages[page_index],
+                    probe_name=f"{vantage.name}-{probe_index}",
+                    h2=h2,
+                    h3=h3,
+                )
+            )
+    for key, config in configs.items():
+        results[key] = CampaignResult(universe, config, paired_by_key[key])
+    return results
+
+
+def _run_unit_inprocess(
+    unit: _WorkUnit,
+    universe: WebUniverse,
+    vantage_points: tuple[VantagePoint, ...],
+    configs: dict[Hashable, CampaignConfig],
+    pages: tuple[Webpage, ...],
+) -> list[tuple[int, PageVisit, PageVisit]]:
+    """Serial fallback: same units, no pool, no serialization round trip."""
+    key, vp_index, probe_index, page_indices = unit
+    vantage = vantage_points[vp_index]
+    config = configs[key]
+    out = []
+    for page_index in page_indices:
+        paired = measure_paired_visit(
+            universe, vantage, vp_index, probe_index, config,
+            pages[page_index], page_index,
+        )
+        out.append((page_index, paired.h2, paired.h3))
+    return out
+
+
+def _default_chunk_size(n_pages: int, workers: int) -> int:
+    """A few chunks per worker balances load against pool overhead."""
+    if workers <= 1:
+        return max(1, n_pages)
+    return max(1, -(-n_pages // (workers * 4)))
+
+
+class ParallelCampaign:
+    """A :class:`~repro.measurement.campaign.Campaign` with a worker pool.
+
+    Thin convenience wrapper over :func:`run_campaigns` for the common
+    one-config case::
+
+        result = ParallelCampaign(universe, config, workers=4).run()
+    """
+
+    def __init__(
+        self,
+        universe: WebUniverse,
+        config: CampaignConfig | None = None,
+        vantage_points: tuple[VantagePoint, ...] | None = None,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        self.universe = universe
+        self.config = config or CampaignConfig()
+        self.vantage_points = (
+            vantage_points if vantage_points is not None else default_vantage_points()
+        )
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+
+    def run(self, pages: tuple[Webpage, ...] | None = None) -> CampaignResult:
+        results = run_campaigns(
+            self.universe,
+            {"campaign": self.config},
+            pages=pages,
+            vantage_points=self.vantage_points,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            start_method=self.start_method,
+        )
+        return results["campaign"]

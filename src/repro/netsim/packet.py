@@ -31,7 +31,7 @@ class PacketKind(enum.Enum):
     TICKET = "ticket"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamChunk:
     """A contiguous run of one stream's bytes carried by a packet.
 
@@ -56,14 +56,19 @@ class StreamChunk:
         return self.offset + self.size
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A simulated packet.
 
     ``seq`` is a transport-assigned packet number (QUIC-style: unique,
     monotonically increasing, never reused even for retransmissions; the
     TCP model also tracks byte ranges via chunks).  ``ack_seq`` is used by
-    ACK packets to carry cumulative/summary acknowledgement state.
+    ACK packets to carry cumulative/summary acknowledgement state:
+    ``ack_seq`` is the largest packet number covered and ``sack`` lists
+    every packet number the ACK acknowledges (QUIC-style ranges,
+    flattened).  ``ack_delay_ms`` reports how long the receiver held the
+    ACK back (RFC 9002 §5.3) so the sender can exclude delayed-ack time
+    from its RTT samples.
     """
 
     kind: PacketKind
@@ -71,6 +76,7 @@ class Packet:
     chunks: tuple[StreamChunk, ...] = ()
     ack_seq: int = -1
     sack: tuple[int, ...] = ()
+    ack_delay_ms: float = 0.0
     size_bytes: int = field(default=0)
     uid: int = field(default_factory=lambda: next(_packet_ids))
     sent_at: float = -1.0

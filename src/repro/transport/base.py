@@ -24,7 +24,7 @@ from __future__ import annotations
 import itertools
 import random
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.events import EventLoop, Timer
@@ -71,6 +71,18 @@ class ConnectionStats:
 class ClientStream:
     """Client-side view of one request/response exchange."""
 
+    __slots__ = (
+        "stream_id",
+        "request_bytes",
+        "response_bytes",
+        "on_first_byte",
+        "on_complete",
+        "opened_at",
+        "received",
+        "t_first_byte",
+        "t_complete",
+    )
+
     def __init__(
         self,
         stream_id: int,
@@ -97,6 +109,18 @@ class ClientStream:
 
 class _ServerStream:
     """Server-side state of one stream: request reassembly + send queue."""
+
+    __slots__ = (
+        "stream_id",
+        "response_bytes",
+        "think_ms",
+        "weight",
+        "request_received",
+        "request_total",
+        "request_offsets",
+        "response_queued",
+        "next_offset",
+    )
 
     def __init__(
         self,
@@ -125,7 +149,7 @@ class _ServerStream:
         return self.response_bytes - self.next_offset if self.response_queued else 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Inflight:
     """A data packet awaiting acknowledgement."""
 
@@ -137,7 +161,7 @@ class _Inflight:
     retransmission: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingRequestPacket:
     packet: Packet
     timer: Timer
@@ -196,6 +220,15 @@ class BaseConnection:
         self.streams: dict[int, ClientStream] = {}
         self._req_seq = itertools.count(1)
         self._pending_requests: dict[int, _PendingRequestPacket] = {}
+
+        # Client delayed-ack state: data-packet numbers received but not
+        # yet acknowledged.  Flushed every ``ack_frequency`` packets, on
+        # any sequence anomaly (gap/reorder — RFC 9000 §13.2.1), or when
+        # the ``max_ack_delay`` timer fires.
+        self._ack_pending: list[int] = []
+        self._ack_largest_received = 0
+        self._ack_last_recv_at = 0.0
+        self._ack_timer = Timer(loop, self._flush_acks)
 
         # Server send side.
         self._server_streams: dict[int, _ServerStream] = {}
@@ -489,15 +522,30 @@ class BaseConnection:
         self._arm_pto()
 
     def _server_on_ack(self, pkt: Packet) -> None:
-        info = self._inflight.pop(pkt.ack_seq, None)
-        self.stats.acks_received += 1
-        if info is None:
-            return  # duplicate or ack for an already-declared-lost packet
-        self._bytes_in_flight -= info.size_bytes
-        if not info.retransmission:
-            self.rtt.on_sample(self.loop.now - info.sent_at)
-        self.cc.on_ack(info.size_bytes, self.loop.now)
-        self._delivered_bytes += info.size_bytes
+        # One ACK packet may cover several data packets (``sack`` lists
+        # every newly-received packet number; ``ack_seq`` is the largest).
+        acked = pkt.sack or (pkt.ack_seq,)
+        largest_info: _Inflight | None = None
+        newly_acked = False
+        for seq in acked:
+            self.stats.acks_received += 1
+            info = self._inflight.pop(seq, None)
+            if info is None:
+                continue  # duplicate or already declared lost
+            newly_acked = True
+            self._bytes_in_flight -= info.size_bytes
+            self.cc.on_ack(info.size_bytes, self.loop.now)
+            self._delivered_bytes += info.size_bytes
+            if largest_info is None or seq > largest_info.seq:
+                largest_info = info
+        if not newly_acked:
+            return
+        # RTT from the largest newly-acked, never-retransmitted packet,
+        # net of the receiver's deliberate ack delay (RFC 9002 §5.3).
+        if largest_info is not None and not largest_info.retransmission:
+            sample = self.loop.now - largest_info.sent_at - pkt.ack_delay_ms
+            if sample >= 0:
+                self.rtt.on_sample(sample)
         rate_sampler = getattr(self.cc, "on_rate_sample", None)
         if rate_sampler is not None and self.rtt.srtt_ms:
             assert self._first_data_sent_at is not None
@@ -537,7 +585,9 @@ class BaseConnection:
             self._recovery_until_seq = self._largest_sent
 
     def _arm_pto(self) -> None:
-        timeout = self.rtt.rto_ms * self._pto_backoff
+        # RFC 9002 §6.2.1: the peer may legitimately sit on an ACK for
+        # up to max_ack_delay, so the probe timeout budgets for it.
+        timeout = (self.rtt.rto_ms + self.config.max_ack_delay_ms) * self._pto_backoff
         self._pto_timer.start(timeout)
 
     def _on_pto(self) -> None:
@@ -570,12 +620,42 @@ class BaseConnection:
         if pkt.kind is PacketKind.ACK:
             self._client_on_request_ack(pkt)
             return
-        # Ack every data packet (receipt, not delivery, drives acking —
-        # this is what lets the sender learn about gaps while the
-        # receiver is HoL-blocked).
-        ack = Packet(PacketKind.ACK, ack_seq=pkt.seq)
-        self.path.send_to_server(ack, self._server_on_packet)
+        # Receipt, not delivery, drives acking — this is what lets the
+        # sender learn about gaps while the receiver is HoL-blocked.
+        # ACKs are batched: every ``ack_frequency`` packets in the smooth
+        # case, immediately on any sequence anomaly (a gap means loss
+        # detection is waiting on this ACK), with a max_ack_delay timer
+        # backstop so tail packets are never acked late.
+        seq = pkt.seq
+        out_of_order = seq != self._ack_largest_received + 1
+        if seq > self._ack_largest_received:
+            self._ack_largest_received = seq
+        self._ack_pending.append(seq)
+        self._ack_last_recv_at = self.loop.now
+        if (
+            out_of_order
+            or pkt.retransmission
+            or len(self._ack_pending) >= self.config.ack_frequency
+        ):
+            self._flush_acks()
+        elif not self._ack_timer.armed:
+            self._ack_timer.start(self.config.max_ack_delay_ms)
         self._on_data_packet_received(pkt)
+
+    def _flush_acks(self) -> None:
+        """Send one ACK covering every pending data-packet number."""
+        if not self._ack_pending:
+            return
+        self._ack_timer.stop()
+        pending = tuple(sorted(self._ack_pending))
+        self._ack_pending.clear()
+        ack = Packet(
+            PacketKind.ACK,
+            ack_seq=pending[-1],
+            sack=pending,
+            ack_delay_ms=self.loop.now - self._ack_last_recv_at,
+        )
+        self.path.send_to_server(ack, self._server_on_packet)
 
     def _on_data_packet_received(self, pkt: Packet) -> None:
         """Subclass hook: buffer/reorder and eventually deliver chunks."""
@@ -603,6 +683,8 @@ class BaseConnection:
         self.closed = True
         self._pto_timer.stop()
         self._hs_timer.stop()
+        self._ack_timer.stop()
+        self._ack_pending.clear()
         for pending in self._pending_requests.values():
             pending.timer.stop()
         self._pending_requests.clear()

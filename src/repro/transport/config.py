@@ -45,6 +45,14 @@ class TransportConfig:
     #: connection setups queue; 0-RTT resumed QUIC connections need no
     #: handshake and bypass the queue entirely.
     max_concurrent_handshakes: int = 6
+    #: Acknowledge every Nth data packet (QUIC ACK-frequency / TCP
+    #: delayed acks).  A sequence gap flushes immediately so loss
+    #: detection keeps its timing (RFC 9000 §13.2.1); 1 acks every
+    #: packet.
+    ack_frequency: int = 2
+    #: Longest a receiver may sit on an unacknowledged data packet
+    #: before flushing an ACK anyway (RFC 9000 max_ack_delay).
+    max_ack_delay_ms: float = 5.0
 
     def __post_init__(self) -> None:
         if self.mss <= 0:
@@ -53,3 +61,7 @@ class TransportConfig:
             raise ValueError("initial_cwnd_packets must be positive")
         if self.packet_threshold < 1:
             raise ValueError("packet_threshold must be >= 1")
+        if self.ack_frequency < 1:
+            raise ValueError("ack_frequency must be >= 1")
+        if self.max_ack_delay_ms < 0:
+            raise ValueError("max_ack_delay_ms must be >= 0")

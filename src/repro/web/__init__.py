@@ -11,7 +11,12 @@ so that every downstream analysis exercises the same regimes.
 from repro.web.hosts import HostSpec
 from repro.web.page import Webpage, Website
 from repro.web.resource import Resource, ResourceType
-from repro.web.topsites import GeneratorConfig, TopSitesGenerator, WebUniverse
+from repro.web.topsites import (
+    GeneratorConfig,
+    TopSitesGenerator,
+    WebUniverse,
+    cached_universe,
+)
 
 __all__ = [
     "GeneratorConfig",
@@ -22,4 +27,5 @@ __all__ = [
     "WebUniverse",
     "Webpage",
     "Website",
+    "cached_universe",
 ]

@@ -186,6 +186,29 @@ class WebUniverse:
         }
 
 
+#: Memoized universes keyed by ``(config, seed)``.  Generation is pure —
+#: the same key always yields the same universe — and benchmarks/studies
+#: rebuild identical cohorts constantly, so the memo turns repeats into
+#: dict lookups.  Callers must treat cached universes as immutable.
+_UNIVERSE_MEMO: dict[tuple[GeneratorConfig, int], WebUniverse] = {}
+
+
+def cached_universe(
+    config: GeneratorConfig | None = None, seed: int = 0
+) -> WebUniverse:
+    """Return the universe for ``(config, seed)``, generating it at most once.
+
+    Only default-provider universes are cached; pass a custom provider
+    set directly to :class:`TopSitesGenerator` when you need one.
+    """
+    key = (config or GeneratorConfig(), seed)
+    universe = _UNIVERSE_MEMO.get(key)
+    if universe is None:
+        universe = TopSitesGenerator(key[0]).generate(seed)
+        _UNIVERSE_MEMO[key] = universe
+    return universe
+
+
 class TopSitesGenerator:
     """Generates a :class:`WebUniverse` from a config and a seed."""
 

@@ -99,6 +99,38 @@ class TestEventLoop:
         with pytest.raises(SimulationError):
             loop.run(max_events=100)
 
+    def test_max_events_bound_is_exact(self):
+        """The guard fires after *exactly* max_events executions (it
+        used to allow one extra event through)."""
+        loop = EventLoop()
+
+        def reschedule():
+            loop.call_later(1.0, reschedule)
+
+        loop.call_later(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=100)
+        assert loop.processed_events == 100
+
+    def test_max_events_allows_exactly_that_many(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(5):
+            loop.call_later(float(i + 1), fired.append, i)
+        loop.run(max_events=5)  # must not raise: exactly 5 events queued
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_run_until_max_events_bound_is_exact(self):
+        loop = EventLoop()
+
+        def reschedule():
+            loop.call_later(1.0, reschedule)
+
+        loop.call_later(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            loop.run_until(lambda: False, max_events=50)
+        assert loop.processed_events == 50
+
     def test_len_excludes_cancelled(self):
         loop = EventLoop()
         keep = loop.call_later(1.0, lambda: None)
@@ -106,6 +138,20 @@ class TestEventLoop:
         drop.cancel()
         assert len(loop) == 1
         assert keep is not None
+
+    def test_len_tracks_push_cancel_and_pop(self):
+        loop = EventLoop()
+        events = [loop.call_later(float(i + 1), lambda: None) for i in range(4)]
+        assert len(loop) == 4
+        events[1].cancel()
+        events[1].cancel()  # double-cancel must not double-decrement
+        assert len(loop) == 3
+        loop.step()
+        assert len(loop) == 2
+        loop.run()
+        assert len(loop) == 0
+        events[0].cancel()  # cancelling an executed event is a no-op
+        assert len(loop) == 0
 
     def test_processed_events_counter(self):
         loop = EventLoop()
