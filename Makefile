@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-smoke lint
+.PHONY: test bench-smoke lint trace-smoke
 
 # Tier-1 suite. tests/test_parallel.py runs 2- and 4-worker campaigns
 # against the serial baseline, so the parallel path is exercised on
@@ -14,6 +14,16 @@ test:
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_campaign.py \
 		--pages 8 --sites 8 --workers 2 --out BENCH_campaign_smoke.json
+
+# Observability smoke: run a traced smoke campaign, then validate the
+# exported JSONL trace against the schema and check the manifest exists.
+trace-smoke:
+	rm -rf .trace_smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli \
+		--scale smoke --sites 6 --experiments table2 --counters \
+		--trace-dir .trace_smoke --json .trace_smoke/results.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.obs.schema .trace_smoke/trace.jsonl
+	test -f .trace_smoke/run.json
 
 # No third-party linters in the container; bytecode compilation catches
 # syntax errors and obvious breakage across the whole tree.

@@ -120,6 +120,36 @@ def main(argv: list[str] | None = None) -> int:
         if not identical:
             raise SystemExit(f"workers={workers} diverged from the serial run")
 
+    # Observability overhead: the same serial campaign with counters
+    # only, then with full tracing.  The tracer-off run above is the
+    # baseline; the acceptance bar is "counters ≈ free, tracing cheap".
+    start = time.perf_counter()
+    campaign_counters = Campaign(
+        universe, CampaignConfig(seed=3, collect_counters=True)
+    )
+    campaign_counters.run(pages, workers=1)
+    counters_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    campaign_traced = Campaign(
+        universe, CampaignConfig(seed=3, collect_counters=True, trace=True)
+    )
+    campaign_traced.run(pages, workers=1)
+    traced_s = time.perf_counter() - start
+
+    tracing = {
+        "off_seconds": serial_s,
+        "counters_seconds": counters_s,
+        "counters_overhead_pct": 100.0 * (counters_s - serial_s) / serial_s,
+        "on_seconds": traced_s,
+        "overhead_pct": 100.0 * (traced_s - serial_s) / serial_s,
+    }
+    print(
+        f"tracing: off {serial_s:.2f}s, counters {counters_s:.2f}s "
+        f"({tracing['counters_overhead_pct']:+.1f}%), "
+        f"traced {traced_s:.2f}s ({tracing['overhead_pct']:+.1f}%)"
+    )
+
     kernel = bench_kernel_events_per_sec()
     transfer = bench_transfer_events_per_sec()
     print(f"substrate kernel: {kernel:,.0f} events/s")
@@ -138,6 +168,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
         "serial_seconds": serial_s,
         "parallel": runs,
+        "tracing": tracing,
         "substrate": {
             "kernel_events_per_sec": kernel,
             "transfer_events": transfer["events"],

@@ -97,6 +97,11 @@ class PageVisit:
     har: HarLog
     plt_ms: float
     pool_stats: PoolStats
+    #: Per-visit counter-registry snapshot (``CounterRegistry.to_dict``)
+    #: when observability was attached; ``None`` otherwise.
+    counters: dict | None = None
+    #: Per-visit qlog-style trace events when tracing was on.
+    trace: list | None = None
 
     @property
     def entries(self) -> list[HarEntry]:
@@ -108,8 +113,10 @@ class PageVisit:
         This is the parallel campaign runner's worker→parent boundary:
         a visit crosses the process gap as plain dicts (HAR-1.2 document
         plus counters) instead of a live ``EventLoop`` object graph.
+        Telemetry keys appear only when collected, so documents from
+        observability-free runs are byte-identical to before.
         """
-        return {
+        document = {
             "format": "repro-h3cdn-visit/1",
             "pageUrl": self.page_url,
             "protocolMode": self.protocol_mode,
@@ -117,6 +124,11 @@ class PageVisit:
             "poolStats": self.pool_stats.to_dict(),
             "har": self.har.to_dict(),
         }
+        if self.counters is not None:
+            document["counters"] = self.counters
+        if self.trace is not None:
+            document["trace"] = self.trace
+        return document
 
     @classmethod
     def from_dict(cls, document: dict) -> "PageVisit":
@@ -131,6 +143,8 @@ class PageVisit:
             har=HarLog.from_dict(document["har"]),
             plt_ms=document["pltMs"],
             pool_stats=PoolStats.from_dict(document["poolStats"]),
+            counters=document.get("counters"),
+            trace=document.get("trace"),
         )
 
 
@@ -144,6 +158,7 @@ class Browser:
         config: BrowserConfig | None = None,
         session_cache: SessionTicketCache | None = None,
         rng: random.Random | None = None,
+        obs=None,
     ) -> None:
         self.loop = loop
         self.farm = farm
@@ -151,6 +166,10 @@ class Browser:
         self.session_cache = (
             session_cache if session_cache is not None else SessionTicketCache()
         )
+        #: Optional :class:`repro.obs.ObsContext`; drained per visit.
+        self.obs = obs
+        if obs is not None:
+            self.session_cache.attach_counters(obs.counters)
         self.rng = rng or random.Random(0)
         self.alt_svc = AltSvcCache()
         self.dns = (
@@ -179,9 +198,11 @@ class Browser:
             transport_config=self.config.transport_config,
             rng=random.Random(self.rng.getrandbits(64)),
             use_session_tickets=self.config.use_session_tickets,
+            obs=self.obs,
         )
         har = HarLog(page_url=page.url, started_at_ms=self.loop.now)
         start = self.loop.now
+        events_before = self.loop.processed_events
 
         wave1 = [r for r in page.resources if r.wave == 1]
         wave0 = [r for r in page.resources if r.wave == 0]
@@ -227,13 +248,21 @@ class Browser:
         self.loop.run_until(lambda: state["outstanding"] == 0)
         har.on_load_ms = self.loop.now - start
         pool.close()
-        return PageVisit(
+        visit = PageVisit(
             page_url=page.url,
             protocol_mode=self.config.protocol_mode,
             har=har,
             plt_ms=har.on_load_ms,
             pool_stats=pool.stats,
         )
+        if self.obs is not None:
+            # Deterministic (the loop is): the events this visit drove.
+            self.obs.counters.incr(
+                "loop.events_processed",
+                self.loop.processed_events - events_before,
+            )
+            visit.counters, visit.trace = self.obs.drain_visit()
+        return visit
 
     def clear_session_state(self) -> None:
         """Forget tickets, Alt-Svc knowledge and DNS answers

@@ -95,6 +95,16 @@ class H3CdnStudy:
             )
         return self._campaign_result
 
+    def campaign_result_or_none(self) -> CampaignResult | None:
+        """The campaign result if it has already been materialized.
+
+        Unlike :attr:`campaign_result` this never triggers the run —
+        observability consumers (the CLI's ``--counters`` / trace
+        export) use it to read telemetry only from campaigns that some
+        experiment actually executed.
+        """
+        return self._campaign_result
+
     @property
     def consecutive_runs(self) -> tuple[ConsecutiveRun, ConsecutiveRun]:
         """(H2 walk, H3 walk) over the ordered page list."""

@@ -23,6 +23,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable
 
 
@@ -136,6 +137,10 @@ class EventLoop:
         # Live (scheduled, not cancelled) events; maintained on push,
         # cancel and pop so __len__ is O(1).
         self._live = 0
+        # Callback profiling: None (off, the default — the dispatch
+        # loops stay branch-only) or a dict mapping callback qualname
+        # to [count, total_seconds].
+        self._profile: dict[str, list] | None = None
 
     @property
     def now(self) -> float:
@@ -149,6 +154,55 @@ class EventLoop:
 
     def __len__(self) -> int:
         return self._live
+
+    # -- callback profiling --------------------------------------------
+
+    def enable_profiling(self) -> None:
+        """Start attributing wall-clock time and counts per callback.
+
+        Profiling reads only the host clock — it never touches simulated
+        time or scheduling order, so enabling it cannot change results.
+        """
+        if self._profile is None:
+            self._profile = {}
+
+    def disable_profiling(self) -> None:
+        """Stop profiling and drop collected data."""
+        self._profile = None
+
+    @property
+    def profiling_enabled(self) -> bool:
+        return self._profile is not None
+
+    def profile_stats(self) -> dict[str, dict]:
+        """Per-callback-name ``{"count", "total_ms"}``, sorted by time.
+
+        Callback names are ``__qualname__`` (bound methods keep their
+        class, lambdas show their defining scope).
+        """
+        if self._profile is None:
+            return {}
+        return {
+            name: {"count": entry[0], "total_ms": entry[1] * 1000.0}
+            for name, entry in sorted(
+                self._profile.items(), key=lambda item: -item[1][1]
+            )
+        }
+
+    def _profiled_call(self, event: ScheduledEvent) -> None:
+        profile = self._profile
+        assert profile is not None
+        callback = event.callback
+        start = perf_counter()
+        callback(*event.args)
+        elapsed = perf_counter() - start
+        key = getattr(callback, "__qualname__", None) or repr(callback)
+        entry = profile.get(key)
+        if entry is None:
+            profile[key] = [1, elapsed]
+        else:
+            entry[0] += 1
+            entry[1] += elapsed
 
     def call_later(
         self, delay_ms: float, callback: Callable[..., None], *args: Any
@@ -191,7 +245,10 @@ class EventLoop:
             self._live -= 1
             self._now = event.time
             self._processed += 1
-            event.callback(*event.args)
+            if self._profile is None:
+                event.callback(*event.args)
+            else:
+                self._profiled_call(event)
             return True
         return False
 
@@ -228,7 +285,10 @@ class EventLoop:
             self._now = event.time
             self._processed += 1
             executed += 1
-            event.callback(*event.args)
+            if self._profile is None:
+                event.callback(*event.args)
+            else:
+                self._profiled_call(event)
 
     def run_until(self, predicate: Callable[[], bool], max_events: int = 50_000_000) -> None:
         """Run until ``predicate()`` becomes true or the queue drains.

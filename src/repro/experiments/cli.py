@@ -14,11 +14,16 @@ Reproduce the paper's Table II and Fig. 9 at full scale::
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
+import os
 import sys
 import time
 
 from repro.core.study import H3CdnStudy, StudyConfig
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.measurement.campaign import CampaignConfig
+from repro.obs import build_run_manifest, write_run_manifest
 
 #: Predefined scales: (sites, campaign pages, consecutive pages,
 #: loss-sweep pages, loss repetitions).
@@ -68,38 +73,87 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render ASCII charts of each figure's series",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write every experiment's raw data (plus the run manifest) "
+        "as machine-readable JSON to PATH",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="enable qlog-style connection tracing and write trace.jsonl "
+        "plus a run.json manifest into DIR",
+    )
+    parser.add_argument(
+        "--counters",
+        action="store_true",
+        help="collect the campaign counter registry and print merged totals",
+    )
     return parser
 
 
 def render_plots(result) -> list[str]:
-    """ASCII charts for the figure series a result carries (if any)."""
+    """ASCII charts for the figure series a result carries (if any).
+
+    Degrades gracefully: a series key holding empty data (possible at
+    tiny scales where e.g. no page uses 3+ providers) is skipped with a
+    note instead of raising from the plotting primitives.
+    """
     from repro.analysis.textplot import bar_chart, line_chart
 
     data = result.data
     lines: list[str] = []
+
+    def skipped(key: str) -> list[str]:
+        return [f"  [plot skipped: {key} is empty]"]
+
     if "ccdf_series" in data:
-        lines += line_chart({"CCDF": data["ccdf_series"]},
-                            x_label="CDN share", y_label="P(X>x)")
+        if data["ccdf_series"]:
+            lines += line_chart({"CCDF": data["ccdf_series"]},
+                                x_label="CDN share", y_label="P(X>x)")
+        else:
+            lines += skipped("ccdf_series")
     if "phase_cdf_series" in data:
-        lines += line_chart(data["phase_cdf_series"],
-                            x_label="reduction (ms)", y_label="CDF")
+        populated = {k: v for k, v in data["phase_cdf_series"].items() if v}
+        if populated:
+            lines += line_chart(populated,
+                                x_label="reduction (ms)", y_label="CDF")
+        else:
+            lines += skipped("phase_cdf_series")
     if "group_reductions" in data:
-        lines += bar_chart(data["group_reductions"], unit="ms")
+        if data["group_reductions"]:
+            lines += bar_chart(data["group_reductions"], unit="ms")
+        else:
+            lines += skipped("group_reductions")
     if "plt_reduction_by_providers" in data:
-        lines += bar_chart(
-            {f"{k} providers": v for k, v in data["plt_reduction_by_providers"].items()},
-            unit="ms",
-        )
-        lines += bar_chart(
-            {f"{k} providers": v for k, v in data["resumed_by_providers"].items()},
-            unit=" resumed",
-        )
+        if data["plt_reduction_by_providers"]:
+            lines += bar_chart(
+                {f"{k} providers": v
+                 for k, v in data["plt_reduction_by_providers"].items()},
+                unit="ms",
+            )
+        else:
+            lines += skipped("plt_reduction_by_providers")
+        if data.get("resumed_by_providers"):
+            lines += bar_chart(
+                {f"{k} providers": v
+                 for k, v in data["resumed_by_providers"].items()},
+                unit=" resumed",
+            )
+        else:
+            lines += skipped("resumed_by_providers")
     if "points" in data and isinstance(data["points"], dict):
         series = {
-            f"{rate:.1%} loss": points for rate, points in data["points"].items()
+            f"{rate:.1%} loss": points
+            for rate, points in data["points"].items()
+            if points
         }
-        lines += line_chart(series, x_label="#CDN resources",
-                            y_label="PLT reduction (ms)")
+        if series:
+            lines += line_chart(series, x_label="#CDN resources",
+                                y_label="PLT reduction (ms)")
+        else:
+            lines += skipped("points")
     return lines
 
 
@@ -107,10 +161,16 @@ def make_study(args: argparse.Namespace) -> H3CdnStudy:
     sites, campaign_pages, consecutive_pages, loss_pages, loss_reps = SCALES[args.scale]
     if args.sites is not None:
         sites = args.sites
+    trace = bool(getattr(args, "trace_dir", None))
+    collect = trace or bool(getattr(args, "counters", False) or
+                            getattr(args, "json", None))
     return H3CdnStudy(
         StudyConfig(
             n_sites=sites,
             seed=args.seed,
+            campaign_config=CampaignConfig(
+                collect_counters=collect, trace=trace
+            ),
             max_campaign_pages=campaign_pages,
             max_consecutive_pages=consecutive_pages,
             max_loss_sweep_pages=loss_pages,
@@ -118,6 +178,27 @@ def make_study(args: argparse.Namespace) -> H3CdnStudy:
             workers=args.workers,
         )
     )
+
+
+def _jsonable(value):
+    """Best-effort conversion of experiment data to JSON-safe values."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_jsonable(v) for v in value), key=repr)
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return _jsonable(to_dict())
+    if dataclasses.is_dataclass(value):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    return repr(value)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -141,15 +222,91 @@ def main(argv: list[str] | None = None) -> int:
         f"# repro-h3cdn scale={args.scale} sites={study.config.n_sites} "
         f"seed={args.seed}"
     )
+    experiment_records: list[dict] = []
+    results: dict[str, object] = {}
     for experiment_id in wanted:
         start = time.time()
         result = run_experiment(experiment_id, study)
+        wall_clock = time.time() - start
+        experiment_records.append(
+            {
+                "id": experiment_id,
+                "title": result.title,
+                "wall_clock_s": round(wall_clock, 3),
+            }
+        )
+        results[experiment_id] = result
         print()
         print(result.render())
         if args.plot:
             for line in render_plots(result):
                 print(line)
-        print(f"  [{time.time() - start:.1f}s]")
+        print(f"  [{wall_clock:.1f}s]")
+
+    # -- observability exports ----------------------------------------
+    campaign = study.campaign_result_or_none()
+    totals = campaign.counter_totals() if campaign is not None else None
+    counters_dict = totals.to_dict() if totals else None
+    if args.counters:
+        print()
+        print("== counters: merged campaign totals ==")
+        if totals:
+            for line in totals.render():
+                print(line)
+        else:
+            print("  (no campaign counters collected — no experiment "
+                  "materialized the paired campaign)")
+
+    trace_files: list[str] = []
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        trace_path = os.path.join(args.trace_dir, "trace.jsonl")
+        n_events = 0
+        with open(trace_path, "w") as handle:
+            if campaign is not None:
+                for event in campaign.trace_events():
+                    handle.write(json.dumps(event))
+                    handle.write("\n")
+                    n_events += 1
+        trace_files.append("trace.jsonl")
+        print(f"\nwrote {n_events} trace events to {trace_path}")
+
+    if args.trace_dir or args.json:
+        manifest = build_run_manifest(
+            invocation={
+                "argv": list(argv) if argv is not None else sys.argv[1:],
+                "scale": args.scale,
+                "sites": study.config.n_sites,
+                "seed": args.seed,
+                "workers": args.workers,
+                "experiments": wanted,
+                "counters": bool(args.counters),
+                "trace": bool(args.trace_dir),
+            },
+            experiments=experiment_records,
+            counters=counters_dict,
+            trace_files=trace_files,
+        )
+        if args.trace_dir:
+            manifest_path = os.path.join(args.trace_dir, "run.json")
+            write_run_manifest(manifest_path, manifest)
+            print(f"wrote run manifest to {manifest_path}")
+        if args.json:
+            payload = {
+                "format": "repro-h3cdn-results/1",
+                "manifest": manifest,
+                "experiments": {
+                    experiment_id: {
+                        "title": result.title,
+                        "data": _jsonable(result.data),
+                    }
+                    for experiment_id, result in results.items()
+                },
+            }
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote results JSON to {args.json}")
     return 0
 
 

@@ -134,12 +134,16 @@ class ConnectionPool:
         transport_config: TransportConfig | None = None,
         rng: random.Random | None = None,
         use_session_tickets: bool = True,
+        obs=None,
     ) -> None:
         self.loop = loop
         self.session_cache = session_cache if session_cache is not None else SessionTicketCache()
         self.transport_config = transport_config or TransportConfig()
         self.rng = rng or random.Random(0)
         self.use_session_tickets = use_session_tickets
+        #: Optional :class:`repro.obs.ObsContext`; supplies per-connection
+        #: tracers and receives pool/transport counters at teardown.
+        self.obs = obs
         self.stats = PoolStats()
         self._multiplexed: dict[tuple[str, HttpProtocol], _PooledConnection] = {}
         self._h1_conns: dict[str, list[_PooledConnection]] = {}
@@ -226,6 +230,14 @@ class ConnectionPool:
     def _open_connection(self, opener: _PendingFetch, path: NetworkPath) -> _PooledConnection:
         host = opener.server.hostname
         conn_rng = random.Random(self.rng.getrandbits(64))
+        conn_name = (
+            f"h3-{host}" if opener.protocol is HttpProtocol.H3 else f"tcp-{host}"
+        )
+        tracer = (
+            self.obs.connection_tracer(conn_name, opener.protocol.value)
+            if self.obs is not None
+            else None
+        )
         has_ticket = False
         if self.use_session_tickets:
             ticket = self.session_cache.lookup(host, self.loop.now)
@@ -235,16 +247,35 @@ class ConnectionPool:
                 # connection then falls back to a full handshake.
                 accept_rate = getattr(opener.server, "resumption_rate", 1.0)
                 has_ticket = conn_rng.random() < accept_rate
+            if tracer:
+                if has_ticket:
+                    tracer.event(
+                        self.loop.now, "security:session_ticket_hit", host=host
+                    )
+                elif ticket is not None:
+                    tracer.event(
+                        self.loop.now, "security:session_ticket_rejected", host=host
+                    )
+                else:
+                    tracer.event(
+                        self.loop.now, "security:session_ticket_miss", host=host
+                    )
+            if ticket is not None and not has_ticket and self.obs is not None:
+                self.obs.counters.incr("tls.tickets.rejected")
         if opener.protocol is HttpProtocol.H3:
+            if tracer and has_ticket:
+                tracer.event(self.loop.now, "security:zero_rtt_accepted", host=host)
             conn: BaseConnection = QuicConnection(
                 self.loop, path, config=self.transport_config,
-                rng=conn_rng, resumed=has_ticket, name=f"h3-{host}",
+                rng=conn_rng, resumed=has_ticket, name=conn_name,
+                tracer=tracer,
             )
         else:
             conn = TcpConnection(
                 self.loop, path, config=self.transport_config,
                 rng=conn_rng, resumed=has_ticket,
-                tls_version=opener.server.tls_version, name=f"tcp-{host}",
+                tls_version=opener.server.tls_version, name=conn_name,
+                tracer=tracer,
             )
         pooled = _PooledConnection(conn, opener.protocol, host)
         pooled.resumed = has_ticket
@@ -282,6 +313,13 @@ class ConnectionPool:
                 self._start_handshake(queued_pooled, queued_opener)
         if result.zero_rtt:
             self.stats.zero_rtt_connections += 1
+        if self.obs is not None:
+            counters = self.obs.counters
+            counters.incr("transport.handshakes.completed")
+            counters.incr("transport.handshakes.retries", result.retries)
+            counters.observe("transport.handshake_ms", result.connect_ms)
+            if result.zero_rtt:
+                counters.incr("transport.handshakes.zero_rtt")
         if (
             self.use_session_tickets
             and getattr(opener.server, "issues_tickets", True)
@@ -375,13 +413,27 @@ class ConnectionPool:
         return len(self._multiplexed) + sum(len(v) for v in self._h1_conns.values())
 
     def close(self) -> None:
-        """Terminate every connection (between page visits)."""
+        """Terminate every connection (between page visits).
+
+        With observability attached, this is also where per-connection
+        transport stats and the pool's own counters are folded into the
+        registry — a cold path, so packet accounting never slows down.
+        """
         self._closed = True
-        for pooled in self._multiplexed.values():
-            pooled.conn.close()
+        all_conns = list(self._multiplexed.values())
         for conns in self._h1_conns.values():
-            for pooled in conns:
-                pooled.conn.close()
+            all_conns.extend(conns)
+        for pooled in all_conns:
+            pooled.conn.close()
+        if self.obs is not None:
+            for pooled in all_conns:
+                self.obs.absorb_connection(pooled.conn)
+            counters = self.obs.counters
+            counters.incr("pool.requests", self.stats.requests)
+            counters.incr("pool.connections_created", self.stats.connections_created)
+            counters.incr("pool.resumed_connections", self.stats.resumed_connections)
+            counters.incr("pool.reused_requests", self.stats.reused_requests)
+            counters.incr("pool.zero_rtt_connections", self.stats.zero_rtt_connections)
         self._multiplexed.clear()
         self._h1_conns.clear()
         self._h1_queues.clear()

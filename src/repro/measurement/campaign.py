@@ -41,6 +41,12 @@ class CampaignConfig:
     transport_config: TransportConfig = field(default_factory=TransportConfig)
     #: Disable TLS session tickets everywhere (ablation).
     use_session_tickets: bool = True
+    #: Collect a per-visit counter registry (handshakes, 0-RTT, HoL,
+    #: packets).  Purely observational: results are bit-identical on/off.
+    collect_counters: bool = False
+    #: Attach a qlog-style event tracer to every connection and carry
+    #: the per-visit traces in the results (implies heavier visits).
+    trace: bool = False
 
 
 @dataclass
@@ -82,6 +88,37 @@ class CampaignResult:
     @property
     def pages_measured(self) -> int:
         return len({pv.page.url for pv in self.paired_visits})
+
+    def counter_totals(self):
+        """Merged counter registry across every recorded visit.
+
+        Visits are merged in canonical (vantage, probe, page) order —
+        the order ``paired_visits`` already has regardless of worker
+        count — so the totals are deterministic and identical for any
+        parallelism.
+        """
+        from repro.obs.counters import CounterRegistry
+
+        totals = CounterRegistry()
+        for paired in self.paired_visits:
+            for visit in (paired.h2, paired.h3):
+                if visit.counters:
+                    totals.merge_dict(visit.counters)
+        return totals
+
+    def trace_events(self):
+        """Flat iterator over trace events, tagged with visit context."""
+        for paired in self.paired_visits:
+            for mode, visit in (("h2-only", paired.h2), ("h3-enabled", paired.h3)):
+                if not visit.trace:
+                    continue
+                for event in visit.trace:
+                    yield {
+                        "page": paired.page.url,
+                        "probe": paired.probe_name,
+                        "mode": mode,
+                        **event,
+                    }
 
 
 class Campaign:

@@ -68,8 +68,15 @@ def measure_paired_visit(
     This is *the* unit of campaign work — the serial fallback and the
     worker processes both call it, which is what makes parallel runs
     reproduce serial ones exactly: nothing (event-loop clock, RNG
-    position, cache state) leaks between pages.
+    position, cache state) leaks between pages.  When the config asks
+    for counters or traces, a per-visit-scoped ``ObsContext`` rides
+    along; its payloads cross the process gap inside the visit dicts.
     """
+    obs = None
+    if config.collect_counters or config.trace:
+        from repro.obs import ObsContext
+
+        obs = ObsContext(trace=config.trace)
     probe = Probe(
         name=f"{vantage.name}-{probe_index}",
         universe=universe,
@@ -79,6 +86,7 @@ def measure_paired_visit(
         seed=derive_seed(config.seed, vp_index, probe_index, page_index),
         transport_config=config.transport_config,
         use_session_tickets=config.use_session_tickets,
+        obs=obs,
     )
     if config.warm_popular:
         probe.warm_edges((page,))

@@ -36,10 +36,16 @@ class Probe:
         seed: int = 0,
         transport_config: TransportConfig | None = None,
         use_session_tickets: bool = True,
+        obs=None,
     ) -> None:
         self.name = name
         self.universe = universe
         self.loop = EventLoop()
+        #: Optional :class:`repro.obs.ObsContext` shared by both
+        #: browsers; each visit drains it into its own PageVisit.
+        self.obs = obs
+        if obs is not None and obs.profile_loop:
+            self.loop.enable_profiling()
         self.rng = random.Random(seed)
         self.farm = ServerFarm(
             self.loop,
@@ -58,6 +64,7 @@ class Probe:
                     use_session_tickets=use_session_tickets,
                 ),
                 rng=random.Random(self.rng.getrandbits(64)),
+                obs=obs,
             )
             for mode in (H2_ONLY, H3_ENABLED)
         }

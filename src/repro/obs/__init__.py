@@ -1,0 +1,57 @@
+"""Observability: qlog-style tracing, metrics, and run manifests.
+
+This package is the simulator's telemetry layer:
+
+* :mod:`repro.obs.trace` — per-connection event tracers (qlog-inspired)
+  with a zero-cost null tracer for the disabled case,
+* :mod:`repro.obs.counters` — counters/gauges/histograms with
+  deterministic cross-worker merging,
+* :mod:`repro.obs.context` — the :class:`ObsContext` threaded through
+  probes, browsers, pools and transports,
+* :mod:`repro.obs.schema` — the JSONL trace schema and validator,
+* :mod:`repro.obs.manifest` — ``run.json`` provenance manifests.
+
+Everything here is strictly *observational*: with an ``ObsContext``
+attached or not, simulation results are bit-identical.
+"""
+
+from repro.obs.context import ObsContext
+from repro.obs.counters import CounterRegistry, Histogram, merge_counter_dicts
+from repro.obs.manifest import (
+    MANIFEST_FORMAT,
+    build_run_manifest,
+    read_run_manifest,
+    write_run_manifest,
+)
+from repro.obs.trace import EVENT_NAMES, NULL_TRACER, ConnectionTracer, NullTracer
+
+#: Schema names are re-exported lazily (PEP 562) so that running the
+#: validator as ``python -m repro.obs.schema`` does not import the
+#: module twice (once via this package, once via runpy).
+_SCHEMA_EXPORTS = ("TraceSchemaError", "validate_event", "validate_jsonl")
+
+
+def __getattr__(name: str):
+    if name in _SCHEMA_EXPORTS:
+        from repro.obs import schema
+
+        return getattr(schema, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ObsContext",
+    "CounterRegistry",
+    "Histogram",
+    "merge_counter_dicts",
+    "ConnectionTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "EVENT_NAMES",
+    "TraceSchemaError",
+    "validate_event",
+    "validate_jsonl",
+    "MANIFEST_FORMAT",
+    "build_run_manifest",
+    "read_run_manifest",
+    "write_run_manifest",
+]

@@ -1,0 +1,84 @@
+"""The observability context threaded through a simulation.
+
+One :class:`ObsContext` lives for the duration of a probe's work and is
+shared by its browsers, connection pools and transports.  It owns:
+
+* the :class:`~repro.obs.counters.CounterRegistry` every layer
+  increments into, and
+* the list of :class:`~repro.obs.trace.ConnectionTracer` instances
+  handed to connections while tracing is enabled.
+
+Both are **drained per page visit**: :meth:`drain_visit` snapshots the
+accumulated counters and trace events into plain (picklable) payloads
+and resets the context, so each :class:`~repro.browser.browser.PageVisit`
+carries exactly its own telemetry across the parallel-campaign process
+boundary.
+"""
+
+from __future__ import annotations
+
+from repro.obs.counters import CounterRegistry
+from repro.obs.trace import ConnectionTracer
+
+
+class ObsContext:
+    """Observability switchboard for one probe/browser stack."""
+
+    def __init__(self, trace: bool = False, profile_loop: bool = False) -> None:
+        #: Whether connections receive a real tracer (vs NULL_TRACER).
+        self.trace_enabled = trace
+        #: Whether probes should enable event-loop callback profiling.
+        self.profile_loop = profile_loop
+        self.counters = CounterRegistry()
+        self._tracers: list[ConnectionTracer] = []
+
+    # ------------------------------------------------------------------
+
+    def connection_tracer(self, name: str, protocol: str) -> ConnectionTracer | None:
+        """A registered tracer for a new connection, or ``None``.
+
+        Returns ``None`` when tracing is disabled so the transport falls
+        back to the zero-cost null tracer.
+        """
+        if not self.trace_enabled:
+            return None
+        tracer = ConnectionTracer(name, protocol)
+        self._tracers.append(tracer)
+        return tracer
+
+    def absorb_connection(self, conn) -> None:
+        """Fold one finished connection's stats into the counters.
+
+        Called by the pool at teardown (cold path), so per-packet
+        accounting stays on the existing ``ConnectionStats`` fast path
+        and only aggregates here.
+        """
+        stats = conn.stats
+        counters = self.counters
+        counters.incr("transport.packets.sent", stats.data_packets_sent)
+        counters.incr("transport.packets.lost", stats.data_packets_lost)
+        counters.incr("transport.packets.retransmitted", stats.retransmissions)
+        counters.incr("transport.acks.received", stats.acks_received)
+        counters.incr("transport.pto.fired", stats.rto_events)
+        counters.incr("transport.hol.blocked_chunks", stats.hol_blocked_chunks)
+        counters.incr("transport.hol.stalls", stats.hol_stalls)
+        counters.incr("transport.hol.stall_ms", stats.hol_stall_ms)
+
+    # ------------------------------------------------------------------
+
+    def trace_events(self) -> list[dict]:
+        """All recorded events, connection-tagged, in creation order."""
+        events: list[dict] = []
+        for tracer in self._tracers:
+            events.extend(tracer.tagged_events())
+        return events
+
+    def drain_visit(self) -> tuple[dict, list[dict] | None]:
+        """Snapshot and reset: ``(counters dict, trace events or None)``."""
+        counters = self.counters.to_dict()
+        self.counters.clear()
+        trace: list[dict] | None = None
+        if self.trace_enabled:
+            trace = self.trace_events()
+        self._tracers.clear()
+        return counters, trace

@@ -1,0 +1,204 @@
+"""Counters, gauges and histograms: the simulator's metrics registry.
+
+One :class:`CounterRegistry` accumulates everything a page visit
+observes (handshakes completed, 0-RTT accepts, HoL stalls, packets
+lost, …).  Registries cross the parallel-campaign process boundary as
+plain dicts and merge **deterministically**: counters and histograms
+add, gauges combine with ``max`` (order-independent), and every
+rendering sorts keys — so merging the per-visit registries of a
+``workers=4`` run in canonical visit order reproduces the ``workers=1``
+totals bit for bit.
+
+Histograms use fixed logarithmic bucket boundaries (they never depend
+on the data), which is what makes histogram merging a plain
+element-wise sum.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: Upper bucket edges for histograms (values in ms or bytes; the last
+#: bucket is unbounded).  Fixed so merges are element-wise sums.
+HISTOGRAM_EDGES: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0,
+)
+
+_FORMAT = "repro-h3cdn-counters/1"
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max sidecars."""
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(HISTOGRAM_EDGES) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        index = len(HISTOGRAM_EDGES)
+        for i, edge in enumerate(HISTOGRAM_EDGES):
+            if value <= edge:
+                index = i
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": list(self.counts),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Histogram":
+        histogram = cls()
+        buckets = raw.get("buckets", [])
+        for i, n in enumerate(buckets[: len(histogram.counts)]):
+            histogram.counts[i] = int(n)
+        histogram.count = int(raw.get("count", 0))
+        histogram.sum = float(raw.get("sum", 0.0))
+        histogram.min = raw.get("min")
+        histogram.max = raw.get("max")
+        return histogram
+
+
+class CounterRegistry:
+    """Named counters/gauges/histograms with deterministic merging."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def incr(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time value; merges keep the maximum."""
+        current = self._gauges.get(name)
+        self._gauges[name] = value if current is None else max(current, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one sample to histogram ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # -- reading -------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    def counter_names(self) -> list[str]:
+        return sorted(self._counters)
+
+    def __bool__(self) -> bool:
+        return bool(self._counters or self._gauges or self._histograms)
+
+    # -- merging and serialization ------------------------------------
+
+    def merge(self, other: "CounterRegistry") -> None:
+        for name, value in other._counters.items():
+            self.incr(name, value)
+        for name, value in other._gauges.items():
+            self.gauge(name, value)
+        for name, histogram in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = Histogram()
+            mine.merge(histogram)
+
+    def merge_dict(self, raw: dict) -> None:
+        """Merge a :meth:`to_dict` rendering (the process-gap format)."""
+        if raw.get("format") != _FORMAT:
+            raise ValueError(f"unrecognized counters format: {raw.get('format')!r}")
+        for name, value in raw.get("counters", {}).items():
+            self.incr(name, value)
+        for name, value in raw.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, histogram in raw.get("histograms", {}).items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = Histogram()
+            mine.merge(Histogram.from_dict(histogram))
+
+    def to_dict(self) -> dict:
+        """Sorted-key rendering; deterministic for deterministic inputs."""
+        return {
+            "format": _FORMAT,
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].to_dict() for k in sorted(self._histograms)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "CounterRegistry":
+        registry = cls()
+        registry.merge_dict(raw)
+        return registry
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def render(self) -> list[str]:
+        """Human-readable lines, one metric per line, sorted."""
+        lines = []
+        for name in sorted(self._counters):
+            value = self._counters[name]
+            rendered = f"{value:.0f}" if value == int(value) else f"{value:.3f}"
+            lines.append(f"  {name} = {rendered}")
+        for name in sorted(self._gauges):
+            lines.append(f"  {name} = {self._gauges[name]:.3f} (gauge)")
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            lines.append(
+                f"  {name} = count {h.count}, mean {h.mean:.2f}, "
+                f"min {0.0 if h.min is None else h.min:.2f}, "
+                f"max {0.0 if h.max is None else h.max:.2f} (histogram)"
+            )
+        return lines
+
+
+def merge_counter_dicts(dicts: Iterable[dict]) -> CounterRegistry:
+    """Merge many :meth:`CounterRegistry.to_dict` payloads, in order."""
+    total = CounterRegistry()
+    for raw in dicts:
+        total.merge_dict(raw)
+    return total

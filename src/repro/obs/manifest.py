@@ -1,0 +1,60 @@
+"""Run manifests: the provenance record a CLI run writes next to its data.
+
+A manifest (``run.json``) captures everything needed to reproduce and
+audit one ``repro-h3cdn`` invocation: the resolved configuration and
+seed, per-experiment wall-clock, and the campaign's merged counter
+totals.  ``--trace-dir`` and ``--json`` both embed/write one.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+MANIFEST_FORMAT = "repro-h3cdn-run/1"
+
+
+def build_run_manifest(
+    *,
+    invocation: dict,
+    experiments: list[dict],
+    counters: dict | None = None,
+    trace_files: list[str] | None = None,
+) -> dict:
+    """Assemble a manifest document.
+
+    ``invocation`` carries the resolved CLI configuration (scale, sites,
+    seed, workers, flags); ``experiments`` is a list of
+    ``{"id", "title", "wall_clock_s"}`` entries in execution order;
+    ``counters`` is a merged :meth:`CounterRegistry.to_dict` payload (or
+    ``None`` when counters were not collected).
+    """
+    return {
+        "format": MANIFEST_FORMAT,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "invocation": dict(invocation),
+        "experiments": [dict(entry) for entry in experiments],
+        "total_wall_clock_s": sum(e.get("wall_clock_s", 0.0) for e in experiments),
+        "counters": counters,
+        "trace_files": list(trace_files) if trace_files else [],
+    }
+
+
+def write_run_manifest(path: str, manifest: dict) -> None:
+    """Write a manifest as pretty-printed JSON."""
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise ValueError("not a run manifest")
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def read_run_manifest(path: str) -> dict:
+    """Read and minimally check a manifest written by this module."""
+    with open(path) as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise ValueError(f"{path}: not a run manifest")
+    return manifest

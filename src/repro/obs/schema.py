@@ -1,0 +1,108 @@
+"""Trace-event schema: validation for exported JSONL traces.
+
+The CLI's ``--trace-dir`` export writes one JSON object per line; this
+module is the single source of truth for what a valid line looks like,
+used by ``make trace-smoke``, the tests, and any downstream consumer::
+
+    PYTHONPATH=src python -m repro.obs.schema trace_campaign.jsonl
+
+A valid event object has:
+
+* ``time``  — non-negative number (simulated milliseconds),
+* ``name``  — one of :data:`repro.obs.trace.EVENT_NAMES`,
+* ``data``  — object of JSON scalars (event-specific payload),
+* ``conn`` / ``protocol`` — strings identifying the connection,
+* optionally ``page`` / ``probe`` / ``mode`` — campaign context added
+  by the exporter.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.trace import EVENT_NAMES
+
+#: Context keys the campaign exporter may add around a tracer event.
+OPTIONAL_CONTEXT_KEYS = ("page", "probe", "mode")
+
+
+class TraceSchemaError(ValueError):
+    """Raised when a trace event violates the schema."""
+
+
+def validate_event(event: object) -> None:
+    """Raise :class:`TraceSchemaError` unless ``event`` is schema-valid."""
+    if not isinstance(event, dict):
+        raise TraceSchemaError(f"event must be an object, got {type(event).__name__}")
+    time = event.get("time")
+    if not isinstance(time, (int, float)) or isinstance(time, bool) or time < 0:
+        raise TraceSchemaError(f"'time' must be a non-negative number, got {time!r}")
+    name = event.get("name")
+    if name not in EVENT_NAMES:
+        raise TraceSchemaError(f"unknown event name {name!r}")
+    data = event.get("data")
+    if not isinstance(data, dict):
+        raise TraceSchemaError(f"'data' must be an object, got {type(data).__name__}")
+    for key, value in data.items():
+        if not isinstance(key, str):
+            raise TraceSchemaError(f"data key {key!r} is not a string")
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            raise TraceSchemaError(
+                f"data[{key!r}] must be a JSON scalar, got {type(value).__name__}"
+            )
+    for key in ("conn", "protocol"):
+        if not isinstance(event.get(key), str):
+            raise TraceSchemaError(f"{key!r} must be a string")
+    for key in OPTIONAL_CONTEXT_KEYS:
+        if key in event and not isinstance(event[key], str):
+            raise TraceSchemaError(f"{key!r} must be a string when present")
+
+
+def validate_events(events: list) -> int:
+    """Validate a list of event objects; returns how many passed."""
+    for index, event in enumerate(events):
+        try:
+            validate_event(event)
+        except TraceSchemaError as exc:
+            raise TraceSchemaError(f"event {index}: {exc}") from None
+    return len(events)
+
+
+def validate_jsonl(path: str) -> int:
+    """Validate one JSONL trace file; returns the event count."""
+    count = 0
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(f"{path}:{line_number}: not JSON: {exc}") from None
+            try:
+                validate_event(event)
+            except TraceSchemaError as exc:
+                raise TraceSchemaError(f"{path}:{line_number}: {exc}") from None
+            count += 1
+    return count
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = sys.argv[1:] if argv is None else argv
+    if not paths:
+        print("usage: python -m repro.obs.schema TRACE.jsonl [...]", file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            count = validate_jsonl(path)
+        except (TraceSchemaError, OSError) as exc:
+            print(f"INVALID {path}: {exc}", file=sys.stderr)
+            return 1
+        print(f"ok {path}: {count} events")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -41,6 +41,13 @@ class SessionTicketCache:
         self.hits = 0
         self.misses = 0
         self.stored = 0
+        # Optional observability registry; mirrored increments go to
+        # ``tls.tickets.*`` counters when attached.
+        self._counters = None
+
+    def attach_counters(self, registry) -> None:
+        """Mirror hit/miss/store accounting into a counter registry."""
+        self._counters = registry
 
     def __len__(self) -> int:
         return len(self._tickets)
@@ -53,6 +60,8 @@ class SessionTicketCache:
         ticket = SessionTicket(host, issued_at_ms=now_ms, lifetime_ms=lifetime_ms)
         self._tickets[host] = ticket
         self.stored += 1
+        if self._counters is not None:
+            self._counters.incr("tls.tickets.stored")
         return ticket
 
     def lookup(self, host: str, now_ms: float) -> SessionTicket | None:
@@ -64,12 +73,18 @@ class SessionTicketCache:
         ticket = self._tickets.get(host)
         if ticket is None:
             self.misses += 1
+            if self._counters is not None:
+                self._counters.incr("tls.tickets.misses")
             return None
         if not ticket.valid_at(now_ms):
             del self._tickets[host]
             self.misses += 1
+            if self._counters is not None:
+                self._counters.incr("tls.tickets.misses")
             return None
         self.hits += 1
+        if self._counters is not None:
+            self._counters.incr("tls.tickets.hits")
         return ticket
 
     def clear(self) -> None:

@@ -30,6 +30,7 @@ from typing import Callable
 from repro.events import EventLoop, Timer
 from repro.netsim.packet import Packet, PacketKind, StreamChunk
 from repro.netsim.path import NetworkPath
+from repro.obs.trace import NULL_TRACER
 from repro.transport.config import TransportConfig
 from repro.transport.congestion import CongestionController, make_congestion_controller
 from repro.transport.rtt import RttEstimator
@@ -66,6 +67,9 @@ class ConnectionStats:
     handshake_retries: int = 0
     request_retransmissions: int = 0
     hol_blocked_chunks: int = 0
+    #: Completed HoL-stall intervals (reorder buffer non-empty → empty).
+    hol_stalls: int = 0
+    hol_stall_ms: float = 0.0
 
 
 class ClientStream:
@@ -187,10 +191,16 @@ class BaseConnection:
         rng: random.Random | None = None,
         server_think_ms: float = 0.0,
         name: str = "",
+        tracer=None,
     ) -> None:
         self.loop = loop
         self.path = path
         self.config = config or TransportConfig()
+        #: qlog-style event tracer.  The null tracer is *falsy*; every
+        #: hot-path instrumentation point is guarded with
+        #: ``if self.tracer:`` so disabled tracing costs one attribute
+        #: load + bool check and results stay bit-identical.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cc = cc or make_congestion_controller(
             self.config.congestion_control,
             self.config.mss,
@@ -246,6 +256,9 @@ class BaseConnection:
         # Delivery-rate accounting for model-based controllers (BBR).
         self._first_data_sent_at: float | None = None
         self._delivered_bytes = 0
+        # Last cwnd the tracer logged (metrics events are emitted only
+        # on ≥1-MSS changes so traces stay bounded).
+        self._traced_cwnd = self.cc.cwnd_bytes
 
     # ------------------------------------------------------------------
     # Handshake
@@ -266,6 +279,11 @@ class BaseConnection:
         self._connect_started_at = self.loop.now
         self._on_established = on_established
         self._hs_total = self._handshake_flights()
+        if self.tracer:
+            self.tracer.event(
+                self.loop.now, "transport:handshake_started",
+                flights=self._hs_total,
+            )
         if self._hs_total == 0:
             self.zero_rtt = True
             self._finish_handshake()
@@ -284,6 +302,11 @@ class BaseConnection:
     def _on_handshake_timeout(self) -> None:
         self._hs_retries += 1
         self.stats.handshake_retries += 1
+        if self.tracer:
+            self.tracer.event(
+                self.loop.now, "recovery:handshake_timeout",
+                flight=self._hs_flight, retries=self._hs_retries,
+            )
         if self._hs_retries > self.config.max_handshake_retries:
             raise TransportError(
                 f"{self.name or self.protocol_name}: handshake failed after "
@@ -303,6 +326,11 @@ class BaseConnection:
         assert self._connect_started_at is not None
         elapsed = self.loop.now - self._connect_started_at
         self._hs_flight_times.append(elapsed)
+        if self.tracer:
+            self.tracer.event(
+                self.loop.now, "transport:handshake_flight",
+                flight=self._hs_flight, elapsed_ms=elapsed,
+            )
         # A full flight is an RTT sample for the estimator (Karn: only
         # when this flight was never retransmitted; approximated by "no
         # retries so far", which is exact for flight 0).
@@ -325,6 +353,13 @@ class BaseConnection:
             zero_rtt=self.zero_rtt,
             retries=self._hs_retries,
         )
+        if self.tracer:
+            self.tracer.event(
+                self.loop.now, "transport:handshake_completed",
+                connect_ms=self.handshake.connect_ms,
+                zero_rtt=self.zero_rtt,
+                retries=self._hs_retries,
+            )
         if self._on_established is not None:
             self._on_established(self.handshake)
 
@@ -366,6 +401,13 @@ class BaseConnection:
             on_complete,
             opened_at=self.loop.now,
         )
+        if self.tracer:
+            self.tracer.event(
+                self.loop.now, "http:stream_opened",
+                stream_id=stream_id,
+                request_bytes=request_bytes,
+                response_bytes=response_bytes,
+            )
         self.streams[stream_id] = stream
         self._server_streams[stream_id] = _ServerStream(
             stream_id,
@@ -387,6 +429,12 @@ class BaseConnection:
         seq = next(self._req_seq)
         pkt = Packet(PacketKind.DATA, seq=seq, chunks=(chunk,), sent_at=self.loop.now)
         pkt.retransmission = tries > 0
+        if self.tracer:
+            self.tracer.event(
+                self.loop.now, "transport:packet_sent",
+                seq=seq, size=pkt.size_bytes, dir="c2s",
+                retransmission=tries > 0,
+            )
         timer = Timer(self.loop, lambda: self._on_request_timeout(seq))
         self._pending_requests[seq] = _PendingRequestPacket(pkt, timer, tries)
         timer.start(self.rtt.rto_ms * (2 ** min(tries, 6)))
@@ -518,6 +566,12 @@ class BaseConnection:
         self.stats.data_packets_sent += 1
         if retransmission:
             self.stats.retransmissions += 1
+        if self.tracer:
+            self.tracer.event(
+                self.loop.now, "transport:packet_sent",
+                seq=seq, size=pkt.size_bytes, dir="s2c",
+                retransmission=retransmission,
+            )
         self.path.send_to_client(pkt, self._client_on_packet_from_server)
         self._arm_pto()
 
@@ -532,6 +586,8 @@ class BaseConnection:
             info = self._inflight.pop(seq, None)
             if info is None:
                 continue  # duplicate or already declared lost
+            if self.tracer:
+                self.tracer.event(self.loop.now, "transport:packet_acked", seq=seq)
             newly_acked = True
             self._bytes_in_flight -= info.size_bytes
             self.cc.on_ack(info.size_bytes, self.loop.now)
@@ -554,6 +610,8 @@ class BaseConnection:
                 rate_sampler(self._delivered_bytes / elapsed, self.rtt.srtt_ms)
         self._largest_acked = max(self._largest_acked, pkt.ack_seq)
         self._pto_backoff = 1
+        if self.tracer:
+            self._trace_metrics()
         self._detect_losses()
         if self._inflight:
             self._arm_pto()
@@ -576,6 +634,11 @@ class BaseConnection:
             info = self._inflight.pop(seq)
             self._bytes_in_flight -= info.size_bytes
             self.stats.data_packets_lost += 1
+            if self.tracer:
+                self.tracer.event(
+                    self.loop.now, "transport:packet_lost",
+                    seq=seq, trigger="packet_threshold",
+                )
             self._retx_queue.append((info.chunk, info.conn_start))
             if seq > self._recovery_until_seq:
                 newly_entered_recovery = True
@@ -583,6 +646,8 @@ class BaseConnection:
             # One congestion response per round trip worth of losses.
             self.cc.on_loss(self.loop.now)
             self._recovery_until_seq = self._largest_sent
+            if self.tracer:
+                self._trace_metrics(force=True)
 
     def _arm_pto(self) -> None:
         # RFC 9002 §6.2.1: the peer may legitimately sit on an ACK for
@@ -594,6 +659,10 @@ class BaseConnection:
         if not self._inflight:
             return
         self.stats.rto_events += 1
+        if self.tracer:
+            self.tracer.event(
+                self.loop.now, "recovery:pto_fired", backoff=self._pto_backoff
+            )
         self._pto_backoff = min(self._pto_backoff * 2, 64)
         # RFC 9002 §7.4: a probe timeout does NOT collapse the window;
         # only *persistent* congestion (consecutive timeouts with no
@@ -605,6 +674,12 @@ class BaseConnection:
         info = self._inflight.pop(oldest_seq)
         self._bytes_in_flight -= info.size_bytes
         self.stats.data_packets_lost += 1
+        if self.tracer:
+            self.tracer.event(
+                self.loop.now, "transport:packet_lost",
+                seq=oldest_seq, trigger="pto",
+            )
+            self._trace_metrics(force=True)
         self._retx_queue.append((info.chunk, info.conn_start))
         if oldest_seq > self._recovery_until_seq:
             self._recovery_until_seq = self._largest_sent
@@ -627,6 +702,12 @@ class BaseConnection:
         # detection is waiting on this ACK), with a max_ack_delay timer
         # backstop so tail packets are never acked late.
         seq = pkt.seq
+        if self.tracer:
+            self.tracer.event(
+                self.loop.now, "transport:packet_received",
+                seq=seq, size=pkt.size_bytes,
+                retransmission=pkt.retransmission,
+            )
         out_of_order = seq != self._ack_largest_received + 1
         if seq > self._ack_largest_received:
             self._ack_largest_received = seq
@@ -673,10 +754,34 @@ class BaseConnection:
         stream.received += chunk.size
         if stream.received >= stream.response_bytes and stream.t_complete is None:
             stream.t_complete = self.loop.now
+            if self.tracer:
+                self.tracer.event(
+                    self.loop.now, "http:stream_closed",
+                    stream_id=stream.stream_id,
+                    first_byte_ms=(stream.t_first_byte or 0.0) - stream.opened_at,
+                    duration_ms=self.loop.now - stream.opened_at,
+                )
             if stream.on_complete is not None:
                 stream.on_complete(self.loop.now)
 
     # ------------------------------------------------------------------
+
+    def _trace_metrics(self, force: bool = False) -> None:
+        """Emit a qlog ``recovery:metrics_updated`` event.
+
+        Unless forced (loss/PTO), events are rate-limited to ≥1-MSS cwnd
+        changes so per-ack sampling keeps traces bounded.
+        """
+        cwnd = self.cc.cwnd_bytes
+        if not force and abs(cwnd - self._traced_cwnd) < self.config.mss:
+            return
+        self._traced_cwnd = cwnd
+        self.tracer.event(
+            self.loop.now, "recovery:metrics_updated",
+            cwnd=cwnd,
+            ssthresh=getattr(self.cc, "ssthresh_bytes", None),
+            bytes_in_flight=self._bytes_in_flight,
+        )
 
     def close(self) -> None:
         """Tear down timers; the connection cannot be used afterwards."""

@@ -50,6 +50,11 @@ class NewRenoController:
         return int(self._cwnd)
 
     @property
+    def ssthresh_bytes(self) -> int | None:
+        """Slow-start threshold for tracing; ``None`` until a loss."""
+        return None if self._ssthresh == float("inf") else int(self._ssthresh)
+
+    @property
     def in_slow_start(self) -> bool:
         return self._cwnd < self._ssthresh
 
@@ -97,6 +102,11 @@ class CubicController:
     @property
     def cwnd_bytes(self) -> int:
         return int(self._cwnd)
+
+    @property
+    def ssthresh_bytes(self) -> int | None:
+        """Slow-start threshold for tracing; ``None`` until a loss."""
+        return None if self._ssthresh == float("inf") else int(self._ssthresh)
 
     @property
     def in_slow_start(self) -> bool:
@@ -164,6 +174,11 @@ class BbrLikeController:
     @property
     def cwnd_bytes(self) -> int:
         return int(self._cwnd)
+
+    @property
+    def ssthresh_bytes(self) -> None:
+        """BBR has no slow-start threshold; always ``None``."""
+        return None
 
     def on_rate_sample(self, bytes_per_ms: float, rtt_ms: float) -> None:
         """Feed a delivery-rate / RTT observation into the path model."""

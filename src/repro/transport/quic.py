@@ -29,6 +29,9 @@ class QuicConnection(BaseConnection):
         # of out-of-order chunks keyed by offset.
         self._stream_rcv_next: dict[int, int] = {}
         self._stream_buffers: dict[int, dict[int, StreamChunk]] = {}
+        # Stream id → when its (stream-local) stall began.  QUIC stalls
+        # never cross streams — that is the HoL-freedom being measured.
+        self._stream_stall_started: dict[int, float] = {}
 
     def _handshake_flights(self) -> int:
         # Full handshake: QUIC-TLS completes in one round trip (the
@@ -60,6 +63,14 @@ class QuicConnection(BaseConnection):
             # Gap *within this stream only*: other streams unaffected.
             buffer = self._stream_buffers.setdefault(stream_id, {})
             if chunk.offset not in buffer:
+                if not buffer:
+                    # This one stream just became blocked on a gap.
+                    self._stream_stall_started[stream_id] = self.loop.now
+                    if self.tracer:
+                        self.tracer.event(
+                            self.loop.now, "transport:hol_stall_started",
+                            stream_id=stream_id, blocked_from=expected,
+                        )
                 buffer[chunk.offset] = chunk
                 self.stats.hol_blocked_chunks += 1
             return
@@ -71,6 +82,17 @@ class QuicConnection(BaseConnection):
             self._deliver_chunk(queued)
             expected = queued.end
         self._stream_rcv_next[stream_id] = expected
+        if not buffer:
+            started = self._stream_stall_started.pop(stream_id, None)
+            if started is not None:
+                duration = self.loop.now - started
+                self.stats.hol_stalls += 1
+                self.stats.hol_stall_ms += duration
+                if self.tracer:
+                    self.tracer.event(
+                        self.loop.now, "transport:hol_stall_ended",
+                        stream_id=stream_id, duration_ms=duration,
+                    )
 
     @property
     def buffered_chunks(self) -> int:

@@ -48,6 +48,9 @@ class TcpConnection(BaseConnection):
         # plus a buffer of out-of-order packets keyed by stream position.
         self._rcv_next = 0
         self._reorder_buffer: dict[int, Packet] = {}
+        # When the current HoL stall began (reorder buffer went
+        # non-empty); None while delivery is flowing in order.
+        self._stall_started_at: float | None = None
 
     def _handshake_flights(self) -> int:
         tcp_flights = 1  # SYN / SYN-ACK
@@ -95,12 +98,30 @@ class TcpConnection(BaseConnection):
             # Gap: buffer and wait for the retransmission.  Everything
             # in this buffer — any stream — is HoL-blocked.
             if start not in self._reorder_buffer:
+                if not self._reorder_buffer:
+                    # The connection just became HoL-blocked.
+                    self._stall_started_at = self.loop.now
+                    if self.tracer:
+                        self.tracer.event(
+                            self.loop.now, "transport:hol_stall_started",
+                            blocked_from=self._rcv_next,
+                        )
                 self._reorder_buffer[start] = pkt
                 self.stats.hol_blocked_chunks += len(pkt.chunks)
             return
         self._release_packet(pkt)
         while self._rcv_next in self._reorder_buffer:
             self._release_packet(self._reorder_buffer.pop(self._rcv_next))
+        if not self._reorder_buffer and self._stall_started_at is not None:
+            duration = self.loop.now - self._stall_started_at
+            self._stall_started_at = None
+            self.stats.hol_stalls += 1
+            self.stats.hol_stall_ms += duration
+            if self.tracer:
+                self.tracer.event(
+                    self.loop.now, "transport:hol_stall_ended",
+                    duration_ms=duration,
+                )
 
     def _release_packet(self, pkt: Packet) -> None:
         self._rcv_next += pkt.payload_bytes

@@ -32,6 +32,70 @@ class TestRenderPlots:
         assert render_plots(run_experiment("table1", study)) == []
 
 
+class TestRenderPlotsDegradation:
+    """Empty series must be skipped with a note, never raise."""
+
+    def make_result(self, data):
+        from repro.experiments.base import ExperimentResult
+
+        return ExperimentResult(experiment_id="x", title="fabricated", data=data)
+
+    def test_empty_ccdf_series_skipped(self):
+        lines = render_plots(self.make_result({"ccdf_series": []}))
+        assert lines == ["  [plot skipped: ccdf_series is empty]"]
+
+    def test_empty_phase_cdf_series_skipped(self):
+        lines = render_plots(
+            self.make_result({"phase_cdf_series": {"connection": [], "wait": []}})
+        )
+        assert lines == ["  [plot skipped: phase_cdf_series is empty]"]
+
+    def test_partially_empty_phase_cdf_still_plots(self):
+        lines = render_plots(
+            self.make_result(
+                {"phase_cdf_series": {"connection": [(0.0, 0.5), (1.0, 1.0)],
+                                      "wait": []}}
+            )
+        )
+        assert any("connection" in line for line in lines)
+        assert not any("skipped" in line for line in lines)
+
+    def test_empty_group_reductions_skipped(self):
+        lines = render_plots(self.make_result({"group_reductions": {}}))
+        assert lines == ["  [plot skipped: group_reductions is empty]"]
+
+    def test_empty_provider_bars_skipped(self):
+        lines = render_plots(
+            self.make_result(
+                {"plt_reduction_by_providers": {}, "resumed_by_providers": {}}
+            )
+        )
+        assert "  [plot skipped: plt_reduction_by_providers is empty]" in lines
+        assert "  [plot skipped: resumed_by_providers is empty]" in lines
+
+    def test_empty_loss_points_skipped(self):
+        lines = render_plots(
+            self.make_result({"points": {0.0: [], 0.01: []}})
+        )
+        assert lines == ["  [plot skipped: points is empty]"]
+
+    def test_all_empty_keys_never_raise(self):
+        lines = render_plots(
+            self.make_result(
+                {
+                    "ccdf_series": [],
+                    "phase_cdf_series": {},
+                    "group_reductions": {},
+                    "plt_reduction_by_providers": {},
+                    "resumed_by_providers": {},
+                    "points": {},
+                }
+            )
+        )
+        assert len(lines) == 6  # provider block notes both of its charts
+        assert all("skipped" in line for line in lines)
+
+
 class TestCliPlotFlag:
     def test_end_to_end(self, capsys):
         code = main(["--scale", "smoke", "--sites", "8",
