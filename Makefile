@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-smoke lint trace-smoke
+.PHONY: test bench-smoke lint trace-smoke faults-smoke
 
 # Tier-1 suite. tests/test_parallel.py runs 2- and 4-worker campaigns
 # against the serial baseline, so the parallel path is exercised on
@@ -24,6 +24,23 @@ trace-smoke:
 		--trace-dir .trace_smoke --json .trace_smoke/results.json
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.obs.schema .trace_smoke/trace.jsonl
 	test -f .trace_smoke/run.json
+
+# Fault-injection smoke: run a campaign under full UDP blackholing plus
+# the fallback sweep, validate the trace (fault:/recovery: events) and
+# check the manifest records the sweep.
+faults-smoke:
+	rm -rf .faults_smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli \
+		--scale smoke --sites 6 --experiments table2,fig-fallback \
+		--faults udp-blocked --counters \
+		--trace-dir .faults_smoke --json .faults_smoke/results.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.obs.schema .faults_smoke/trace.jsonl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
+	import json; m = json.load(open('.faults_smoke/run.json')); \
+	assert m['invocation']['faults'] == 'udp-blocked', m['invocation']; \
+	sweep = m['fallback_sweep']; \
+	assert sweep['monotone_fallback'] is True, sweep; \
+	print('faults-smoke: manifest ok,', len(sweep['fallback_rates']), 'sweep points')"
 
 # No third-party linters in the container; bytecode compilation catches
 # syntax errors and obvious breakage across the whole tree.

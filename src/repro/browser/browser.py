@@ -25,8 +25,9 @@ from repro.browser.har import HarEntry, HarLog
 from repro.cdn.classifier import classify_response
 from repro.dns import DnsConfig, DnsResolver
 from repro.events import EventLoop
+from repro.faults.inject import FaultInjector
 from repro.http.alt_svc import AltSvcCache
-from repro.http.messages import FetchRecord, HttpProtocol
+from repro.http.messages import EntryTiming, FetchRecord, HttpProtocol
 from repro.http.pool import ConnectionPool, PoolStats
 from repro.netsim.path import NetworkPath
 from repro.tls.session_cache import SessionTicketCache
@@ -102,10 +103,19 @@ class PageVisit:
     counters: dict | None = None
     #: Per-visit qlog-style trace events when tracing was on.
     trace: list | None = None
+    #: ``"ok"`` normally; ``"degraded"`` when fault injection forced
+    #: retries/fallback or failed individual fetches.  Serialized only
+    #: when not ``"ok"`` so fault-free payloads keep their exact shape.
+    status: str = "ok"
 
     @property
     def entries(self) -> list[HarEntry]:
         return self.har.entries
+
+    @property
+    def failed_entries(self) -> int:
+        """Number of fetches that exhausted their retry budget."""
+        return sum(1 for entry in self.har.entries if entry.failed)
 
     def to_dict(self) -> dict:
         """Compact, picklable rendering of this visit.
@@ -128,6 +138,8 @@ class PageVisit:
             document["counters"] = self.counters
         if self.trace is not None:
             document["trace"] = self.trace
+        if self.status != "ok":
+            document["status"] = self.status
         return document
 
     @classmethod
@@ -145,6 +157,7 @@ class PageVisit:
             pool_stats=PoolStats.from_dict(document["poolStats"]),
             counters=document.get("counters"),
             trace=document.get("trace"),
+            status=document.get("status", "ok"),
         )
 
 
@@ -159,6 +172,7 @@ class Browser:
         session_cache: SessionTicketCache | None = None,
         rng: random.Random | None = None,
         obs=None,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.loop = loop
         self.farm = farm
@@ -168,6 +182,9 @@ class Browser:
         )
         #: Optional :class:`repro.obs.ObsContext`; drained per visit.
         self.obs = obs
+        #: Optional :class:`repro.faults.FaultInjector` shared with the
+        #: probe; ``None`` keeps every fault/recovery hook dormant.
+        self.faults = faults
         if obs is not None:
             self.session_cache.attach_counters(obs.counters)
         self.rng = rng or random.Random(0)
@@ -181,6 +198,9 @@ class Browser:
             if self.config.dns_config is not None
             else None
         )
+        if self.dns is not None and faults is not None:
+            # Scripted SERVFAIL windows; cached answers keep resolving.
+            self.dns.fail_filter = faults.dns_failure
 
     # ------------------------------------------------------------------
 
@@ -192,6 +212,8 @@ class Browser:
         owned by the browser and persists across visits until
         :meth:`clear_session_state` is called.
         """
+        if self.faults is not None:
+            self.faults.begin_visit()
         pool = ConnectionPool(
             self.loop,
             session_cache=self.session_cache,
@@ -199,6 +221,8 @@ class Browser:
             rng=random.Random(self.rng.getrandbits(64)),
             use_session_tickets=self.config.use_session_tickets,
             obs=self.obs,
+            faults=self.faults,
+            alt_svc=self.alt_svc,
         )
         har = HarLog(page_url=page.url, started_at_ms=self.loop.now)
         start = self.loop.now
@@ -248,12 +272,26 @@ class Browser:
         self.loop.run_until(lambda: state["outstanding"] == 0)
         har.on_load_ms = self.loop.now - start
         pool.close()
+        status = "ok"
+        if self.faults is not None:
+            stats = pool.stats
+            touched_by_faults = (
+                stats.failed_requests
+                or stats.retried_requests
+                or stats.h3_fallbacks
+                or stats.connect_timeouts
+                or stats.connection_resets
+                or any(entry.failed for entry in har.entries)
+            )
+            if touched_by_faults:
+                status = "degraded"
         visit = PageVisit(
             page_url=page.url,
             protocol_mode=self.config.protocol_mode,
             har=har,
             plt_ms=har.on_load_ms,
             pool_stats=pool.stats,
+            status=status,
         )
         if self.obs is not None:
             # Deterministic (the loop is): the events this visit drove.
@@ -299,10 +337,51 @@ class Browser:
                 ),
             )
 
-        if self.dns is not None:
-            self.dns.resolve(resource.host, after_dns)
-        else:
+        if self.dns is None:
             after_dns(0.0)
+            return
+        if self.faults is None:
+            self.dns.resolve(resource.host, after_dns)
+            return
+
+        def attempt_resolve(attempt: int) -> None:
+            self.dns.resolve(
+                resource.host,
+                after_dns,
+                on_fail=lambda: on_dns_fail(attempt),
+            )
+
+        def on_dns_fail(attempt: int) -> None:
+            faults = self.faults
+            host = resource.host
+            faults.record_fault("dns_failure", host, attempt=attempt)
+            policy = faults.retry
+            if attempt < policy.max_retries:
+                faults.record_recovery("dns_retry", host, attempt=attempt + 1)
+                self.loop.call_later(
+                    policy.backoff_ms(attempt), attempt_resolve, attempt + 1
+                )
+                return
+            # Resolution never succeeded: record a failed entry so the
+            # page load still terminates (graceful degradation).
+            now = self.loop.now
+            timing = EntryTiming()
+            timing.blocked = now - requested_at
+            record = FetchRecord(
+                url=resource.url,
+                host=host,
+                protocol=self._pick_protocol(self.farm.server(host)),
+                started_at_ms=requested_at,
+                timing=timing,
+                response_bytes=0,
+                request_bytes=resource.request_bytes,
+                completed_at_ms=now,
+                failed=True,
+                error="dns_failure",
+            )
+            on_entry(resource, record, 0.0, requested_at)
+
+        attempt_resolve(0)
 
     def _pick_protocol(self, server) -> HttpProtocol:
         """Choose the protocol lane for one request.
@@ -313,7 +392,11 @@ class Browser:
         Table II "Others" row.
         """
         mode = self.config.protocol_mode
-        if mode == H3_ENABLED and server.supports_h3:
+        if (
+            mode == H3_ENABLED
+            and server.supports_h3
+            and not self.alt_svc.h3_broken(server.hostname, self.loop.now)
+        ):
             if not self.config.use_alt_svc:
                 return HttpProtocol.H3
             if self.alt_svc.knows_h3(server.hostname, self.loop.now):
@@ -348,4 +431,6 @@ class Browser:
             cache_hit=record.cache_hit,
             is_cdn=classification.is_cdn,
             provider=classification.provider_name,
+            status=0 if record.failed else 200,
+            failed=record.failed,
         )

@@ -38,6 +38,9 @@ class HarEntry:
     #: LocEdge-style classification (filled at collection time).
     is_cdn: bool = False
     provider: str | None = None
+    #: Fetch gave up after exhausting its fault-recovery retry budget
+    #: (``status`` is 0, Chrome-style, for such entries).
+    failed: bool = False
 
     @property
     def connection_time(self) -> float:
@@ -61,8 +64,12 @@ class HarEntry:
         return self.timings.connect == 0.0
 
     def to_dict(self) -> dict:
-        """HAR-1.2-flavoured rendering of this entry."""
-        return {
+        """HAR-1.2-flavoured rendering of this entry.
+
+        The ``_failed`` extension key appears only on failed entries,
+        keeping fault-free documents byte-identical to older captures.
+        """
+        document = {
             "startedDateTime": self.started_at_ms,
             "time": self.time_ms,
             "request": {
@@ -86,6 +93,9 @@ class HarEntry:
             "_resumed": self.resumed,
             "_cacheHit": self.cache_hit,
         }
+        if self.failed:
+            document["_failed"] = True
+        return document
 
 
 @dataclass
@@ -196,6 +206,7 @@ class HarLog:
                     cache_hit=raw.get("_cacheHit", False),
                     is_cdn=is_cdn,
                     provider=provider,
+                    failed=raw.get("_failed", False),
                 )
             )
         return har

@@ -16,11 +16,13 @@ from repro.analysis.stats import EmpiricalDistribution
 from repro.core import adoption as adoption_mod
 from repro.core import characteristics as characteristics_mod
 from repro.core import congestion as congestion_mod
+from repro.core import fallback as fallback_mod
 from repro.core import groups as groups_mod
 from repro.core import reuse as reuse_mod
 from repro.core import sharing as sharing_mod
 from repro.core.adoption import AdoptionTable, ProviderAdoption
 from repro.core.congestion import LossSweepSeries
+from repro.core.fallback import FallbackSweepPoint
 from repro.core.sharing import CaseStudyResult
 from repro.measurement.campaign import Campaign, CampaignConfig, CampaignResult
 from repro.measurement.consecutive import ConsecutiveRun, ConsecutiveVisitRunner
@@ -49,6 +51,9 @@ class StudyConfig:
     max_loss_sweep_pages: int | None = None
     #: Repetitions for the loss sweep (loss is stochastic).
     loss_sweep_repetitions: int = 1
+    #: Fault intensities for the fallback sweep (fraction of hosts
+    #: whose UDP is blackholed).
+    fallback_intensities: tuple[float, ...] = fallback_mod.DEFAULT_INTENSITIES
     #: Worker processes for the campaign and loss sweep (1 = in-process).
     workers: int = 1
 
@@ -67,6 +72,7 @@ class H3CdnStudy:
         self._campaign_result: CampaignResult | None = None
         self._consecutive: tuple[ConsecutiveRun, ConsecutiveRun] | None = None
         self._loss_sweep: list[LossSweepSeries] | None = None
+        self._fallback_sweep: list[FallbackSweepPoint] | None = None
         self._case_study: CaseStudyResult | None = None
 
     # -- cached stages ---------------------------------------------------
@@ -211,6 +217,36 @@ class H3CdnStudy:
                 workers=self.config.workers,
             )
         return self._loss_sweep
+
+    # -- fault injection: fallback ------------------------------------------
+
+    def fig_fallback(
+        self, intensities: Sequence[float] | None = None
+    ) -> list[FallbackSweepPoint]:
+        """The fallback sweep: H3's edge under rising UDP blackholing.
+
+        Only the default-intensity call is cached; an explicit
+        ``intensities`` argument always runs fresh.
+        """
+        if intensities is not None:
+            return fallback_mod.fallback_sweep(
+                self.universe,
+                intensities=tuple(intensities),
+                pages=self._pages(self.config.max_loss_sweep_pages),
+                seed=self.config.seed,
+                campaign_config=self.config.campaign_config,
+                workers=self.config.workers,
+            )
+        if self._fallback_sweep is None:
+            self._fallback_sweep = fallback_mod.fallback_sweep(
+                self.universe,
+                intensities=self.config.fallback_intensities,
+                pages=self._pages(self.config.max_loss_sweep_pages),
+                seed=self.config.seed,
+                campaign_config=self.config.campaign_config,
+                workers=self.config.workers,
+            )
+        return self._fallback_sweep
 
     # ------------------------------------------------------------------
 

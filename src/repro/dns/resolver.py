@@ -97,19 +97,44 @@ class DnsResolver:
         self.hits = 0
         self.misses = 0
         self.lookups_sent = 0
+        #: Optional fault hook: ``fail_filter(host) -> bool`` decides
+        #: whether an *upstream* lookup SERVFAILs right now (installed
+        #: by the browser when fault injection is active).  Cached
+        #: answers keep resolving through an upstream outage.
+        self.fail_filter: Callable[[str], bool] | None = None
+        self.failures = 0
 
-    def resolve(self, host: str, on_done: Callable[[float], None]) -> None:
+    def resolve(
+        self,
+        host: str,
+        on_done: Callable[[float], None],
+        on_fail: Callable[[], None] | None = None,
+    ) -> None:
         """Resolve ``host``; ``on_done(latency_ms)`` fires when ready.
 
         Cache hits complete synchronously with latency 0.  Concurrent
         lookups for the same name coalesce onto one upstream query
         (each caller still observes the full remaining latency).
+
+        When a :attr:`fail_filter` is installed and ``on_fail`` is
+        provided, an upstream lookup inside a fault window SERVFAILs:
+        ``on_fail()`` fires after one resolver round trip and nothing
+        is cached.  Callers that pass no ``on_fail`` keep the legacy
+        always-succeeds behaviour.
         """
         now = self.loop.now
         expiry = self._cache.get(host)
         if expiry is not None and now < expiry:
             self.hits += 1
             on_done(0.0)
+            return
+        if (
+            on_fail is not None
+            and self.fail_filter is not None
+            and self.fail_filter(host)
+        ):
+            self.failures += 1
+            self.loop.call_later(self.config.resolver_rtt_ms, on_fail)
             return
         self.misses += 1
         waiters = self._inflight.get(host)

@@ -1,19 +1,34 @@
 """Experiment drivers: one module per table/figure in the paper.
 
-Each driver exposes ``run(study) -> ExperimentResult`` that regenerates
-the corresponding table or figure's rows/series from a (possibly
+Each driver exposes an :class:`~repro.experiments.base.ExperimentSpec`
+named ``SPEC`` whose ``run(ctx) -> ExperimentResult`` regenerates the
+corresponding table or figure's rows/series from a (possibly
 scaled-down) :class:`~repro.core.study.H3CdnStudy`.  The registry maps
-experiment ids (``table1`` … ``fig9``) to drivers, and the CLI
-(``repro-h3cdn``) runs any subset from the command line.
+experiment ids (``table1`` … ``fig9``, plus the ``fig-fallback``
+extension) to specs, and the CLI (``repro-h3cdn``) dispatches through
+:meth:`ExperimentSpec.execute`.
 """
 
-from repro.experiments.base import ExperimentResult, format_table
-from repro.experiments.registry import EXPERIMENTS, run_experiment, run_all
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentSpec,
+    format_table,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_spec,
+    run_all,
+    run_experiment,
+)
 
 __all__ = [
     "EXPERIMENTS",
+    "ExperimentContext",
     "ExperimentResult",
+    "ExperimentSpec",
     "format_table",
+    "get_spec",
     "run_all",
     "run_experiment",
 ]

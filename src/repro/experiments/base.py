@@ -1,9 +1,20 @@
-"""Shared result type and plain-text rendering for experiment drivers."""
+"""The unified experiment API: spec, context, result, rendering.
+
+Every table/figure driver is described by one :class:`ExperimentSpec`
+(name, title, default params, ``run`` callable).  A driver's ``run``
+takes an :class:`ExperimentContext` — the study plus the merged
+parameter mapping — and returns an :class:`ExperimentResult`.  The
+registry holds specs, and the CLI dispatches exclusively through
+:meth:`ExperimentSpec.execute`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.study import H3CdnStudy
 
 
 @dataclass
@@ -23,6 +34,41 @@ class ExperimentResult:
     def render(self) -> str:
         header = f"== {self.experiment_id}: {self.title} =="
         return "\n".join([header, *self.lines])
+
+
+@dataclass(frozen=True)
+class ExperimentContext:
+    """Everything a driver's ``run`` gets to see.
+
+    ``params`` is the spec's defaults merged with any per-invocation
+    overrides; :meth:`param` is the lookup drivers should use so that
+    an absent key falls back explicitly rather than raising.
+    """
+
+    study: "H3CdnStudy"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        return self.params.get(key, default)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment, fully described: the registry's unit of record."""
+
+    name: str
+    title: str
+    run: Callable[[ExperimentContext], ExperimentResult]
+    #: Default parameters, overridable per invocation via ``execute``.
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def execute(self, study: "H3CdnStudy", **overrides: Any) -> ExperimentResult:
+        """Run this experiment against ``study``.
+
+        ``overrides`` shadow the spec's default ``params`` key-by-key.
+        """
+        merged = {**self.params, **overrides}
+        return self.run(ExperimentContext(study=study, params=merged))
 
 
 def format_table(

@@ -22,8 +22,9 @@ import time
 
 from repro.core.study import H3CdnStudy, StudyConfig
 from repro.experiments.registry import EXPERIMENTS, run_experiment
-from repro.measurement.campaign import CampaignConfig
+from repro.faults import FAULT_PROFILES
 from repro.obs import build_run_manifest, write_run_manifest
+from repro.scenario import Scenario
 
 #: Predefined scales: (sites, campaign pages, consecutive pages,
 #: loss-sweep pages, loss repetitions).
@@ -89,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--counters",
         action="store_true",
         help="collect the campaign counter registry and print merged totals",
+    )
+    parser.add_argument(
+        "--faults",
+        choices=sorted(FAULT_PROFILES),
+        help="apply a named fault profile to every campaign "
+        "(default: no faults — results are bit-identical to fault-free builds)",
     )
     return parser
 
@@ -164,11 +171,15 @@ def make_study(args: argparse.Namespace) -> H3CdnStudy:
     trace = bool(getattr(args, "trace_dir", None))
     collect = trace or bool(getattr(args, "counters", False) or
                             getattr(args, "json", None))
+    faults_name = getattr(args, "faults", None)
+    scenario = Scenario(name="paper-default")
+    if faults_name:
+        scenario = scenario.with_faults(faults_name)
     return H3CdnStudy(
         StudyConfig(
             n_sites=sites,
             seed=args.seed,
-            campaign_config=CampaignConfig(
+            campaign_config=scenario.campaign_config(
                 collect_counters=collect, trace=trace
             ),
             max_campaign_pages=campaign_pages,
@@ -204,8 +215,8 @@ def _jsonable(value):
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
-        for experiment_id, (title, __) in EXPERIMENTS.items():
-            print(f"{experiment_id:8s} {title}")
+        for experiment_id, spec in EXPERIMENTS.items():
+            print(f"{experiment_id:12s} {spec.title}")
         return 0
     wanted = (
         list(EXPERIMENTS)
@@ -282,10 +293,16 @@ def main(argv: list[str] | None = None) -> int:
                 "experiments": wanted,
                 "counters": bool(args.counters),
                 "trace": bool(args.trace_dir),
+                "faults": args.faults,
             },
             experiments=experiment_records,
             counters=counters_dict,
             trace_files=trace_files,
+            fallback_sweep=(
+                _jsonable(results["fig-fallback"].data)
+                if "fig-fallback" in results
+                else None
+            ),
         )
         if args.trace_dir:
             manifest_path = os.path.join(args.trace_dir, "run.json")

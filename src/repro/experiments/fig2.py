@@ -3,14 +3,20 @@
 from __future__ import annotations
 
 from repro.core.adoption import h3_share_by_provider
-from repro.core.study import H3CdnStudy
-from repro.experiments.base import ExperimentResult, format_table, pct
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentSpec,
+    format_table,
+    pct,
+)
 
 EXPERIMENT_ID = "fig2"
 TITLE = "H3 adoption by CDN provider and market share (paper Fig. 2)"
 
 
-def run(study: H3CdnStudy) -> ExperimentResult:
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    study = ctx.study
     rows_data = study.fig2()
     total_cdn = sum(r.total for r in rows_data)
     h3_shares = h3_share_by_provider(rows_data)
@@ -43,3 +49,6 @@ def run(study: H3CdnStudy) -> ExperimentResult:
             "own_h3_fraction": {r.provider: r.h3_fraction for r in rows_data},
         },
     )
+
+
+SPEC = ExperimentSpec(name=EXPERIMENT_ID, title=TITLE, run=run)

@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
-from repro.core.study import H3CdnStudy
-from repro.experiments.base import ExperimentResult, format_table, pct
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentSpec,
+    format_table,
+    pct,
+)
 
 EXPERIMENT_ID = "fig3"
 TITLE = "CCDF of per-page CDN resource share (paper Fig. 3)"
@@ -12,7 +17,8 @@ TITLE = "CCDF of per-page CDN resource share (paper Fig. 3)"
 PROBE_POINTS = (0.1, 0.25, 0.5, 0.75, 0.9)
 
 
-def run(study: H3CdnStudy) -> ExperimentResult:
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    study = ctx.study
     dist = study.fig3()
     rows = [(pct(x, 0), pct(dist.ccdf(x))) for x in PROBE_POINTS]
     lines = format_table(("CDN share >", "fraction of pages"), rows)
@@ -30,3 +36,6 @@ def run(study: H3CdnStudy) -> ExperimentResult:
             "median": dist.median,
         },
     )
+
+
+SPEC = ExperimentSpec(name=EXPERIMENT_ID, title=TITLE, run=run)

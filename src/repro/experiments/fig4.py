@@ -7,14 +7,20 @@
 from __future__ import annotations
 
 from repro.core.characteristics import multi_provider_share
-from repro.core.study import H3CdnStudy
-from repro.experiments.base import ExperimentResult, format_table, pct
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentSpec,
+    format_table,
+    pct,
+)
 
 EXPERIMENT_ID = "fig4"
 TITLE = "Shared giant providers across webpages (paper Fig. 4)"
 
 
-def run(study: H3CdnStudy) -> ExperimentResult:
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    study = ctx.study
     appearance = study.fig4a()
     by_count = study.fig4b()
     total_pages = sum(by_count.values())
@@ -43,3 +49,6 @@ def run(study: H3CdnStudy) -> ExperimentResult:
             "share_2plus": share_2plus,
         },
     )
+
+
+SPEC = ExperimentSpec(name=EXPERIMENT_ID, title=TITLE, run=run)

@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
-from repro.core.study import H3CdnStudy
-from repro.experiments.base import ExperimentResult, format_table, pct
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentSpec,
+    format_table,
+    pct,
+)
 
 EXPERIMENT_ID = "fig5"
 TITLE = "CCDF of per-page resources from Amazon/Cloudflare/Google/Fastly (Fig. 5)"
@@ -12,7 +17,8 @@ PROVIDERS = ("amazon", "cloudflare", "google", "fastly")
 PROBE_COUNTS = (1, 5, 10, 20, 50)
 
 
-def run(study: H3CdnStudy) -> ExperimentResult:
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    study = ctx.study
     ccdfs = study.fig5(PROVIDERS)
     rows = []
     for provider in PROVIDERS:
@@ -40,3 +46,6 @@ def run(study: H3CdnStudy) -> ExperimentResult:
             "medians": {p: ccdfs[p].median for p in PROVIDERS},
         },
     )
+
+
+SPEC = ExperimentSpec(name=EXPERIMENT_ID, title=TITLE, run=run)

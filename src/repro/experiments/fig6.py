@@ -2,14 +2,20 @@
 
 from __future__ import annotations
 
-from repro.core.study import H3CdnStudy
-from repro.experiments.base import ExperimentResult, fmt, format_table
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentSpec,
+    fmt,
+    format_table,
+)
 
 EXPERIMENT_ID = "fig6"
 TITLE = "PLT reduction per group and phase reductions (paper Fig. 6)"
 
 
-def run(study: H3CdnStudy) -> ExperimentResult:
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    study = ctx.study
     groups = study.fig6a()
     lines = ["  (a) PLT reduction by H3-enabled-resource quartile group:"]
     lines += format_table(
@@ -49,3 +55,6 @@ def run(study: H3CdnStudy) -> ExperimentResult:
             },
         },
     )
+
+
+SPEC = ExperimentSpec(name=EXPERIMENT_ID, title=TITLE, run=run)

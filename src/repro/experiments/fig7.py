@@ -2,14 +2,20 @@
 
 from __future__ import annotations
 
-from repro.core.study import H3CdnStudy
-from repro.experiments.base import ExperimentResult, fmt, format_table
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentSpec,
+    fmt,
+    format_table,
+)
 
 EXPERIMENT_ID = "fig7"
 TITLE = "Reused connections vs PLT reduction (paper Fig. 7)"
 
 
-def run(study: H3CdnStudy) -> ExperimentResult:
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    study = ctx.study
     reuse = study.fig7a()
     lines = ["  (a)+(b) reused connections per group (H2 vs H3):"]
     lines += format_table(
@@ -47,3 +53,6 @@ def run(study: H3CdnStudy) -> ExperimentResult:
             ],
         },
     )
+
+
+SPEC = ExperimentSpec(name=EXPERIMENT_ID, title=TITLE, run=run)

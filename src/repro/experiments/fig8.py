@@ -2,14 +2,20 @@
 
 from __future__ import annotations
 
-from repro.core.study import H3CdnStudy
-from repro.experiments.base import ExperimentResult, fmt, format_table
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentSpec,
+    fmt,
+    format_table,
+)
 
 EXPERIMENT_ID = "fig8"
 TITLE = "Shared providers, resumption and PLT under consecutive visits (Fig. 8)"
 
 
-def run(study: H3CdnStudy) -> ExperimentResult:
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    study = ctx.study
     reductions = study.fig8a()
     resumed = study.fig8b()
     rows = [
@@ -32,3 +38,6 @@ def run(study: H3CdnStudy) -> ExperimentResult:
             "resumed_by_providers": resumed,
         },
     )
+
+
+SPEC = ExperimentSpec(name=EXPERIMENT_ID, title=TITLE, run=run)

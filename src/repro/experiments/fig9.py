@@ -2,14 +2,20 @@
 
 from __future__ import annotations
 
-from repro.core.study import H3CdnStudy
-from repro.experiments.base import ExperimentResult, fmt, format_table
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentSpec,
+    fmt,
+    format_table,
+)
 
 EXPERIMENT_ID = "fig9"
 TITLE = "PLT reduction vs #CDN resources under loss (paper Fig. 9)"
 
 
-def run(study: H3CdnStudy) -> ExperimentResult:
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    study = ctx.study
     series = study.fig9()
     rows = [
         (
@@ -41,3 +47,6 @@ def run(study: H3CdnStudy) -> ExperimentResult:
             "points": {s.loss_rate: list(s.points) for s in series},
         },
     )
+
+
+SPEC = ExperimentSpec(name=EXPERIMENT_ID, title=TITLE, run=run)

@@ -1,8 +1,6 @@
-"""Registry of all experiment drivers, in paper order."""
+"""Registry of all experiment specs, in paper order."""
 
 from __future__ import annotations
-
-from typing import Callable
 
 from repro.core.study import H3CdnStudy
 from repro.experiments import (
@@ -14,33 +12,41 @@ from repro.experiments import (
     fig7,
     fig8,
     fig9,
+    fig_fallback,
     table1,
     table2,
     table3,
 )
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, ExperimentSpec
 
-#: Experiment id → (title, run callable).  Iteration order follows the
-#: paper's presentation order.
-EXPERIMENTS: dict[str, tuple[str, Callable[[H3CdnStudy], ExperimentResult]]] = {
-    module.EXPERIMENT_ID: (module.TITLE, module.run)
+#: Experiment id → :class:`ExperimentSpec`.  Iteration order follows the
+#: paper's presentation order; the fallback extension comes last.
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    module.SPEC.name: module.SPEC
     for module in (
-        table1, table2, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table3, fig9
+        table1, table2, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table3,
+        fig9, fig_fallback,
     )
 }
 
 
-def run_experiment(experiment_id: str, study: H3CdnStudy) -> ExperimentResult:
-    """Run one experiment by id."""
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """Look up one spec by id."""
     try:
-        __, runner = EXPERIMENTS[experiment_id]
+        return EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}"
         ) from None
-    return runner(study)
+
+
+def run_experiment(
+    experiment_id: str, study: H3CdnStudy, **overrides
+) -> ExperimentResult:
+    """Run one experiment by id (``overrides`` shadow the spec params)."""
+    return get_spec(experiment_id).execute(study, **overrides)
 
 
 def run_all(study: H3CdnStudy) -> list[ExperimentResult]:
     """Run every experiment (sharing the study's cached stages)."""
-    return [runner(study) for __, runner in EXPERIMENTS.values()]
+    return [spec.execute(study) for spec in EXPERIMENTS.values()]

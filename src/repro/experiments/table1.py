@@ -3,14 +3,18 @@
 from __future__ import annotations
 
 from repro.cdn.provider import default_providers
-from repro.core.study import H3CdnStudy
-from repro.experiments.base import ExperimentResult, format_table
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentSpec,
+    format_table,
+)
 
 EXPERIMENT_ID = "table1"
 TITLE = "Release year of H3 support in various CDNs and performance reports"
 
 
-def run(study: H3CdnStudy) -> ExperimentResult:
+def run(ctx: ExperimentContext) -> ExperimentResult:
     """Render Table I from the provider registry (static metadata)."""
     providers = [p for p in default_providers() if p.h3_release_year is not None]
     providers.sort(key=lambda p: (p.h3_release_year, p.name))
@@ -27,3 +31,6 @@ def run(study: H3CdnStudy) -> ExperimentResult:
             "reports": {p.name: p.performance_report for p in providers},
         },
     )
+
+
+SPEC = ExperimentSpec(name=EXPERIMENT_ID, title=TITLE, run=run)

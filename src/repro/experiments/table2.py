@@ -3,14 +3,20 @@
 from __future__ import annotations
 
 from repro.core.adoption import ROW_ALL, ROW_H2, ROW_H3, ROW_OTHERS
-from repro.core.study import H3CdnStudy
-from repro.experiments.base import ExperimentResult, fmt, format_table
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentSpec,
+    fmt,
+    format_table,
+)
 
 EXPERIMENT_ID = "table2"
 TITLE = "Requests and percentage of total by HTTP version (paper Table II)"
 
 
-def run(study: H3CdnStudy) -> ExperimentResult:
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    study = ctx.study
     table = study.table2()
     rows = []
     for row_label in (ROW_H2, ROW_H3, ROW_OTHERS, ROW_ALL):
@@ -44,3 +50,6 @@ def run(study: H3CdnStudy) -> ExperimentResult:
             "h3_cdn_share_of_h3": table.h3_cdn_share_of_h3,
         },
     )
+
+
+SPEC = ExperimentSpec(name=EXPERIMENT_ID, title=TITLE, run=run)

@@ -2,14 +2,20 @@
 
 from __future__ import annotations
 
-from repro.core.study import H3CdnStudy
-from repro.experiments.base import ExperimentResult, fmt, format_table
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    ExperimentSpec,
+    fmt,
+    format_table,
+)
 
 EXPERIMENT_ID = "table3"
 TITLE = "PLT reduction for high/low sharing-degree groups (paper Table III)"
 
 
-def run(study: H3CdnStudy) -> ExperimentResult:
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    study = ctx.study
     result = study.table3()
     rows = [
         (
@@ -46,3 +52,6 @@ def run(study: H3CdnStudy) -> ExperimentResult:
             "outliers_removed": result.outliers_removed,
         },
     )
+
+
+SPEC = ExperimentSpec(name=EXPERIMENT_ID, title=TITLE, run=run)

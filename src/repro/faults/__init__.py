@@ -1,0 +1,35 @@
+"""Deterministic fault injection and graceful degradation.
+
+Declarative side (:mod:`repro.faults.profile`): frozen, picklable
+:class:`FaultProfile` / :class:`FaultEvent` / :class:`RetryPolicy`
+values scripting time-windowed faults relative to each page visit.
+
+Runtime side (:mod:`repro.faults.inject`): a per-probe
+:class:`FaultInjector` the browser, pool and resolver consult, plus the
+packet-dropping :class:`FaultedPath` proxy.
+
+Named profiles for the CLI's ``--faults`` flag live in
+:mod:`repro.faults.presets`.
+"""
+
+from repro.faults.inject import FaultedPath, FaultInjector
+from repro.faults.presets import FAULT_PROFILES, udp_blackhole_profile
+from repro.faults.profile import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultProfile,
+    RetryPolicy,
+    stable_host_fraction,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PROFILES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultedPath",
+    "RetryPolicy",
+    "stable_host_fraction",
+    "udp_blackhole_profile",
+]

@@ -1,0 +1,101 @@
+"""Named fault profiles shared by the CLI, scenarios and tests.
+
+``FAULT_PROFILES`` maps the ``--faults <name>`` CLI vocabulary to ready
+profiles.  :func:`udp_blackhole_profile` is the parameterized builder
+behind the ``fig-fallback`` intensity sweep: all intensities share one
+salt, so the affected host sets are nested and the fallback rate is
+monotone in the fraction by construction.
+"""
+
+from __future__ import annotations
+
+from repro.faults.profile import FaultEvent, FaultProfile, RetryPolicy
+
+#: Salt shared by every ``udp_blackhole_profile`` so that host subsets
+#: nest across intensities (see ``FaultEvent.targets``).
+UDP_SWEEP_SALT = 0x5EED
+
+
+def udp_blackhole_profile(
+    fraction: float = 1.0, name: str | None = None
+) -> FaultProfile:
+    """UDP blackholed for ``fraction`` of hosts, for the whole visit.
+
+    QUIC handshakes to affected hosts can never complete; the pool's
+    connect timeout fires and the visit falls back to H2/H1 over TCP.
+    """
+    if name is None:
+        name = f"udp-blackhole-{fraction:g}"
+    return FaultProfile(
+        name=name,
+        events=(
+            FaultEvent(
+                kind="udp_blackhole",
+                host_fraction=fraction,
+                salt=UDP_SWEEP_SALT,
+            ),
+        ),
+        # A tight connect timeout keeps the fallback penalty in the
+        # hundreds of milliseconds instead of waiting out the QUIC
+        # handshake retry ladder (~tens of seconds of simulated time).
+        retry=RetryPolicy(connect_timeout_ms=1000.0),
+    )
+
+
+FAULT_PROFILES: dict[str, FaultProfile] = {
+    # Every QUIC packet is eaten by a middlebox; the entire page must
+    # complete over TCP via H3→H2 fallback.  The acceptance profile for
+    # "zero hung visits".
+    "udp-blocked": udp_blackhole_profile(1.0, name="udp-blocked"),
+    # A mid-visit link flap: all traffic drops for 400 ms, recovery is
+    # carried by retransmission/PTO plus pool request timeouts.
+    "flaky-link": FaultProfile(
+        name="flaky-link",
+        events=(FaultEvent(kind="blackout", start_ms=300.0, end_ms=700.0),),
+        retry=RetryPolicy(request_timeout_ms=8000.0, max_retries=2),
+    ),
+    # 30 % of edges refuse requests for the first 400 ms of the visit;
+    # bounded retries with backoff ride out the outage window.
+    "edge-outage": FaultProfile(
+        name="edge-outage",
+        events=(
+            FaultEvent(
+                kind="edge_outage",
+                end_ms=400.0,
+                host_fraction=0.3,
+                salt=7,
+            ),
+        ),
+        retry=RetryPolicy(max_retries=3, backoff_base_ms=150.0),
+    ),
+    # Resolution SERVFAILs for 30 % of hosts during the first 250 ms;
+    # the browser retries resolution with backoff until the window
+    # lifts.
+    "dns-flaky": FaultProfile(
+        name="dns-flaky",
+        events=(
+            FaultEvent(
+                kind="dns_failure",
+                end_ms=250.0,
+                host_fraction=0.3,
+                salt=11,
+            ),
+        ),
+        retry=RetryPolicy(max_retries=3, backoff_base_ms=100.0),
+    ),
+    # Every established connection is reset 250 ms into the visit;
+    # in-flight requests re-dispatch on fresh connections.
+    "reset-storm": FaultProfile(
+        name="reset-storm",
+        events=(
+            FaultEvent(kind="connection_reset", start_ms=250.0, end_ms=260.0),
+        ),
+    ),
+    # Session tickets are refused for the whole visit (key rotation):
+    # every connection pays the full handshake, isolating the 0-RTT
+    # contribution to H3's edge.
+    "no-0rtt": FaultProfile(
+        name="no-0rtt",
+        events=(FaultEvent(kind="zero_rtt_reject"),),
+    ),
+}

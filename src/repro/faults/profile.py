@@ -1,0 +1,177 @@
+"""Fault profiles: declarative, seed-free descriptions of what breaks.
+
+A :class:`FaultProfile` is a frozen, picklable value object that scripts
+*time-windowed* faults onto a page visit.  Windows are expressed relative
+to the start of each visit (``t = 0`` when the browser begins loading the
+page), so the same profile means the same thing for every page, probe and
+worker — a prerequisite for the bit-identical ``workers=1`` vs
+``workers=N`` guarantee the parallel campaign engine makes.
+
+Host targeting is deterministic without a ``random.Random``: each
+:class:`FaultEvent` hashes ``"{salt}:{host}"`` with BLAKE2b and compares
+the result against ``host_fraction``.  Because the per-host draw depends
+only on the salt, the affected host sets are *nested* across fractions
+(every host hit at 0.25 is also hit at 0.5), which is what makes the
+``fig-fallback`` intensity sweep monotone by construction.
+
+The taxonomy (see ``docs/faults.md``):
+
+``blackout``
+    The network path drops every packet in the window — models a link
+    flap.  Both QUIC and TCP are affected.
+``udp_blackhole``
+    Only QUIC (UDP) packets are dropped — models the UDP-hostile
+    middleboxes that force H3→H2 fallback in the wild.
+``edge_outage``
+    The edge/origin serving a host refuses requests in the window —
+    models a CDN PoP incident.
+``dns_failure``
+    Resolution for a host SERVFAILs in the window.
+``connection_reset``
+    Established connections to a host are torn down when the window
+    opens — models an idle-timeout or middlebox RST mid-transfer.
+``zero_rtt_reject``
+    Session-ticket resumption is refused in the window — models server
+    key rotation; connections complete a full handshake instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field, replace
+
+#: Every fault kind a :class:`FaultEvent` may carry.
+FAULT_KINDS = frozenset(
+    {
+        "blackout",
+        "udp_blackhole",
+        "edge_outage",
+        "dns_failure",
+        "connection_reset",
+        "zero_rtt_reject",
+    }
+)
+
+#: Denominator for the stable per-host hash draw (2**64).
+_HASH_SPAN = float(1 << 64)
+
+
+def stable_host_fraction(salt: int, host: str) -> float:
+    """A deterministic draw in ``[0, 1)`` for ``host`` under ``salt``.
+
+    Independent of Python's hash randomization and of any RNG stream the
+    simulation consumes, so adding faults never perturbs unrelated
+    randomness.
+    """
+    digest = hashlib.blake2b(
+        f"{salt}:{host}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / _HASH_SPAN
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted fault window.
+
+    ``start_ms``/``end_ms`` are relative to the visit start; ``end_ms``
+    defaults to infinity (the fault never lifts within the visit).
+    ``hosts`` restricts the fault to an explicit host list; otherwise
+    ``host_fraction`` selects a stable pseudo-random subset (1.0 = every
+    host).
+    """
+
+    kind: str
+    start_ms: float = 0.0
+    end_ms: float = math.inf
+    hosts: tuple[str, ...] | None = None
+    host_fraction: float = 1.0
+    salt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(FAULT_KINDS)}"
+            )
+        if self.start_ms < 0:
+            raise ValueError("fault window cannot start before the visit")
+        if self.end_ms <= self.start_ms:
+            raise ValueError("fault window must have end_ms > start_ms")
+        if not 0.0 <= self.host_fraction <= 1.0:
+            raise ValueError("host_fraction must be within [0, 1]")
+        if self.hosts is not None:
+            object.__setattr__(self, "hosts", tuple(self.hosts))
+
+    def active_at(self, rel_now_ms: float) -> bool:
+        """Whether the window covers visit-relative time ``rel_now_ms``."""
+        return self.start_ms <= rel_now_ms < self.end_ms
+
+    def targets(self, host: str) -> bool:
+        """Whether ``host`` falls inside this event's blast radius."""
+        if self.hosts is not None:
+            return host in self.hosts
+        if self.host_fraction >= 1.0:
+            return True
+        if self.host_fraction <= 0.0:
+            return False
+        return stable_host_fraction(self.salt, host) < self.host_fraction
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side recovery knobs: timeouts, bounded retries, backoff.
+
+    ``backoff_ms`` implements capped exponential backoff:
+    ``min(base * 2**attempt, cap)`` — attempt 0 waits ``base`` ms.
+    """
+
+    connect_timeout_ms: float = 3000.0
+    request_timeout_ms: float = 15000.0
+    max_retries: int = 2
+    backoff_base_ms: float = 100.0
+    backoff_cap_ms: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.connect_timeout_ms <= 0 or self.request_timeout_ms <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        return min(
+            self.backoff_base_ms * (2 ** max(attempt, 0)),
+            self.backoff_cap_ms,
+        )
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A named bundle of fault events plus the recovery policy.
+
+    Frozen and built from plain values only, so it pickles cleanly into
+    campaign worker processes.  An *empty* profile (no events) wires the
+    full fault/recovery machinery in but injects nothing — campaigns run
+    with it must be bit-identical to campaigns run with no profile at
+    all (regression-tested in ``tests/test_faults.py``).
+    """
+
+    name: str = "custom"
+    events: tuple[FaultEvent, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def kinds(self) -> frozenset[str]:
+        """The distinct fault kinds this profile scripts."""
+        return frozenset(event.kind for event in self.events)
+
+    def with_events(self, *events: FaultEvent) -> "FaultProfile":
+        """A copy with ``events`` appended (builder-style)."""
+        return replace(self, events=self.events + tuple(events))

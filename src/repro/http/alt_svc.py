@@ -12,15 +12,38 @@ from __future__ import annotations
 
 
 class AltSvcCache:
-    """Host → advertised-H3 knowledge, with an expiry horizon."""
+    """Host → advertised-H3 knowledge, with an expiry horizon.
 
-    def __init__(self, default_max_age_ms: float = 86_400_000.0) -> None:
+    Besides positive discovery, the cache records *negative* knowledge:
+    :meth:`mark_h3_broken` notes that QUIC to a host just failed (UDP
+    blackholed, connect timeout), and :meth:`h3_broken` lets the browser
+    demote that host to TCP until the entry expires.  This is the
+    Alt-Svc-driven H3→H2 fallback path described in RFC 7838 §2.4 —
+    clients that fail to reach an alternative fall back to the origin.
+    """
+
+    def __init__(
+        self,
+        default_max_age_ms: float = 86_400_000.0,
+        broken_ttl_ms: float = 60_000.0,
+    ) -> None:
         self.default_max_age_ms = default_max_age_ms
+        self.broken_ttl_ms = broken_ttl_ms
         self._until: dict[str, float] = {}
+        self._broken_until: dict[str, float] = {}
 
     def observe(self, host: str, headers: dict[str, str], now_ms: float) -> None:
-        """Record an Alt-Svc advertisement seen on a response."""
-        alt_svc = headers.get("alt-svc", headers.get("Alt-Svc", ""))
+        """Record an Alt-Svc advertisement seen on a response.
+
+        Header names are matched case-insensitively (RFC 9110 §5.1) —
+        real servers emit anything from ``alt-svc`` to ``Alt-Svc`` to
+        ``ALT-SVC``.
+        """
+        alt_svc = ""
+        for name, value in headers.items():
+            if name.lower() == "alt-svc":
+                alt_svc = value
+                break
         if "h3" in alt_svc:
             self._until[host] = now_ms + self._parse_max_age(alt_svc)
 
@@ -38,8 +61,27 @@ class AltSvcCache:
             return False
         return True
 
+    def mark_h3_broken(
+        self, host: str, now_ms: float, ttl_ms: float | None = None
+    ) -> None:
+        """Note that QUIC to ``host`` just failed; demote it for a while."""
+        self._broken_until[host] = now_ms + (
+            self.broken_ttl_ms if ttl_ms is None else ttl_ms
+        )
+
+    def h3_broken(self, host: str, now_ms: float) -> bool:
+        """Whether ``host`` is currently demoted to TCP."""
+        deadline = self._broken_until.get(host)
+        if deadline is None:
+            return False
+        if now_ms >= deadline:
+            del self._broken_until[host]
+            return False
+        return True
+
     def clear(self) -> None:
         self._until.clear()
+        self._broken_until.clear()
 
     def _parse_max_age(self, alt_svc: str) -> float:
         for part in alt_svc.replace(";", " ").split():

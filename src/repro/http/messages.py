@@ -87,6 +87,10 @@ class FetchRecord:
     #: The edge answered from cache.
     cache_hit: bool = False
     completed_at_ms: float = 0.0
+    #: The fetch gave up after exhausting its retry budget (fault
+    #: injection); ``error`` carries the terminal reason.
+    failed: bool = False
+    error: str | None = None
 
     @property
     def total_ms(self) -> float:

@@ -19,9 +19,9 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
-from repro.events import EventLoop
+from repro.events import EventLoop, ScheduledEvent, Timer
 from repro.http.messages import EntryTiming, FetchRecord, HttpProtocol
 from repro.netsim.path import NetworkPath
 from repro.tls.session_cache import SessionTicketCache
@@ -29,6 +29,10 @@ from repro.transport.base import BaseConnection
 from repro.transport.config import TransportConfig
 from repro.transport.quic import QuicConnection
 from repro.transport.tcp import TcpConnection
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.inject import FaultInjector
+    from repro.http.alt_svc import AltSvcCache
 
 
 class Server(Protocol):
@@ -44,13 +48,23 @@ class Server(Protocol):
 
 @dataclass
 class PoolStats:
-    """Counters the analyses read after a page visit."""
+    """Counters the analyses read after a page visit.
+
+    The fault-era fields (``failed_requests`` onward) serialize only
+    when nonzero, so visit payloads from fault-free runs stay
+    byte-identical to the pre-fault format.
+    """
 
     requests: int = 0
     connections_created: int = 0
     resumed_connections: int = 0
     reused_requests: int = 0
     zero_rtt_connections: int = 0
+    failed_requests: int = 0
+    retried_requests: int = 0
+    h3_fallbacks: int = 0
+    connect_timeouts: int = 0
+    connection_resets: int = 0
 
     def merged_with(self, other: "PoolStats") -> "PoolStats":
         return PoolStats(
@@ -59,16 +73,32 @@ class PoolStats:
             resumed_connections=self.resumed_connections + other.resumed_connections,
             reused_requests=self.reused_requests + other.reused_requests,
             zero_rtt_connections=self.zero_rtt_connections + other.zero_rtt_connections,
+            failed_requests=self.failed_requests + other.failed_requests,
+            retried_requests=self.retried_requests + other.retried_requests,
+            h3_fallbacks=self.h3_fallbacks + other.h3_fallbacks,
+            connect_timeouts=self.connect_timeouts + other.connect_timeouts,
+            connection_resets=self.connection_resets + other.connection_resets,
         )
 
     def to_dict(self) -> dict[str, int]:
-        return {
+        payload = {
             "requests": self.requests,
             "connectionsCreated": self.connections_created,
             "resumedConnections": self.resumed_connections,
             "reusedRequests": self.reused_requests,
             "zeroRttConnections": self.zero_rtt_connections,
         }
+        if self.failed_requests:
+            payload["failedRequests"] = self.failed_requests
+        if self.retried_requests:
+            payload["retriedRequests"] = self.retried_requests
+        if self.h3_fallbacks:
+            payload["h3Fallbacks"] = self.h3_fallbacks
+        if self.connect_timeouts:
+            payload["connectTimeouts"] = self.connect_timeouts
+        if self.connection_resets:
+            payload["connectionResets"] = self.connection_resets
+        return payload
 
     @classmethod
     def from_dict(cls, raw: dict[str, int]) -> "PoolStats":
@@ -78,6 +108,11 @@ class PoolStats:
             resumed_connections=raw.get("resumedConnections", 0),
             reused_requests=raw.get("reusedRequests", 0),
             zero_rtt_connections=raw.get("zeroRttConnections", 0),
+            failed_requests=raw.get("failedRequests", 0),
+            retried_requests=raw.get("retriedRequests", 0),
+            h3_fallbacks=raw.get("h3Fallbacks", 0),
+            connect_timeouts=raw.get("connectTimeouts", 0),
+            connection_resets=raw.get("connectionResets", 0),
         )
 
 
@@ -93,6 +128,13 @@ class _PendingFetch:
     on_complete: Callable[[FetchRecord], None]
     reused: bool = True  # openers overwrite this
     weight: int = 1
+    #: The network path the fetch was dispatched over; kept so fault
+    #: recovery can re-dispatch the fetch on a fresh connection.
+    path: NetworkPath | None = None
+    #: Recovery retries consumed so far (fault injection only).
+    attempts: int = 0
+    #: Armed request-timeout timer while the fetch is in flight.
+    timer: Timer | None = None
 
 
 class _PooledConnection:
@@ -110,6 +152,20 @@ class _PooledConnection:
         self.handshake_counted = False
         #: When the handshake actually started (post-queue).
         self.connect_started_at = 0.0
+        # -- fault-recovery state (inert without an injector) ----------
+        #: The fetch that opened this connection (until it is issued).
+        self.opener: _PendingFetch | None = None
+        #: Coalescing key the connection is registered under.
+        self.coalesce_key = host
+        #: Fetches currently issued on this connection.
+        self.inflight: list[_PendingFetch] = []
+        #: Connect-timeout timer (armed while handshaking under faults).
+        self.connect_timer: Timer | None = None
+        #: Scheduled mid-transfer reset, if the profile scripts one.
+        self.reset_event: ScheduledEvent | None = None
+        #: Set once the connection is torn down by fault recovery;
+        #: late callbacks from the dead connection check it and bail.
+        self.failed = False
 
     @property
     def busy(self) -> bool:
@@ -135,6 +191,8 @@ class ConnectionPool:
         rng: random.Random | None = None,
         use_session_tickets: bool = True,
         obs=None,
+        faults: "FaultInjector | None" = None,
+        alt_svc: "AltSvcCache | None" = None,
     ) -> None:
         self.loop = loop
         self.session_cache = session_cache if session_cache is not None else SessionTicketCache()
@@ -144,6 +202,15 @@ class ConnectionPool:
         #: Optional :class:`repro.obs.ObsContext`; supplies per-connection
         #: tracers and receives pool/transport counters at teardown.
         self.obs = obs
+        #: Optional :class:`repro.faults.FaultInjector`.  ``None`` keeps
+        #: every recovery hook dormant — no timers, no path wrapping, no
+        #: extra bookkeeping — so fault-free runs stay bit-identical.
+        self.faults = faults
+        #: The browser's Alt-Svc cache; H3 connect failures demote the
+        #: opener's host here so later visits skip straight to TCP.
+        self.alt_svc = alt_svc
+        #: Coalesce keys whose H3 lane is dead for this pool's lifetime.
+        self._h3_broken_keys: set[str] = set()
         self.stats = PoolStats()
         self._multiplexed: dict[tuple[str, HttpProtocol], _PooledConnection] = {}
         self._h1_conns: dict[str, list[_PooledConnection]] = {}
@@ -185,11 +252,26 @@ class ConnectionPool:
             queued_at=self.loop.now,
             on_complete=on_complete,
             weight=weight,
+            path=path,
         )
         if protocol.multiplexes:
             self._fetch_multiplexed(fetch, path)
         else:
             self._fetch_h1(fetch, path)
+
+    def _dispatch(self, fetch: _PendingFetch) -> None:
+        """(Re-)dispatch a fetch according to its current protocol.
+
+        Fault recovery re-enters here after retries and H3→H2 fallback;
+        the fetch keeps its original path, callback and queue time.
+        """
+        if self._closed:
+            return
+        assert fetch.path is not None
+        if fetch.protocol.multiplexes:
+            self._fetch_multiplexed(fetch, fetch.path)
+        else:
+            self._fetch_h1(fetch, fetch.path)
 
     @staticmethod
     def _coalesce_key(server: Server) -> str:
@@ -198,6 +280,21 @@ class ConnectionPool:
         return getattr(server, "coalesce_key", None) or server.hostname
 
     def _fetch_multiplexed(self, fetch: _PendingFetch, path: NetworkPath) -> None:
+        if (
+            fetch.protocol is HttpProtocol.H3
+            and self.faults is not None
+            and self._coalesce_key(fetch.server) in self._h3_broken_keys
+        ):
+            # This coalesce group's QUIC lane already failed: route the
+            # fetch straight to TCP instead of re-proving the blackhole.
+            fetch.protocol = (
+                HttpProtocol.H2
+                if getattr(fetch.server, "supports_h2", True)
+                else HttpProtocol.H1
+            )
+            if not fetch.protocol.multiplexes:
+                self._fetch_h1(fetch, path)
+                return
         key = (self._coalesce_key(fetch.server), fetch.protocol)
         pooled = self._multiplexed.get(key)
         if pooled is None:
@@ -247,6 +344,15 @@ class ConnectionPool:
                 # connection then falls back to a full handshake.
                 accept_rate = getattr(opener.server, "resumption_rate", 1.0)
                 has_ticket = conn_rng.random() < accept_rate
+            if (
+                has_ticket
+                and self.faults is not None
+                and self.faults.zero_rtt_rejected(host)
+            ):
+                # Scripted key rotation: the server refuses resumption;
+                # the connection pays a full handshake instead.
+                has_ticket = False
+                self.faults.record_fault("zero_rtt_reject", host)
             if tracer:
                 if has_ticket:
                     tracer.event(
@@ -262,6 +368,12 @@ class ConnectionPool:
                     )
             if ticket is not None and not has_ticket and self.obs is not None:
                 self.obs.counters.incr("tls.tickets.rejected")
+        if self.faults is not None:
+            # Per-connection fault view: blackouts drop everything, UDP
+            # blackholes drop only QUIC packets.
+            path = self.faults.wrap_path(
+                path, host, quic=opener.protocol is HttpProtocol.H3
+            )
         if opener.protocol is HttpProtocol.H3:
             if tracer and has_ticket:
                 tracer.event(self.loop.now, "security:zero_rtt_accepted", host=host)
@@ -279,6 +391,10 @@ class ConnectionPool:
             )
         pooled = _PooledConnection(conn, opener.protocol, host)
         pooled.resumed = has_ticket
+        pooled.coalesce_key = self._coalesce_key(opener.server)
+        if self.faults is not None:
+            pooled.opener = opener
+            conn.on_error = lambda error: self._on_transport_error(pooled)
         self.stats.connections_created += 1
         if has_ticket:
             self.stats.resumed_connections += 1
@@ -301,16 +417,38 @@ class ConnectionPool:
         pooled.connect_started_at = self.loop.now
         if counted:
             self._active_handshakes += 1
-        pooled.conn.connect(lambda result: self._on_established(pooled, opener, result))
+        if self.faults is None:
+            pooled.conn.connect(
+                lambda result: self._on_established(pooled, opener, result)
+            )
+            return
+        # Under fault injection a handshake gets a hard deadline: a
+        # blackholed QUIC handshake would otherwise crawl its retry
+        # ladder for tens of simulated seconds before giving up.
+        pooled.connect_timer = Timer(
+            self.loop, lambda: self._on_connect_timeout(pooled)
+        )
+        pooled.connect_timer.start(self.faults.retry.connect_timeout_ms)
+        pooled.conn.connect(
+            lambda result: self._on_established(pooled, opener, result),
+            on_failed=lambda error: self._on_connect_timeout(pooled),
+        )
 
     def _on_established(self, pooled: _PooledConnection, opener: _PendingFetch, result) -> None:
+        if pooled.failed or self._closed:
+            return  # fault recovery already tore this connection down
         pooled.established = True
-        if pooled.handshake_counted:
-            self._active_handshakes -= 1
-            max_handshakes = self.transport_config.max_concurrent_handshakes
-            while self._handshake_queue and self._active_handshakes < max_handshakes:
-                queued_pooled, queued_opener = self._handshake_queue.popleft()
-                self._start_handshake(queued_pooled, queued_opener)
+        if self.faults is not None:
+            pooled.opener = None
+            if pooled.connect_timer is not None:
+                pooled.connect_timer.stop()
+                pooled.connect_timer = None
+            reset_at = self.faults.connection_reset_at(pooled.host)
+            if reset_at is not None:
+                pooled.reset_event = self.loop.call_at(
+                    reset_at, self._on_connection_reset, pooled
+                )
+        self._release_handshake_slot(pooled)
         if result.zero_rtt:
             self.stats.zero_rtt_connections += 1
         if self.obs is not None:
@@ -330,6 +468,185 @@ class ConnectionPool:
         while pooled.pending and not pooled.busy:
             self._issue(pooled, pooled.pending.popleft(), reused=True)
 
+    def _release_handshake_slot(self, pooled: _PooledConnection) -> None:
+        """Free the handshake-throttle slot and drain the queue."""
+        if not pooled.handshake_counted:
+            return
+        pooled.handshake_counted = False
+        self._active_handshakes -= 1
+        max_handshakes = self.transport_config.max_concurrent_handshakes
+        while self._handshake_queue and self._active_handshakes < max_handshakes:
+            queued_pooled, queued_opener = self._handshake_queue.popleft()
+            self._start_handshake(queued_pooled, queued_opener)
+
+    # -- fault recovery ------------------------------------------------
+
+    def _on_connect_timeout(self, pooled: _PooledConnection) -> None:
+        """The handshake deadline expired (or the transport gave up)."""
+        if self._closed or pooled.failed or pooled.established:
+            return
+        self.stats.connect_timeouts += 1
+        # Attribute the timeout to its scripted cause so the fault:
+        # event family reflects what actually ate the packets.
+        if self.faults.blackout(pooled.host):
+            self.faults.record_fault("blackout", pooled.host)
+        elif pooled.protocol is HttpProtocol.H3 and self.faults.udp_blackholed(
+            pooled.host
+        ):
+            self.faults.record_fault("udp_blackhole", pooled.host)
+        self.faults.record_recovery(
+            "connect_timeout", pooled.host, protocol=pooled.protocol.value
+        )
+        pooled.failed = True
+        if pooled.connect_timer is not None:
+            pooled.connect_timer.stop()
+            pooled.connect_timer = None
+        pooled.conn.close()
+        self._release_handshake_slot(pooled)
+        self._remove_pooled(pooled)
+        orphans = list(pooled.pending)
+        pooled.pending.clear()
+        if pooled.opener is not None:
+            orphans.insert(0, pooled.opener)
+            pooled.opener = None
+        if pooled.protocol is HttpProtocol.H3:
+            self._demote_h3(pooled, orphans)
+        else:
+            self._retry_or_fail(orphans, "connect_timeout", kind="connect_retry")
+
+    def _on_connection_reset(self, pooled: _PooledConnection) -> None:
+        """A scripted ``connection_reset`` window opened on a live conn."""
+        if self._closed or pooled.failed or not pooled.established:
+            return
+        self.stats.connection_resets += 1
+        self.faults.record_fault(
+            "connection_reset", pooled.host, streams=len(pooled.inflight)
+        )
+        self._teardown_established(pooled, "connection_reset")
+
+    def _on_transport_error(self, pooled: _PooledConnection) -> None:
+        """The transport exhausted its own retry budget mid-request."""
+        if self._closed or pooled.failed:
+            return
+        self.faults.record_recovery("request_timeout", pooled.host,
+                                    reason="transport_error")
+        self._teardown_established(pooled, "transport_error")
+
+    def _on_fetch_timeout(self, pooled: _PooledConnection, fetch: _PendingFetch) -> None:
+        """A single request sat in flight past the request deadline.
+
+        The whole connection is treated as dead (a stuck stream means
+        the path or peer is gone); every sibling stream re-dispatches.
+        """
+        if self._closed or pooled.failed:
+            return
+        self.faults.record_recovery("request_timeout", fetch.server.hostname)
+        self._teardown_established(pooled, "request_timeout")
+
+    def _teardown_established(self, pooled: _PooledConnection, reason: str) -> None:
+        """Kill a live connection and re-dispatch everything it carried."""
+        pooled.failed = True
+        if pooled.reset_event is not None:
+            pooled.reset_event.cancel()
+            pooled.reset_event = None
+        pooled.conn.close()
+        self._remove_pooled(pooled)
+        victims = list(pooled.inflight)
+        pooled.inflight.clear()
+        victims.extend(pooled.pending)
+        pooled.pending.clear()
+        for fetch in victims:
+            if fetch.timer is not None:
+                fetch.timer.stop()
+                fetch.timer = None
+        if pooled.protocol is HttpProtocol.H3 and reason != "connection_reset":
+            # A QUIC connection that died of timeouts points at a
+            # UDP-hostile path: demote the whole coalesce group.  Resets
+            # hit TCP just as hard, so they retry on the same protocol.
+            self._demote_h3(pooled, victims)
+        else:
+            self._retry_or_fail(victims, reason)
+
+    def _demote_h3(self, pooled: _PooledConnection, orphans: list[_PendingFetch]) -> None:
+        """H3→H2 fallback: reroute this coalesce group's fetches to TCP."""
+        self._h3_broken_keys.add(pooled.coalesce_key)
+        if self.alt_svc is not None:
+            self.alt_svc.mark_h3_broken(pooled.host, self.loop.now)
+        self.stats.h3_fallbacks += 1
+        self.faults.record_recovery(
+            "h3_fallback", pooled.host, orphaned=len(orphans)
+        )
+        for fetch in orphans:
+            fetch.protocol = (
+                HttpProtocol.H2
+                if getattr(fetch.server, "supports_h2", True)
+                else HttpProtocol.H1
+            )
+            self._dispatch(fetch)
+
+    def _retry_or_fail(
+        self,
+        fetches: list[_PendingFetch],
+        reason: str,
+        kind: str = "request_retry",
+    ) -> None:
+        """Back off and re-dispatch, or give up once retries run out."""
+        policy = self.faults.retry
+        for fetch in fetches:
+            host = fetch.server.hostname
+            if fetch.attempts < policy.max_retries:
+                delay = policy.backoff_ms(fetch.attempts)
+                fetch.attempts += 1
+                self.stats.retried_requests += 1
+                self.faults.record_recovery(
+                    kind, host, attempt=fetch.attempts, delay_ms=delay
+                )
+                self.loop.call_later(delay, self._dispatch, fetch)
+            else:
+                self._fail_fetch(fetch, reason)
+
+    def _fail_fetch(self, fetch: _PendingFetch, reason: str) -> None:
+        """Out of retries: complete the fetch with a structured failure.
+
+        The browser still receives a record (``failed=True``), so the
+        page visit terminates normally instead of hanging the loop —
+        campaign-level graceful degradation builds on this.
+        """
+        self.stats.failed_requests += 1
+        self.faults.record_recovery(
+            "request_failed", fetch.server.hostname, reason=reason
+        )
+        now = self.loop.now
+        timing = EntryTiming()
+        timing.blocked = now - fetch.queued_at
+        record = FetchRecord(
+            url=fetch.url,
+            host=fetch.server.hostname,
+            protocol=fetch.protocol,
+            started_at_ms=fetch.queued_at,
+            timing=timing,
+            response_bytes=0,
+            request_bytes=fetch.request_bytes,
+            reused=False,
+            resumed=False,
+            cache_hit=False,
+            completed_at_ms=now,
+            failed=True,
+            error=reason,
+        )
+        fetch.on_complete(record)
+
+    def _remove_pooled(self, pooled: _PooledConnection) -> None:
+        """Drop a dead connection from the reuse tables."""
+        if pooled.protocol.multiplexes:
+            key = (pooled.coalesce_key, pooled.protocol)
+            if self._multiplexed.get(key) is pooled:
+                del self._multiplexed[key]
+        else:
+            conns = self._h1_conns.get(pooled.host)
+            if conns is not None and pooled in conns:
+                conns.remove(pooled)
+
     def _issue(
         self,
         pooled: _PooledConnection,
@@ -338,6 +655,20 @@ class ConnectionPool:
         handshake=None,
     ) -> None:
         now = self.loop.now
+        if self.faults is not None and self.faults.edge_outage(
+            fetch.server.hostname
+        ):
+            # The edge refuses the request; the refusal arrives one RTT
+            # later and the fetch retries with backoff (the outage
+            # window may have lifted by then).
+            self.faults.record_fault("edge_outage", fetch.server.hostname)
+            self.loop.call_later(
+                pooled.conn.path.rtt_ms,
+                self._retry_or_fail,
+                [fetch],
+                "edge_outage",
+            )
+            return
         decision = fetch.server.serve(
             fetch.resource_key, fetch.response_bytes, fetch.protocol.value
         )
@@ -376,15 +707,28 @@ class ConnectionPool:
         )
         pooled.active_streams += 1
         issued_at = now
+        if self.faults is not None:
+            pooled.inflight.append(fetch)
+            fetch.timer = Timer(
+                self.loop, lambda: self._on_fetch_timeout(pooled, fetch)
+            )
+            fetch.timer.start(self.faults.retry.request_timeout_ms)
 
         def on_first_byte(t: float) -> None:
             record.timing.wait = t - issued_at
 
         def on_stream_complete(t: float) -> None:
+            if pooled.failed:
+                return  # stale delivery from a torn-down connection
             first_byte_at = issued_at + record.timing.wait
             record.timing.receive = t - first_byte_at
             record.completed_at_ms = t
             pooled.active_streams -= 1
+            if fetch.timer is not None:
+                fetch.timer.stop()
+                fetch.timer = None
+            if self.faults is not None and fetch in pooled.inflight:
+                pooled.inflight.remove(fetch)
             fetch.on_complete(record)
             self._drain_h1(pooled)
 
@@ -424,6 +768,20 @@ class ConnectionPool:
         for conns in self._h1_conns.values():
             all_conns.extend(conns)
         for pooled in all_conns:
+            if self.faults is not None:
+                # Disarm recovery timers: the loop outlives this pool
+                # (one loop per probe, one pool per visit), so anything
+                # left armed would fire into the next visit.
+                if pooled.connect_timer is not None:
+                    pooled.connect_timer.stop()
+                    pooled.connect_timer = None
+                if pooled.reset_event is not None:
+                    pooled.reset_event.cancel()
+                    pooled.reset_event = None
+                for fetch in pooled.inflight:
+                    if fetch.timer is not None:
+                        fetch.timer.stop()
+                        fetch.timer = None
             pooled.conn.close()
         if self.obs is not None:
             for pooled in all_conns:
@@ -434,6 +792,17 @@ class ConnectionPool:
             counters.incr("pool.resumed_connections", self.stats.resumed_connections)
             counters.incr("pool.reused_requests", self.stats.reused_requests)
             counters.incr("pool.zero_rtt_connections", self.stats.zero_rtt_connections)
+            # Fault-era counters only appear once nonzero, keeping
+            # fault-free counter snapshots byte-identical.
+            for key, value in (
+                ("pool.failed_requests", self.stats.failed_requests),
+                ("pool.retried_requests", self.stats.retried_requests),
+                ("pool.h3_fallbacks", self.stats.h3_fallbacks),
+                ("pool.connect_timeouts", self.stats.connect_timeouts),
+                ("pool.connection_resets", self.stats.connection_resets),
+            ):
+                if value:
+                    counters.incr(key, value)
         self._multiplexed.clear()
         self._h1_conns.clear()
         self._h1_queues.clear()

@@ -17,10 +17,12 @@ from repro.measurement.campaign import (
 )
 from repro.measurement.consecutive import ConsecutiveVisitRunner
 from repro.measurement.farm import ProbeNetProfile, ServerFarm
+from repro.measurement.outcome import VisitFailure, VisitOutcome
 from repro.measurement.parallel import (
     ParallelCampaign,
     derive_seed,
     measure_paired_visit,
+    measure_visit_outcome,
     run_campaigns,
 )
 from repro.measurement.probe import Probe
@@ -44,10 +46,13 @@ __all__ = [
     "ProbeNetProfile",
     "ServerFarm",
     "VantagePoint",
+    "VisitFailure",
+    "VisitOutcome",
     "campaign_report",
     "default_vantage_points",
     "derive_seed",
     "global_vantage_points",
     "measure_paired_visit",
+    "measure_visit_outcome",
     "run_campaigns",
 ]

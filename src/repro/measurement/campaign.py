@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.browser.browser import H2_ONLY, H3_ENABLED, PageVisit
+from repro.faults import FaultProfile
+from repro.measurement.outcome import VisitFailure
 from repro.measurement.vantage import VantagePoint, default_vantage_points
 from repro.transport.config import TransportConfig
 from repro.web.page import Webpage
@@ -47,6 +49,10 @@ class CampaignConfig:
     #: Attach a qlog-style event tracer to every connection and carry
     #: the per-visit traces in the results (implies heavier visits).
     trace: bool = False
+    #: Scripted fault profile applied at every probe (``None`` keeps
+    #: the fault machinery dormant; results are then bit-identical to
+    #: fault-free builds).
+    fault_profile: FaultProfile | None = None
 
 
 @dataclass
@@ -71,6 +77,17 @@ class CampaignResult:
     universe: WebUniverse
     config: CampaignConfig
     paired_visits: list[PairedVisit]
+    #: Visits that could not be measured at all (fault injection only);
+    #: a failed visit is recorded here instead of poisoning the run.
+    failures: list[VisitFailure] = field(default_factory=list)
+
+    def degraded_visits(self) -> list[PairedVisit]:
+        """Paired visits where either mode was degraded by faults."""
+        return [
+            pv
+            for pv in self.paired_visits
+            if pv.h2.status != "ok" or pv.h3.status != "ok"
+        ]
 
     def visits(self, mode: str) -> list[PageVisit]:
         """All recorded visits for one protocol mode."""

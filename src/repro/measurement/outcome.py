@@ -1,0 +1,109 @@
+"""Typed visit outcomes: the worker→parent campaign boundary.
+
+Before this module, the parallel campaign runner shipped bare
+``(page_index, h2_dict, h3_dict)`` tuples across the process boundary
+and reassembled them positionally.  :class:`VisitOutcome` replaces that
+with one typed value carrying an explicit ok/degraded/failed status and
+a single ``to_dict``/``from_dict`` pair — the only serialization code
+the boundary has.
+
+Status semantics:
+
+``ok``
+    Both modes measured cleanly.
+``degraded``
+    Both modes completed, but fault injection forced retries, H3→H2
+    fallback, resets or individual fetch failures in at least one mode
+    (the per-mode detail lives on each :class:`PageVisit`).
+``failed``
+    The visit raised out of the simulator entirely; ``error`` carries
+    the reason and no visits are attached.  Only possible when a fault
+    profile is active — fault-free runs propagate exceptions so real
+    bugs stay loud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browser.browser import PageVisit
+
+#: Serialization format tag (bump on incompatible changes).
+OUTCOME_FORMAT = "repro-h3cdn-outcome/1"
+
+#: The closed set of outcome statuses.
+STATUSES = ("ok", "degraded", "failed")
+
+
+@dataclass(frozen=True)
+class VisitFailure:
+    """A visit that produced no measurement (campaign-level record)."""
+
+    page_url: str
+    probe_name: str
+    error: str
+
+
+@dataclass
+class VisitOutcome:
+    """One paired (H2, H3) page visit, as it crosses the process gap."""
+
+    page_index: int
+    status: str = "ok"
+    h2: PageVisit | None = None
+    h3: PageVisit | None = None
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(
+                f"status must be one of {STATUSES}, got {self.status!r}"
+            )
+        if self.status == "failed":
+            if self.h2 is not None or self.h3 is not None:
+                raise ValueError("a failed outcome carries no visits")
+        elif self.h2 is None or self.h3 is None:
+            raise ValueError(f"a {self.status!r} outcome needs both visits")
+
+    @classmethod
+    def from_visits(
+        cls, page_index: int, h2: PageVisit, h3: PageVisit
+    ) -> "VisitOutcome":
+        """Wrap two measured visits, deriving the paired status."""
+        status = "ok"
+        if h2.status != "ok" or h3.status != "ok":
+            status = "degraded"
+        return cls(page_index=page_index, status=status, h2=h2, h3=h3)
+
+    @classmethod
+    def from_error(cls, page_index: int, error: str) -> "VisitOutcome":
+        return cls(page_index=page_index, status="failed", error=error)
+
+    # -- the single serialization pair --------------------------------
+
+    def to_dict(self) -> dict:
+        """Picklable rendering (plain dicts all the way down)."""
+        return {
+            "format": OUTCOME_FORMAT,
+            "pageIndex": self.page_index,
+            "status": self.status,
+            "h2": self.h2.to_dict() if self.h2 is not None else None,
+            "h3": self.h3.to_dict() if self.h3 is not None else None,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "VisitOutcome":
+        if document.get("format") != OUTCOME_FORMAT:
+            raise ValueError(
+                f"unrecognized outcome format: {document.get('format')!r}"
+            )
+        h2 = document.get("h2")
+        h3 = document.get("h3")
+        return cls(
+            page_index=document["pageIndex"],
+            status=document["status"],
+            h2=PageVisit.from_dict(h2) if h2 is not None else None,
+            h3=PageVisit.from_dict(h3) if h3 is not None else None,
+            error=document.get("error"),
+        )

@@ -13,8 +13,10 @@ exploits that:
   with a stable hash — not Python's process-randomized ``hash()`` — so
   any worker count, chunking, or scheduling order reproduces the
   ``workers=1`` run bit-for-bit.
-* **The process boundary** carries compact dicts (HAR-1.2 documents via
-  :meth:`PageVisit.to_dict`), never live simulation object graphs.
+* **The process boundary** carries typed
+  :class:`~repro.measurement.outcome.VisitOutcome` values rendered to
+  compact dicts via their single ``to_dict``/``from_dict`` pair, never
+  live simulation object graphs.
 * **Multiple campaigns** (e.g. every loss rate × repetition of the
   Fig. 9 sweep) can share one pool: :func:`run_campaigns` takes a dict
   of configs and every paired visit of every config becomes one more
@@ -30,12 +32,13 @@ import hashlib
 import multiprocessing
 from typing import Hashable, Iterable, Sequence
 
-from repro.browser.browser import H2_ONLY, H3_ENABLED, PageVisit
+from repro.browser.browser import H2_ONLY, H3_ENABLED
 from repro.measurement.campaign import (
     CampaignConfig,
     CampaignResult,
     PairedVisit,
 )
+from repro.measurement.outcome import VisitFailure, VisitOutcome
 from repro.measurement.probe import Probe
 from repro.measurement.vantage import VantagePoint, default_vantage_points
 from repro.web.page import Webpage
@@ -87,12 +90,46 @@ def measure_paired_visit(
         transport_config=config.transport_config,
         use_session_tickets=config.use_session_tickets,
         obs=obs,
+        fault_profile=config.fault_profile,
     )
     if config.warm_popular:
         probe.warm_edges((page,))
     h2 = probe.measure_page(page, H2_ONLY, visits=config.visits_per_page)
     h3 = probe.measure_page(page, H3_ENABLED, visits=config.visits_per_page)
     return PairedVisit(page=page, probe_name=probe.name, h2=h2, h3=h3)
+
+
+def measure_visit_outcome(
+    universe: WebUniverse,
+    vantage: VantagePoint,
+    vp_index: int,
+    probe_index: int,
+    config: CampaignConfig,
+    page: Webpage,
+    page_index: int,
+) -> VisitOutcome:
+    """Measure one paired visit and wrap it as a :class:`VisitOutcome`.
+
+    Graceful degradation lives here: with a fault profile active, a
+    visit that raises out of the simulator becomes a ``failed`` outcome
+    (recorded campaign-side as a :class:`VisitFailure`) instead of
+    poisoning the whole run.  Fault-free runs deliberately get *no*
+    exception handling — a crash there is a bug and must stay loud.
+    """
+    if config.fault_profile is None:
+        paired = measure_paired_visit(
+            universe, vantage, vp_index, probe_index, config, page, page_index
+        )
+        return VisitOutcome.from_visits(page_index, paired.h2, paired.h3)
+    try:
+        paired = measure_paired_visit(
+            universe, vantage, vp_index, probe_index, config, page, page_index
+        )
+    except Exception as exc:  # noqa: BLE001 — degrade, don't poison the run
+        return VisitOutcome.from_error(
+            page_index, f"{type(exc).__name__}: {exc}"
+        )
+    return VisitOutcome.from_visits(page_index, paired.h2, paired.h3)
 
 
 # ----------------------------------------------------------------------
@@ -120,21 +157,20 @@ def _init_worker(
     _WORKER_CTX["pages"] = pages
 
 
-def _run_unit(unit: _WorkUnit) -> list[tuple[int, dict, dict]]:
-    """Replay one work unit; results cross the process gap as dicts."""
+def _run_unit(unit: _WorkUnit) -> list[dict]:
+    """Replay one work unit; outcomes cross the process gap as dicts."""
     key, vp_index, probe_index, page_indices = unit
     universe = _WORKER_CTX["universe"]
     vantage = _WORKER_CTX["vantage_points"][vp_index]
     config = _WORKER_CTX["configs"][key]
     pages = _WORKER_CTX["pages"]
-    out = []
-    for page_index in page_indices:
-        paired = measure_paired_visit(
+    return [
+        measure_visit_outcome(
             universe, vantage, vp_index, probe_index, config,
             pages[page_index], page_index,
-        )
-        out.append((page_index, paired.h2.to_dict(), paired.h3.to_dict()))
-    return out
+        ).to_dict()
+        for page_index in page_indices
+    ]
 
 
 def _chunked(indices: Sequence[int], chunk_size: int) -> Iterable[tuple[int, ...]]:
@@ -197,12 +233,7 @@ def run_campaigns(
         ) as pool:
             raw = pool.map(_run_unit, units)
         unit_results = [
-            [
-                (page_index,
-                 PageVisit.from_dict(h2_doc),
-                 PageVisit.from_dict(h3_doc))
-                for page_index, h2_doc, h3_doc in chunk_result
-            ]
+            [VisitOutcome.from_dict(doc) for doc in chunk_result]
             for chunk_result in raw
         ]
 
@@ -210,19 +241,32 @@ def run_campaigns(
     # preserves input order, so zipping units with results suffices.
     results: dict[Hashable, CampaignResult] = {}
     paired_by_key: dict[Hashable, list[PairedVisit]] = {key: [] for key in configs}
+    failures_by_key: dict[Hashable, list[VisitFailure]] = {key: [] for key in configs}
     for (key, vp_index, probe_index, _), chunk_result in zip(units, unit_results):
         vantage = all_vps[vp_index]
-        for page_index, h2, h3 in chunk_result:
+        probe_name = f"{vantage.name}-{probe_index}"
+        for outcome in chunk_result:
+            if outcome.status == "failed":
+                failures_by_key[key].append(
+                    VisitFailure(
+                        page_url=target_pages[outcome.page_index].url,
+                        probe_name=probe_name,
+                        error=outcome.error or "unknown",
+                    )
+                )
+                continue
             paired_by_key[key].append(
                 PairedVisit(
-                    page=target_pages[page_index],
-                    probe_name=f"{vantage.name}-{probe_index}",
-                    h2=h2,
-                    h3=h3,
+                    page=target_pages[outcome.page_index],
+                    probe_name=probe_name,
+                    h2=outcome.h2,
+                    h3=outcome.h3,
                 )
             )
     for key, config in configs.items():
-        results[key] = CampaignResult(universe, config, paired_by_key[key])
+        results[key] = CampaignResult(
+            universe, config, paired_by_key[key], failures=failures_by_key[key]
+        )
     return results
 
 
@@ -232,19 +276,18 @@ def _run_unit_inprocess(
     vantage_points: tuple[VantagePoint, ...],
     configs: dict[Hashable, CampaignConfig],
     pages: tuple[Webpage, ...],
-) -> list[tuple[int, PageVisit, PageVisit]]:
+) -> list[VisitOutcome]:
     """Serial fallback: same units, no pool, no serialization round trip."""
     key, vp_index, probe_index, page_indices = unit
     vantage = vantage_points[vp_index]
     config = configs[key]
-    out = []
-    for page_index in page_indices:
-        paired = measure_paired_visit(
+    return [
+        measure_visit_outcome(
             universe, vantage, vp_index, probe_index, config,
             pages[page_index], page_index,
         )
-        out.append((page_index, paired.h2, paired.h3))
-    return out
+        for page_index in page_indices
+    ]
 
 
 def _default_chunk_size(n_pages: int, workers: int) -> int:

@@ -19,6 +19,7 @@ from repro.browser.browser import (
     PageVisit,
 )
 from repro.events import EventLoop
+from repro.faults import FaultInjector, FaultProfile
 from repro.measurement.farm import ProbeNetProfile, ServerFarm
 from repro.transport.config import TransportConfig
 from repro.web.page import Webpage
@@ -37,6 +38,7 @@ class Probe:
         transport_config: TransportConfig | None = None,
         use_session_tickets: bool = True,
         obs=None,
+        fault_profile: FaultProfile | None = None,
     ) -> None:
         self.name = name
         self.universe = universe
@@ -46,6 +48,13 @@ class Probe:
         self.obs = obs
         if obs is not None and obs.profile_loop:
             self.loop.enable_profiling()
+        #: Optional fault injector, shared by both browsers so the H2
+        #: and H3 lanes experience the same scripted faults.
+        self.faults = (
+            FaultInjector(fault_profile, self.loop, obs=obs)
+            if fault_profile is not None
+            else None
+        )
         self.rng = random.Random(seed)
         self.farm = ServerFarm(
             self.loop,
@@ -65,6 +74,7 @@ class Probe:
                 ),
                 rng=random.Random(self.rng.getrandbits(64)),
                 obs=obs,
+                faults=self.faults,
             )
             for mode in (H2_ONLY, H3_ENABLED)
         }

@@ -31,6 +31,7 @@ class ObsContext:
         self.profile_loop = profile_loop
         self.counters = CounterRegistry()
         self._tracers: list[ConnectionTracer] = []
+        self._fault_tracer: ConnectionTracer | None = None
 
     # ------------------------------------------------------------------
 
@@ -44,6 +45,22 @@ class ObsContext:
             return None
         tracer = ConnectionTracer(name, protocol)
         self._tracers.append(tracer)
+        return tracer
+
+    def fault_tracer(self) -> ConnectionTracer | None:
+        """The shared tracer for ``fault:``/``recovery:`` events.
+
+        Fault events are not tied to one connection (DNS failures and
+        H3→H2 fallback span several), so the injector funnels them into
+        a single per-drain-cycle tracer named ``fault-injector``.  Lazily
+        re-created after every :meth:`drain_visit`.
+        """
+        if not self.trace_enabled:
+            return None
+        tracer = self._fault_tracer
+        if tracer is None:
+            tracer = self.connection_tracer("fault-injector", "fault")
+            self._fault_tracer = tracer
         return tracer
 
     def absorb_connection(self, conn) -> None:
@@ -81,4 +98,5 @@ class ObsContext:
         if self.trace_enabled:
             trace = self.trace_events()
         self._tracers.clear()
+        self._fault_tracer = None
         return counters, trace

@@ -21,6 +21,7 @@ def build_run_manifest(
     experiments: list[dict],
     counters: dict | None = None,
     trace_files: list[str] | None = None,
+    fallback_sweep: dict | None = None,
 ) -> dict:
     """Assemble a manifest document.
 
@@ -28,9 +29,12 @@ def build_run_manifest(
     seed, workers, flags); ``experiments`` is a list of
     ``{"id", "title", "wall_clock_s"}`` entries in execution order;
     ``counters`` is a merged :meth:`CounterRegistry.to_dict` payload (or
-    ``None`` when counters were not collected).
+    ``None`` when counters were not collected); ``fallback_sweep`` is
+    the ``fig-fallback`` experiment's data payload, recorded only when
+    that experiment ran (the key is absent otherwise, keeping fault-free
+    manifests unchanged).
     """
-    return {
+    manifest = {
         "format": MANIFEST_FORMAT,
         "created_unix": time.time(),
         "python": platform.python_version(),
@@ -40,6 +44,9 @@ def build_run_manifest(
         "counters": counters,
         "trace_files": list(trace_files) if trace_files else [],
     }
+    if fallback_sweep is not None:
+        manifest["fallback_sweep"] = dict(fallback_sweep)
+    return manifest
 
 
 def write_run_manifest(path: str, manifest: dict) -> None:

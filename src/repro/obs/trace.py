@@ -39,6 +39,21 @@ EVENT_NAMES: frozenset[str] = frozenset(
         "security:zero_rtt_accepted",
         "http:stream_opened",
         "http:stream_closed",
+        # Fault-injection events (repro.faults): one per injected fault.
+        "fault:blackout",
+        "fault:udp_blackhole",
+        "fault:edge_outage",
+        "fault:dns_failure",
+        "fault:connection_reset",
+        "fault:zero_rtt_reject",
+        # Client-side recovery actions taken in response to faults.
+        "recovery:h3_fallback",
+        "recovery:connect_timeout",
+        "recovery:connect_retry",
+        "recovery:request_timeout",
+        "recovery:request_retry",
+        "recovery:request_failed",
+        "recovery:dns_retry",
     }
 )
 

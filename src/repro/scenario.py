@@ -1,0 +1,112 @@
+"""Scenarios: one named bundle for transport + network + fault config.
+
+Before this module, wiring up a run meant assembling a
+:class:`~repro.transport.config.TransportConfig`, the netem-style
+shaping knobs (``loss_rate`` / ``rate_mbps``) and — since the fault
+subsystem — a :class:`~repro.faults.FaultProfile` by hand, in the right
+places inside a :class:`~repro.measurement.campaign.CampaignConfig`.
+A :class:`Scenario` consolidates the three under one name and renders
+the campaign config in a single call::
+
+    config = preset("udp-blocked").campaign_config(trace=True)
+
+Presets cover the paper baseline and the common fault studies; the
+builder methods (:meth:`with_faults`, :meth:`with_loss`) derive
+variants without mutating anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.faults import FAULT_PROFILES, FaultProfile
+from repro.measurement.campaign import CampaignConfig
+from repro.transport.config import TransportConfig
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, immutable bundle of run conditions."""
+
+    name: str
+    #: Transport-level configuration shared by all probes.
+    transport: TransportConfig = field(default_factory=TransportConfig)
+    #: netem-style loss imposed at every probe.
+    loss_rate: float = 0.0
+    #: Probe access-link rate (None = unshaped).
+    rate_mbps: float | None = 50.0
+    #: Scripted fault profile (None = fault machinery dormant).
+    faults: FaultProfile | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+
+    # -- builders ------------------------------------------------------
+
+    def with_faults(self, faults: FaultProfile | str | None) -> "Scenario":
+        """This scenario with a different fault profile.
+
+        Accepts a profile object, a :data:`FAULT_PROFILES` preset name,
+        or ``None`` to disarm faults.  The scenario name gains the
+        profile name as a suffix.
+        """
+        if isinstance(faults, str):
+            faults = FAULT_PROFILES[faults]
+        suffix = faults.name if faults is not None else "no-faults"
+        return replace(self, name=f"{self.name}+{suffix}", faults=faults)
+
+    def with_loss(self, loss_rate: float) -> "Scenario":
+        """This scenario with a different netem loss rate."""
+        return replace(
+            self, name=f"{self.name}+loss{loss_rate:g}", loss_rate=loss_rate
+        )
+
+    def with_transport(self, transport: TransportConfig) -> "Scenario":
+        """This scenario with a different transport configuration."""
+        return replace(self, transport=transport)
+
+    # -- rendering -----------------------------------------------------
+
+    def campaign_config(self, **overrides: Any) -> CampaignConfig:
+        """Render this scenario as a :class:`CampaignConfig`.
+
+        ``overrides`` pass through to the config verbatim (e.g.
+        ``seed=3``, ``trace=True``) and win over scenario fields.
+        """
+        base = dict(
+            transport_config=self.transport,
+            loss_rate=self.loss_rate,
+            rate_mbps=self.rate_mbps,
+            fault_profile=self.faults,
+        )
+        base.update(overrides)
+        return CampaignConfig(**base)
+
+
+def _build_scenarios() -> dict[str, Scenario]:
+    paper = Scenario(name="paper-default")
+    return {
+        "paper-default": paper,
+        # Fig. 9's heavy end: 1% netem loss, faults dormant.
+        "lossy": Scenario(name="lossy", loss_rate=0.01),
+        # Every host's UDP blackholed: the H3-fallback stress scenario.
+        "udp-blocked": Scenario(
+            name="udp-blocked", faults=FAULT_PROFILES["udp-blocked"]
+        ),
+    }
+
+
+#: Named presets, ready to render.
+SCENARIOS: dict[str, Scenario] = _build_scenarios()
+
+
+def preset(name: str) -> Scenario:
+    """Look up a named scenario preset."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}"
+        ) from None

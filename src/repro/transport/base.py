@@ -224,6 +224,13 @@ class BaseConnection:
         self._hs_flight_times: list[float] = []
         self._hs_timer = Timer(loop, self._on_handshake_timeout)
         self._on_established: Callable[[HandshakeResult], None] | None = None
+        self._on_failed: Callable[[TransportError], None] | None = None
+        #: Optional sink for terminal client-side errors after the
+        #: handshake (request retransmission budget exhausted).  When
+        #: set — the pool installs one while fault injection is active —
+        #: the connection closes itself and reports instead of raising
+        #: out of the event loop.
+        self.on_error: Callable[[TransportError], None] | None = None
 
         # Client request side.
         self._next_stream_id = itertools.count(1)
@@ -268,16 +275,25 @@ class BaseConnection:
         """Round trips needed before request data may be sent."""
         raise NotImplementedError
 
-    def connect(self, on_established: Callable[[HandshakeResult], None]) -> None:
+    def connect(
+        self,
+        on_established: Callable[[HandshakeResult], None],
+        on_failed: Callable[[TransportError], None] | None = None,
+    ) -> None:
         """Begin the handshake; ``on_established`` fires when done.
 
         With a zero-flight plan (QUIC 0-RTT) the connection is usable
         immediately and the callback fires synchronously.
+
+        ``on_failed`` (optional) receives the terminal
+        :class:`TransportError` if the handshake retry budget runs out;
+        without it the error propagates out of the event loop as before.
         """
         if self.established or self._connect_started_at is not None:
             raise TransportError("connect() called twice")
         self._connect_started_at = self.loop.now
         self._on_established = on_established
+        self._on_failed = on_failed
         self._hs_total = self._handshake_flights()
         if self.tracer:
             self.tracer.event(
@@ -308,10 +324,15 @@ class BaseConnection:
                 flight=self._hs_flight, retries=self._hs_retries,
             )
         if self._hs_retries > self.config.max_handshake_retries:
-            raise TransportError(
+            error = TransportError(
                 f"{self.name or self.protocol_name}: handshake failed after "
                 f"{self._hs_retries - 1} retries"
             )
+            if self._on_failed is not None:
+                self.close()
+                self._on_failed(error)
+                return
+            raise error
         self._send_handshake_flight()
 
     def _server_on_handshake(self, pkt: Packet) -> None:
@@ -446,10 +467,15 @@ class BaseConnection:
             return
         self.stats.request_retransmissions += 1
         if pending.tries + 1 > self.config.max_request_retries:
-            raise TransportError(
+            error = TransportError(
                 f"{self.name or self.protocol_name}: request packet lost "
                 f"{pending.tries + 1} times"
             )
+            if self.on_error is not None:
+                self.close()
+                self.on_error(error)
+                return
+            raise error
         self._send_request_packet(pending.packet.chunks[0], pending.tries + 1)
 
     def _client_on_request_ack(self, pkt: Packet) -> None:

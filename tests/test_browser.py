@@ -158,6 +158,38 @@ class TestAltSvc:
         assert cache.knows_h3("x.example", now_ms=999.0)
         assert not cache.knows_h3("x.example", now_ms=1001.0)
 
+    @pytest.mark.parametrize(
+        "header_name", ["alt-svc", "Alt-Svc", "ALT-SVC", "aLt-SvC"]
+    )
+    def test_header_lookup_is_case_insensitive(self, header_name):
+        cache = AltSvcCache()
+        cache.observe("x.example", {header_name: 'h3=":443"; ma=60'}, now_ms=0.0)
+        assert cache.knows_h3("x.example", now_ms=1.0)
+
+    def test_expiry_boundary_is_exclusive(self):
+        """An advertisement with ma=60 is honoured strictly before the
+        60 s mark and not at it (expiry is start + ma, exclusive)."""
+        cache = AltSvcCache()
+        cache.observe("x.example", {"alt-svc": 'h3=":443"; ma=60'}, now_ms=500.0)
+        assert cache.knows_h3("x.example", now_ms=60_499.999)
+        assert not cache.knows_h3("x.example", now_ms=60_500.0)
+        # Expired entries are dropped, not just hidden.
+        assert not cache.knows_h3("x.example", now_ms=60_499.0)
+
+    def test_mark_h3_broken_expires(self):
+        cache = AltSvcCache(broken_ttl_ms=1000.0)
+        cache.observe("x.example", {"alt-svc": 'h3=":443"; ma=600'}, now_ms=0.0)
+        cache.mark_h3_broken("x.example", now_ms=10.0)
+        assert cache.h3_broken("x.example", now_ms=1009.0)
+        assert not cache.h3_broken("x.example", now_ms=1010.0)
+        assert not cache.h3_broken("other.example", now_ms=11.0)
+
+    def test_clear_forgets_broken_marks(self):
+        cache = AltSvcCache()
+        cache.mark_h3_broken("x.example", now_ms=0.0)
+        cache.clear()
+        assert not cache.h3_broken("x.example", now_ms=1.0)
+
     def test_alt_svc_mode_upgrades_after_discovery(self, universe):
         """With use_alt_svc, the first contact with a host goes over H2
         (no advertisement seen yet); once the Alt-Svc header arrives,

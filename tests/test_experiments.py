@@ -17,13 +17,20 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3",
             "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig-fallback",
         }
 
     def test_order_follows_the_paper(self):
         assert list(EXPERIMENTS) == [
             "table1", "table2", "fig2", "fig3", "fig4", "fig5",
-            "fig6", "fig7", "fig8", "table3", "fig9",
+            "fig6", "fig7", "fig8", "table3", "fig9", "fig-fallback",
         ]
+
+    def test_specs_are_well_formed(self):
+        for experiment_id, spec in EXPERIMENTS.items():
+            assert spec.name == experiment_id
+            assert spec.title
+            assert callable(spec.run)
 
     def test_unknown_experiment_rejected(self, study):
         with pytest.raises(KeyError, match="unknown experiment"):

@@ -42,6 +42,7 @@ def visit_fingerprint(visit):
         visit.page_url,
         visit.protocol_mode,
         visit.plt_ms,
+        visit.status,
         visit.pool_stats,
         tuple(
             (
@@ -61,6 +62,7 @@ def visit_fingerprint(visit):
                 e.cache_hit,
                 e.is_cdn,
                 e.provider,
+                e.failed,
             )
             for e in visit.entries
         ),
