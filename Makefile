@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-smoke lint trace-smoke faults-smoke
+.PHONY: test bench-smoke lint trace-smoke faults-smoke check-smoke
 
 # Tier-1 suite. tests/test_parallel.py runs 2- and 4-worker campaigns
 # against the serial baseline, so the parallel path is exercised on
@@ -41,6 +41,23 @@ faults-smoke:
 	sweep = m['fallback_sweep']; \
 	assert sweep['monotone_fallback'] is True, sweep; \
 	print('faults-smoke: manifest ok,', len(sweep['fallback_rates']), 'sweep points')"
+
+# Invariant-checking smoke: run experiments under --strict (any
+# violation aborts with a non-zero exit), confirm the manifest records
+# strict mode, then cross-check HAR timings against qlog traces with
+# the differential validator.
+check-smoke:
+	rm -rf .check_smoke
+	mkdir -p .check_smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli \
+		--scale smoke --sites 6 --experiments fig2,fig-fallback \
+		--strict --json .check_smoke/results.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
+	import json; m = json.load(open('.check_smoke/results.json'))['manifest']; \
+	assert m['invocation']['strict'] is True, m['invocation']; \
+	print('check-smoke: strict manifest ok')"
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.check.har_vs_trace \
+		--sites 6 --pages 4 --seed 7
 
 # No third-party linters in the container; bytecode compilation catches
 # syntax errors and obvious breakage across the whole tree.

@@ -89,9 +89,14 @@ class EmpiricalDistribution:
 
     def cdf_series(self, points: int = 100) -> list[tuple[float, float]]:
         """(x, P(X<=x)) pairs across the support, for plotting."""
+        if points < 1:
+            raise ValueError(f"points must be >= 1, got {points}")
         lo, hi = self._values[0], self._values[-1]
-        if lo == hi:
-            return [(lo, 1.0)]
+        if lo == hi or points == 1:
+            # A degenerate support (single value) or a single requested
+            # point both collapse to the top of the CDF; the old
+            # ``points - 1`` divisor crashed on points == 1.
+            return [(hi, 1.0)]
         step = (hi - lo) / (points - 1)
         return [(lo + i * step, self.cdf(lo + i * step)) for i in range(points)]
 

@@ -23,6 +23,7 @@ from typing import Protocol as TypingProtocol
 
 from repro.browser.har import HarEntry, HarLog
 from repro.cdn.classifier import classify_response
+from repro.check.visit import check_visit
 from repro.dns import DnsConfig, DnsResolver
 from repro.events import EventLoop
 from repro.faults.inject import FaultInjector
@@ -173,10 +174,15 @@ class Browser:
         rng: random.Random | None = None,
         obs=None,
         faults: FaultInjector | None = None,
+        check=None,
     ) -> None:
         self.loop = loop
         self.farm = farm
         self.config = config or BrowserConfig()
+        #: Optional :class:`repro.check.CheckContext` (strict mode);
+        #: threaded into every pool/connection and run over each
+        #: finished visit.
+        self.check = check
         self.session_cache = (
             session_cache if session_cache is not None else SessionTicketCache()
         )
@@ -223,6 +229,7 @@ class Browser:
             obs=self.obs,
             faults=self.faults,
             alt_svc=self.alt_svc,
+            check=self.check,
         )
         har = HarLog(page_url=page.url, started_at_ms=self.loop.now)
         start = self.loop.now
@@ -300,6 +307,8 @@ class Browser:
                 self.loop.processed_events - events_before,
             )
             visit.counters, visit.trace = self.obs.drain_visit()
+        if self.check:
+            check_visit(self.check, visit, faults_active=self.faults is not None)
         return visit
 
     def clear_session_state(self) -> None:
@@ -345,9 +354,19 @@ class Browser:
             return
 
         def attempt_resolve(attempt: int) -> None:
+            # On a retry the resolver would report only the *final*
+            # attempt's latency; the entry's dns phase must cover the
+            # whole span since the request was made (failed attempts
+            # and backoff included) or the phases no longer sum to the
+            # entry's total time.
+            on_done = (
+                after_dns
+                if attempt == 0
+                else lambda _ms: after_dns(self.loop.now - requested_at)
+            )
             self.dns.resolve(
                 resource.host,
-                after_dns,
+                on_done,
                 on_fail=lambda: on_dns_fail(attempt),
             )
 

@@ -163,14 +163,18 @@ class HarLog:
         )
         for raw in log["entries"]:
             timings = raw.get("timings", {})
+            # Real Chrome HARs use -1 as "phase not applicable" (e.g.
+            # dns/connect on reused connections); clamp negative
+            # sentinels to 0 so downstream phase arithmetic and the
+            # invariant checker see honest durations.
             timing = EntryTiming(
-                blocked=timings.get("blocked", 0.0),
-                dns=timings.get("dns", 0.0),
-                connect=timings.get("connect", 0.0),
-                ssl=timings.get("ssl", 0.0),
-                send=timings.get("send", 0.0),
-                wait=timings.get("wait", 0.0),
-                receive=timings.get("receive", 0.0),
+                **{
+                    name: max(0.0, timings.get(name, 0.0))
+                    for name in (
+                        "blocked", "dns", "connect", "ssl",
+                        "send", "wait", "receive",
+                    )
+                }
             )
             headers = {
                 h["name"]: h["value"]

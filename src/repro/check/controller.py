@@ -1,0 +1,138 @@
+"""A congestion-controller proxy that checks CC sanity invariants.
+
+Wraps any :class:`~repro.transport.congestion.CongestionController`
+and verifies, on every transition:
+
+* ``cwnd >= 1 MSS`` always (all shipped controllers floor at 2–4 MSS);
+* ``on_ack`` never shrinks the window and never moves ``ssthresh``
+  (ACK processing must not fabricate congestion responses);
+* a loss or RTO epoch may only move ``ssthresh`` *down relative to the
+  pre-event window* (``ssthresh_after <= cwnd_before``) — note this is
+  deliberately weaker than "ssthresh is globally monotone", which is
+  *not* a NewReno invariant (after the window regrows past the old
+  threshold, the next loss legitimately raises ssthresh);
+* slow-start exit is one-way per epoch: ``in_slow_start`` may flip
+  False→True only through a loss/RTO event, never through an ACK.
+
+``on_rate_sample`` (BBR's model input) is delegated untouched via
+``__getattr__`` — a better path model may legitimately shrink the
+window, so no monotonicity is asserted there beyond the 1-MSS floor,
+which is re-checked on the next proxied transition.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.check.context import CheckContext
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a transport<->check cycle
+    from repro.transport.congestion import CongestionController
+
+
+class CheckedController:
+    """Invariant-checking wrapper around a real congestion controller."""
+
+    def __init__(
+        self, inner: "CongestionController", check: CheckContext, mss: int
+    ) -> None:
+        self.inner = inner
+        self.check = check
+        self.mss = mss
+
+    # -- delegation ----------------------------------------------------
+
+    @property
+    def cwnd_bytes(self) -> int:
+        return self.inner.cwnd_bytes
+
+    def __getattr__(self, name: str):
+        # ssthresh_bytes, in_slow_start, on_rate_sample, loss_events, ...
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:
+        return f"Checked({self.inner!r})"
+
+    # -- snapshots -----------------------------------------------------
+
+    def _snapshot(self) -> tuple[int, int | None, bool | None]:
+        inner = self.inner
+        return (
+            inner.cwnd_bytes,
+            getattr(inner, "ssthresh_bytes", None),
+            getattr(inner, "in_slow_start", None),
+        )
+
+    def _check_floor(self, event: str, now_ms: float) -> None:
+        cwnd = self.inner.cwnd_bytes
+        self.check.require(
+            cwnd >= self.mss,
+            "cc:cwnd_floor",
+            f"cwnd fell below 1 MSS after {event}",
+            time_ms=now_ms,
+            cwnd=cwnd,
+            mss=self.mss,
+            controller=type(self.inner).__name__,
+        )
+
+    # -- checked transitions -------------------------------------------
+
+    def on_ack(self, acked_bytes: int, now_ms: float) -> None:
+        cwnd_before, ssthresh_before, slow_start_before = self._snapshot()
+        self.inner.on_ack(acked_bytes, now_ms)
+        cwnd_after, ssthresh_after, slow_start_after = self._snapshot()
+        check = self.check
+        check.require(
+            cwnd_after >= cwnd_before,
+            "cc:ack_monotone",
+            "on_ack decreased cwnd",
+            time_ms=now_ms,
+            before=cwnd_before,
+            after=cwnd_after,
+        )
+        check.require(
+            ssthresh_after == ssthresh_before,
+            "cc:ack_ssthresh_frozen",
+            "on_ack moved ssthresh (only loss/RTO may)",
+            time_ms=now_ms,
+            before=ssthresh_before,
+            after=ssthresh_after,
+        )
+        if slow_start_before is not None:
+            check.require(
+                slow_start_before or not slow_start_after,
+                "cc:slow_start_one_way",
+                "on_ack re-entered slow start (only loss/RTO may)",
+                time_ms=now_ms,
+            )
+        self._check_floor("on_ack", now_ms)
+
+    def on_loss(self, now_ms: float) -> None:
+        self._checked_congestion_event("on_loss", now_ms)
+
+    def on_rto(self, now_ms: float) -> None:
+        self._checked_congestion_event("on_rto", now_ms)
+
+    def _checked_congestion_event(self, event: str, now_ms: float) -> None:
+        cwnd_before, _, _ = self._snapshot()
+        getattr(self.inner, event)(now_ms)
+        cwnd_after, ssthresh_after, _ = self._snapshot()
+        check = self.check
+        check.require(
+            cwnd_after <= cwnd_before,
+            "cc:congestion_response",
+            f"{event} grew cwnd",
+            time_ms=now_ms,
+            before=cwnd_before,
+            after=cwnd_after,
+        )
+        if ssthresh_after is not None:
+            check.require(
+                ssthresh_after <= cwnd_before,
+                "cc:ssthresh_shrinks",
+                f"{event} set ssthresh above the pre-event window",
+                time_ms=now_ms,
+                ssthresh=ssthresh_after,
+                cwnd_before=cwnd_before,
+            )
+        self._check_floor(event, now_ms)

@@ -9,7 +9,7 @@ absorbs TCP's HoL penalty, which grows with both loss and content).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.analysis.stats import LinearFit, linear_fit, median
@@ -99,17 +99,12 @@ def loss_sweep(
     """
     target_pages = tuple(pages if pages is not None else universe.pages)
     base = campaign_config or CampaignConfig()
+    # replace() keeps every other knob from the caller's config; the
+    # old field-by-field copy silently dropped anything added after it
+    # was written (fault_profile, collect_counters, trace, strict).
     configs = {
-        (loss_rate, repetition): CampaignConfig(
-            visits_per_page=base.visits_per_page,
-            probes_per_vantage=base.probes_per_vantage,
-            max_vantage_points=base.max_vantage_points,
-            loss_rate=loss_rate,
-            rate_mbps=base.rate_mbps,
-            warm_popular=base.warm_popular,
-            seed=seed + repetition,
-            transport_config=base.transport_config,
-            use_session_tickets=base.use_session_tickets,
+        (loss_rate, repetition): replace(
+            base, loss_rate=loss_rate, seed=seed + repetition
         )
         for loss_rate in loss_rates
         for repetition in range(repetitions)

@@ -115,6 +115,7 @@ def case_study(
     pages: Sequence[Webpage] | None = None,
     seed: int = 0,
     net_profile: ProbeNetProfile | None = None,
+    strict: bool = False,
 ) -> CaseStudyResult:
     """Run the paper's Table III case study end to end.
 
@@ -157,7 +158,7 @@ def case_study(
 
     def measure(label: str, group: list[Webpage]) -> SharingGroupStats:
         runner = ConsecutiveVisitRunner(
-            universe, net_profile=net_profile, seed=seed
+            universe, net_profile=net_profile, seed=seed, strict=strict
         )
         h2_run, h3_run = runner.run_both(group)
         return SharingGroupStats(

@@ -115,7 +115,11 @@ class H3CdnStudy:
     def consecutive_runs(self) -> tuple[ConsecutiveRun, ConsecutiveRun]:
         """(H2 walk, H3 walk) over the ordered page list."""
         if self._consecutive is None:
-            runner = ConsecutiveVisitRunner(self.universe, seed=self.config.seed)
+            runner = ConsecutiveVisitRunner(
+                self.universe,
+                seed=self.config.seed,
+                strict=self.config.campaign_config.strict,
+            )
             self._consecutive = runner.run_both(
                 list(self._pages(self.config.max_consecutive_pages))
             )
@@ -199,6 +203,7 @@ class H3CdnStudy:
                 self.universe,
                 pages=self._pages(self.config.max_consecutive_pages),
                 seed=self.config.seed,
+                strict=self.config.campaign_config.strict,
             )
         return self._case_study
 

@@ -92,7 +92,10 @@ class DnsResolver:
         self.config = config or DnsConfig()
         self.rng = rng or random.Random(0)
         self._cache: dict[str, float] = {}  # host -> expiry time
-        self._inflight: dict[str, list[Callable[[float], None]]] = {}
+        # host -> [(callback, joined_at), ...]: each waiter remembers
+        # when *it* asked, so coalesced callers are billed their own
+        # elapsed time rather than the first caller's.
+        self._inflight: dict[str, list[tuple[Callable[[float], None], float]]] = {}
         self._upstream_warm = False
         self.hits = 0
         self.misses = 0
@@ -113,8 +116,9 @@ class DnsResolver:
         """Resolve ``host``; ``on_done(latency_ms)`` fires when ready.
 
         Cache hits complete synchronously with latency 0.  Concurrent
-        lookups for the same name coalesce onto one upstream query
-        (each caller still observes the full remaining latency).
+        lookups for the same name coalesce onto one upstream query;
+        each caller is reported the latency *it* experienced (from its
+        own ``resolve`` call to the shared answer).
 
         When a :attr:`fail_filter` is installed and ``on_fail`` is
         provided, an upstream lookup inside a fault window SERVFAILs:
@@ -139,19 +143,18 @@ class DnsResolver:
         self.misses += 1
         waiters = self._inflight.get(host)
         if waiters is not None:
-            waiters.append(on_done)
+            waiters.append((on_done, now))
             return
-        self._inflight[host] = [on_done]
+        self._inflight[host] = [(on_done, now)]
         latency = self._lookup_latency_ms(host)
         self.lookups_sent += 1
-        started = now
-        self.loop.call_later(latency, self._complete, host, started)
+        self.loop.call_later(latency, self._complete, host)
 
-    def _complete(self, host: str, started: float) -> None:
+    def _complete(self, host: str) -> None:
         now = self.loop.now
         self._cache[host] = now + self.config.cache_ttl_ms
-        for waiter in self._inflight.pop(host, []):
-            waiter(now - started)
+        for waiter, joined_at in self._inflight.pop(host, []):
+            waiter(now - joined_at)
 
     def _lookup_latency_ms(self, host: str) -> float:
         cfg = self.config

@@ -141,6 +141,19 @@ class EventLoop:
         # loops stay branch-only) or a dict mapping callback qualname
         # to [count, total_seconds].
         self._profile: dict[str, list] | None = None
+        # Invariant checking (strict mode): None keeps the dispatch
+        # loops branch-only; set_check() installs a CheckContext and
+        # every pop verifies time monotonicity before advancing.
+        self._check = None
+
+    def set_check(self, check) -> None:
+        """Install (or clear) a :class:`repro.check.CheckContext`.
+
+        ``call_later``/``call_at`` already refuse to schedule in the
+        past; the per-pop check additionally catches heap corruption or
+        events pushed behind the clock's back.
+        """
+        self._check = check if check else None
 
     @property
     def now(self) -> float:
@@ -243,6 +256,14 @@ class EventLoop:
                 continue
             event._loop = None
             self._live -= 1
+            if self._check is not None:
+                self._check.require(
+                    event.time >= self._now,
+                    "loop:time_monotonic",
+                    "popped an event scheduled in the past",
+                    time_ms=self._now,
+                    event_time_ms=event.time,
+                )
             self._now = event.time
             self._processed += 1
             if self._profile is None:
@@ -282,6 +303,14 @@ class EventLoop:
             pop(queue)
             event._loop = None
             self._live -= 1
+            if self._check is not None:
+                self._check.require(
+                    event.time >= self._now,
+                    "loop:time_monotonic",
+                    "popped an event scheduled in the past",
+                    time_ms=self._now,
+                    event_time_ms=event.time,
+                )
             self._now = event.time
             self._processed += 1
             executed += 1

@@ -97,6 +97,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="apply a named fault profile to every campaign "
         "(default: no faults — results are bit-identical to fault-free builds)",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="run every visit under the repro.check invariant checker; "
+        "the first violation aborts the run (results are identical "
+        "with or without --strict)",
+    )
     return parser
 
 
@@ -175,6 +182,8 @@ def make_study(args: argparse.Namespace) -> H3CdnStudy:
     scenario = Scenario(name="paper-default")
     if faults_name:
         scenario = scenario.with_faults(faults_name)
+    if getattr(args, "strict", False):
+        scenario = scenario.with_strict()
     return H3CdnStudy(
         StudyConfig(
             n_sites=sites,
@@ -294,6 +303,7 @@ def main(argv: list[str] | None = None) -> int:
                 "counters": bool(args.counters),
                 "trace": bool(args.trace_dir),
                 "faults": args.faults,
+                "strict": bool(args.strict),
             },
             experiments=experiment_records,
             counters=counters_dict,

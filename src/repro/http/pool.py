@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Callable, Protocol
 
+from repro.check.context import EPSILON_MS, NULL_CHECK
 from repro.events import EventLoop, ScheduledEvent, Timer
 from repro.http.messages import EntryTiming, FetchRecord, HttpProtocol
 from repro.netsim.path import NetworkPath
@@ -67,17 +68,14 @@ class PoolStats:
     connection_resets: int = 0
 
     def merged_with(self, other: "PoolStats") -> "PoolStats":
+        # Derived from the dataclass fields so a future counter can
+        # never be silently dropped from the merge (the drift that bit
+        # to_dict/from_dict when the fault-era fields landed).
         return PoolStats(
-            requests=self.requests + other.requests,
-            connections_created=self.connections_created + other.connections_created,
-            resumed_connections=self.resumed_connections + other.resumed_connections,
-            reused_requests=self.reused_requests + other.reused_requests,
-            zero_rtt_connections=self.zero_rtt_connections + other.zero_rtt_connections,
-            failed_requests=self.failed_requests + other.failed_requests,
-            retried_requests=self.retried_requests + other.retried_requests,
-            h3_fallbacks=self.h3_fallbacks + other.h3_fallbacks,
-            connect_timeouts=self.connect_timeouts + other.connect_timeouts,
-            connection_resets=self.connection_resets + other.connection_resets,
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
         )
 
     def to_dict(self) -> dict[str, int]:
@@ -193,8 +191,12 @@ class ConnectionPool:
         obs=None,
         faults: "FaultInjector | None" = None,
         alt_svc: "AltSvcCache | None" = None,
+        check=None,
     ) -> None:
         self.loop = loop
+        #: Invariant checker (strict mode); the falsy null check keeps
+        #: every ``if self.check:`` guard a single bool test.
+        self.check = check if check is not None else NULL_CHECK
         self.session_cache = session_cache if session_cache is not None else SessionTicketCache()
         self.transport_config = transport_config or TransportConfig()
         self.rng = rng or random.Random(0)
@@ -380,14 +382,14 @@ class ConnectionPool:
             conn: BaseConnection = QuicConnection(
                 self.loop, path, config=self.transport_config,
                 rng=conn_rng, resumed=has_ticket, name=conn_name,
-                tracer=tracer,
+                tracer=tracer, check=self.check or None,
             )
         else:
             conn = TcpConnection(
                 self.loop, path, config=self.transport_config,
                 rng=conn_rng, resumed=has_ticket,
                 tls_version=opener.server.tls_version, name=conn_name,
-                tracer=tracer,
+                tracer=tracer, check=self.check or None,
             )
         pooled = _PooledConnection(conn, opener.protocol, host)
         pooled.resumed = has_ticket
@@ -474,6 +476,14 @@ class ConnectionPool:
             return
         pooled.handshake_counted = False
         self._active_handshakes -= 1
+        if self.check:
+            self.check.require(
+                self._active_handshakes >= 0,
+                "pool:handshake_slots_balanced",
+                "released more handshake slots than were taken",
+                time_ms=self.loop.now,
+                active=self._active_handshakes,
+            )
         max_handshakes = self.transport_config.max_concurrent_handshakes
         while self._handshake_queue and self._active_handshakes < max_handshakes:
             queued_pooled, queued_opener = self._handshake_queue.popleft()
@@ -655,6 +665,23 @@ class ConnectionPool:
         handshake=None,
     ) -> None:
         now = self.loop.now
+        if self.check:
+            self.check.require(
+                not pooled.failed and not pooled.conn.closed,
+                "pool:issue_on_dead_connection",
+                "fetch issued on a torn-down connection",
+                time_ms=now,
+                url=fetch.url,
+                host=pooled.host,
+            )
+            self.check.require(
+                pooled.established or handshake is not None or pooled.conn.zero_rtt,
+                "pool:issue_before_established",
+                "fetch issued before the connection was usable",
+                time_ms=now,
+                url=fetch.url,
+                host=pooled.host,
+            )
         if self.faults is not None and self.faults.edge_outage(
             fetch.server.hostname
         ):
@@ -715,13 +742,40 @@ class ConnectionPool:
             fetch.timer.start(self.faults.retry.request_timeout_ms)
 
         def on_first_byte(t: float) -> None:
+            if pooled.failed:
+                # Stale delivery from a torn-down connection.  Without
+                # this guard a late first byte lands *after* the fetch
+                # re-dispatched, stamping the old issue time into the
+                # retried entry and driving its ``wait`` negative.
+                return
             record.timing.wait = t - issued_at
+            if self.check:
+                self.check.require(
+                    record.timing.wait >= 0.0,
+                    "pool:wait_nonnegative",
+                    "first byte arrived before the request was issued",
+                    time_ms=t,
+                    url=fetch.url,
+                    wait_ms=record.timing.wait,
+                )
 
         def on_stream_complete(t: float) -> None:
             if pooled.failed:
                 return  # stale delivery from a torn-down connection
             first_byte_at = issued_at + record.timing.wait
             record.timing.receive = t - first_byte_at
+            if self.check:
+                # ``issued_at + wait`` re-derives the first-byte instant
+                # through a float round trip, so a stream that completes
+                # at that same instant can land ~1e-13 below zero.
+                self.check.require(
+                    record.timing.receive >= -EPSILON_MS,
+                    "pool:receive_nonnegative",
+                    "stream completed before its first byte",
+                    time_ms=t,
+                    url=fetch.url,
+                    receive_ms=record.timing.receive,
+                )
             record.completed_at_ms = t
             pooled.active_streams -= 1
             if fetch.timer is not None:
@@ -767,6 +821,43 @@ class ConnectionPool:
         all_conns = list(self._multiplexed.values())
         for conns in self._h1_conns.values():
             all_conns.extend(conns)
+        if self.check:
+            counted = sum(1 for pooled in all_conns if pooled.handshake_counted)
+            self.check.require(
+                self._active_handshakes == counted,
+                "pool:handshake_slots_balanced",
+                "handshake slot count drifted from slot-holding connections",
+                time_ms=self.loop.now,
+                active=self._active_handshakes,
+                holders=counted,
+            )
+            if self.faults is None:
+                # Fault-free visits end only when every fetch completed:
+                # nothing may still be queued, in flight, or handshaking.
+                self.check.require(
+                    self._active_handshakes == 0
+                    and not self._handshake_queue
+                    and all(
+                        pooled.active_streams == 0 and not pooled.pending
+                        for pooled in all_conns
+                    )
+                    and not any(self._h1_queues.values()),
+                    "pool:drained_at_close",
+                    "pool closed with work still outstanding "
+                    "in a fault-free visit",
+                    time_ms=self.loop.now,
+                )
+                self.check.require(
+                    self.stats.requests
+                    == self.stats.connections_created + self.stats.reused_requests,
+                    "pool:request_accounting",
+                    "requests != connections_created + reused_requests "
+                    "in a fault-free visit",
+                    time_ms=self.loop.now,
+                    requests=self.stats.requests,
+                    connections_created=self.stats.connections_created,
+                    reused_requests=self.stats.reused_requests,
+                )
         for pooled in all_conns:
             if self.faults is not None:
                 # Disarm recovery timers: the loop outlives this pool

@@ -53,6 +53,10 @@ class CampaignConfig:
     #: the fault machinery dormant; results are then bit-identical to
     #: fault-free builds).
     fault_profile: FaultProfile | None = None
+    #: Run every visit under the :mod:`repro.check` invariant checker;
+    #: the first violation raises.  Observe-only: results with strict
+    #: on are identical to strict off.
+    strict: bool = False
 
 
 @dataclass

@@ -43,6 +43,7 @@ class ConsecutiveVisitRunner:
         transport_config: TransportConfig | None = None,
         use_session_tickets: bool = True,
         warm_edges_first: bool = True,
+        strict: bool = False,
     ) -> None:
         self.universe = universe
         self.net_profile = net_profile
@@ -50,6 +51,7 @@ class ConsecutiveVisitRunner:
         self.transport_config = transport_config
         self.use_session_tickets = use_session_tickets
         self.warm_edges_first = warm_edges_first
+        self.strict = strict
 
     def run(self, pages: list[Webpage] | tuple[Webpage, ...], mode: str) -> ConsecutiveRun:
         """Visit ``pages`` in order under ``mode``; tickets persist.
@@ -60,6 +62,11 @@ class ConsecutiveVisitRunner:
         """
         if mode not in (H2_ONLY, H3_ENABLED):
             raise ValueError(f"unknown mode {mode!r}")
+        check = None
+        if self.strict:
+            from repro.check import CheckContext
+
+            check = CheckContext()
         probe = Probe(
             name=f"consecutive-{mode}",
             universe=self.universe,
@@ -67,6 +74,7 @@ class ConsecutiveVisitRunner:
             seed=self.seed,
             transport_config=self.transport_config,
             use_session_tickets=self.use_session_tickets,
+            check=check,
         )
         if self.warm_edges_first:
             probe.warm_edges(pages)

@@ -33,6 +33,7 @@ import multiprocessing
 from typing import Hashable, Iterable, Sequence
 
 from repro.browser.browser import H2_ONLY, H3_ENABLED
+from repro.check.context import InvariantViolation
 from repro.measurement.campaign import (
     CampaignConfig,
     CampaignResult,
@@ -80,6 +81,11 @@ def measure_paired_visit(
         from repro.obs import ObsContext
 
         obs = ObsContext(trace=config.trace)
+    check = None
+    if config.strict:
+        from repro.check import CheckContext
+
+        check = CheckContext()
     probe = Probe(
         name=f"{vantage.name}-{probe_index}",
         universe=universe,
@@ -91,6 +97,7 @@ def measure_paired_visit(
         use_session_tickets=config.use_session_tickets,
         obs=obs,
         fault_profile=config.fault_profile,
+        check=check,
     )
     if config.warm_popular:
         probe.warm_edges((page,))
@@ -125,6 +132,10 @@ def measure_visit_outcome(
         paired = measure_paired_visit(
             universe, vantage, vp_index, probe_index, config, page, page_index
         )
+    except InvariantViolation:
+        # A failed invariant is a simulator bug, not a simulated fault:
+        # it must stay loud even under graceful degradation.
+        raise
     except Exception as exc:  # noqa: BLE001 — degrade, don't poison the run
         return VisitOutcome.from_error(
             page_index, f"{type(exc).__name__}: {exc}"

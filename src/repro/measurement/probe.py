@@ -39,6 +39,7 @@ class Probe:
         use_session_tickets: bool = True,
         obs=None,
         fault_profile: FaultProfile | None = None,
+        check=None,
     ) -> None:
         self.name = name
         self.universe = universe
@@ -46,6 +47,11 @@ class Probe:
         #: Optional :class:`repro.obs.ObsContext` shared by both
         #: browsers; each visit drains it into its own PageVisit.
         self.obs = obs
+        #: Optional :class:`repro.check.CheckContext` (strict mode),
+        #: shared by the loop and both browsers.
+        self.check = check
+        if check:
+            self.loop.set_check(check)
         if obs is not None and obs.profile_loop:
             self.loop.enable_profiling()
         #: Optional fault injector, shared by both browsers so the H2
@@ -75,6 +81,7 @@ class Probe:
                 rng=random.Random(self.rng.getrandbits(64)),
                 obs=obs,
                 faults=self.faults,
+                check=check,
             )
             for mode in (H2_ONLY, H3_ENABLED)
         }

@@ -38,6 +38,8 @@ class Scenario:
     rate_mbps: float | None = 50.0
     #: Scripted fault profile (None = fault machinery dormant).
     faults: FaultProfile | None = None
+    #: Run every visit under the invariant checker (``repro.check``).
+    strict: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate <= 1.0:
@@ -67,6 +69,10 @@ class Scenario:
         """This scenario with a different transport configuration."""
         return replace(self, transport=transport)
 
+    def with_strict(self, strict: bool = True) -> "Scenario":
+        """This scenario with invariant checking on (or off)."""
+        return replace(self, strict=strict)
+
     # -- rendering -----------------------------------------------------
 
     def campaign_config(self, **overrides: Any) -> CampaignConfig:
@@ -80,6 +86,7 @@ class Scenario:
             loss_rate=self.loss_rate,
             rate_mbps=self.rate_mbps,
             fault_profile=self.faults,
+            strict=self.strict,
         )
         base.update(overrides)
         return CampaignConfig(**base)

@@ -27,6 +27,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.check.context import NULL_CHECK
+from repro.check.controller import CheckedController
 from repro.events import EventLoop, Timer
 from repro.netsim.packet import Packet, PacketKind, StreamChunk
 from repro.netsim.path import NetworkPath
@@ -192,6 +194,7 @@ class BaseConnection:
         server_think_ms: float = 0.0,
         name: str = "",
         tracer=None,
+        check=None,
     ) -> None:
         self.loop = loop
         self.path = path
@@ -201,11 +204,17 @@ class BaseConnection:
         #: ``if self.tracer:`` so disabled tracing costs one attribute
         #: load + bool check and results stay bit-identical.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Invariant checker (strict mode); same null-object pattern.
+        self.check = check if check is not None else NULL_CHECK
         self.cc = cc or make_congestion_controller(
             self.config.congestion_control,
             self.config.mss,
             self.config.initial_cwnd_packets,
         )
+        if self.check:
+            # Observe-only proxy: every CC transition is sanity-checked
+            # but the wrapped controller's decisions are untouched.
+            self.cc = CheckedController(self.cc, self.check, self.config.mss)
         self.rng = rng or random.Random(0)
         self.server_think_ms = server_think_ms
         self.name = name
@@ -773,12 +782,42 @@ class BaseConnection:
         stream = self.streams.get(chunk.stream_id)
         if stream is None:
             return
+        if self.check:
+            self.check.require(
+                chunk.size > 0,
+                "stream:chunk_positive",
+                "delivered an empty stream chunk",
+                time_ms=self.loop.now,
+                stream_id=chunk.stream_id,
+                offset=chunk.offset,
+            )
+            self.check.require(
+                stream.received + chunk.size <= stream.response_bytes,
+                "stream:byte_conservation",
+                "delivered more bytes than the response holds "
+                "(overlapping or duplicated chunks)",
+                time_ms=self.loop.now,
+                stream_id=chunk.stream_id,
+                received=stream.received,
+                chunk_size=chunk.size,
+                response_bytes=stream.response_bytes,
+            )
         if stream.t_first_byte is None:
             stream.t_first_byte = self.loop.now
             if stream.on_first_byte is not None:
                 stream.on_first_byte(self.loop.now)
         stream.received += chunk.size
         if stream.received >= stream.response_bytes and stream.t_complete is None:
+            if self.check:
+                self.check.require(
+                    stream.received == stream.response_bytes,
+                    "stream:byte_conservation",
+                    "stream completed with delivered != requested bytes",
+                    time_ms=self.loop.now,
+                    stream_id=chunk.stream_id,
+                    received=stream.received,
+                    response_bytes=stream.response_bytes,
+                )
             stream.t_complete = self.loop.now
             if self.tracer:
                 self.tracer.event(
