@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-smoke lint trace-smoke faults-smoke check-smoke
+.PHONY: test bench-smoke lint trace-smoke faults-smoke check-smoke store-smoke
 
 # Tier-1 suite. tests/test_parallel.py runs 2- and 4-worker campaigns
 # against the serial baseline, so the parallel path is exercised on
@@ -58,6 +58,52 @@ check-smoke:
 	print('check-smoke: strict manifest ok')"
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.check.har_vs_trace \
 		--sites 6 --pages 4 --seed 7
+
+# Result-store smoke: the persistence contract end to end.
+# 1. Run a campaign twice against one store; the second run must be
+#    100% hits and its experiment output byte-identical to the first.
+# 2. Simulate an interrupted campaign, --resume it, and check the
+#    journal recovered the completed visits.
+# 3. `python -m repro.store verify` must find the store clean.
+store-smoke:
+	rm -rf .store_smoke
+	mkdir -p .store_smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli \
+		--scale smoke --sites 6 --experiments table2 \
+		--store .store_smoke/st --run smoke --json .store_smoke/run1.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli \
+		--scale smoke --sites 6 --experiments table2 \
+		--store .store_smoke/st --run smoke --json .store_smoke/run2.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
+	import json; \
+	a = json.load(open('.store_smoke/run1.json')); \
+	b = json.load(open('.store_smoke/run2.json')); \
+	assert a['experiments'] == b['experiments'], 'warm replay diverged'; \
+	sa = a['manifest']['store']['stats']; sb = b['manifest']['store']['stats']; \
+	assert sa['hits'] == 0 and sa['misses'] > 0, sa; \
+	assert sb['misses'] == 0 and sb['hit_rate'] == 1.0, sb; \
+	print('store-smoke: warm run 100%% hits, output bit-identical')"
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
+	import repro.measurement.parallel as par; \
+	from repro.measurement import Campaign, CampaignConfig; \
+	from repro.store import ResultStore; \
+	from repro.web.topsites import GeneratorConfig, cached_universe; \
+	uni = cached_universe(GeneratorConfig(n_sites=6), seed=7); \
+	pages = uni.pages[:4]; config = CampaignConfig(seed=3); \
+	store = ResultStore('.store_smoke/st'); \
+	real = par.measure_visit_outcome; calls = {'n': 0}; \
+	exec('def flaky(*a, **k):\n calls[\"n\"] += 1\n if calls[\"n\"] > 2: raise KeyboardInterrupt\n return real(*a, **k)'); \
+	par.measure_visit_outcome = flaky; \
+	exec('try:\n Campaign(uni, config).run(pages, store=store, run_name=\"interrupted\")\nexcept KeyboardInterrupt:\n pass'); \
+	par.measure_visit_outcome = real; \
+	assert not store.run_info('interrupted').complete; \
+	assert store.run_info('interrupted').journaled == 2; \
+	r = Campaign(uni, config).run(pages, store=store, run_name='interrupted', resume=True); \
+	assert r.store_stats.resumed == 2 and r.store_stats.misses == 2, r.store_stats; \
+	assert store.run_info('interrupted').complete; store.close(); \
+	print('store-smoke: interrupt/resume recovered 2 journaled visits')"
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.store verify .store_smoke/st
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.store stats .store_smoke/st
 
 # No third-party linters in the container; bytecode compilation catches
 # syntax errors and obvious breakage across the whole tree.

@@ -25,6 +25,8 @@ import argparse
 import json
 import os
 import random
+import subprocess
+import tempfile
 import time
 
 from repro.events import EventLoop
@@ -32,6 +34,78 @@ from repro.measurement import Campaign, CampaignConfig
 from repro.netsim import NetemProfile, NetworkPath
 from repro.transport import QuicConnection
 from repro.web.topsites import GeneratorConfig, cached_universe
+
+
+def git_sha() -> str | None:
+    """The current commit, or None outside a git checkout."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True, text=True, timeout=10,
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+            ).stdout.strip()
+            or None
+        )
+    except OSError:
+        return None
+
+
+def bench_store_cold_vs_warm(universe, pages, config) -> dict:
+    """Cold (all misses, write-through) vs warm (100% replay) campaign.
+
+    The warm number is the store's raison d'être: replaying should cost
+    file reads and JSON decoding, not simulation.
+    """
+    from repro.store import ResultStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with ResultStore(os.path.join(tmp, "store")) as store:
+            campaign = Campaign(universe, config)
+            start = time.perf_counter()
+            cold = campaign.run(pages, store=store, run_name="bench")
+            cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = campaign.run(pages, store=store, run_name="bench")
+            warm_s = time.perf_counter() - start
+            if fingerprint(warm) != fingerprint(cold):
+                raise SystemExit("warm store replay diverged from cold run")
+            return {
+                "cold_seconds": cold_s,
+                "warm_seconds": warm_s,
+                "replay_speedup": cold_s / warm_s if warm_s > 0 else None,
+                "hits": warm.store_stats.hits,
+                "misses": cold.store_stats.misses,
+            }
+
+
+def append_history(payload: dict, out_path: str) -> dict:
+    """Fold ``payload`` into the artifact's append-only history.
+
+    Each invocation appends one ``{sha, timestamp, ...headline}`` entry
+    to a ``history`` list carried across runs of the same artifact, so
+    the perf trajectory is greppable from the single JSON file.
+    """
+    history: list[dict] = []
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as handle:
+                history = json.load(handle).get("history", [])
+        except (ValueError, OSError):
+            history = []
+    entry = {
+        "git_sha": git_sha(),
+        "timestamp_unix": time.time(),
+        "serial_seconds": payload["serial_seconds"],
+        "parallel": {
+            workers: run["seconds"] for workers, run in payload["parallel"].items()
+        },
+        "store_warm_seconds": payload["store"]["warm_seconds"],
+        "kernel_events_per_sec": payload["substrate"]["kernel_events_per_sec"],
+    }
+    history.append(entry)
+    payload["history"] = history
+    return payload
 
 
 def bench_kernel_events_per_sec(n_events: int = 200_000) -> float:
@@ -150,6 +224,14 @@ def main(argv: list[str] | None = None) -> int:
         f"traced {traced_s:.2f}s ({tracing['overhead_pct']:+.1f}%)"
     )
 
+    store_bench = bench_store_cold_vs_warm(universe, pages, config)
+    print(
+        f"store: cold {store_bench['cold_seconds']:.2f}s, "
+        f"warm {store_bench['warm_seconds']:.2f}s "
+        f"(replay speedup {store_bench['replay_speedup']:.1f}x, "
+        f"{store_bench['hits']} hits)"
+    )
+
     kernel = bench_kernel_events_per_sec()
     transfer = bench_transfer_events_per_sec()
     print(f"substrate kernel: {kernel:,.0f} events/s")
@@ -169,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
         "serial_seconds": serial_s,
         "parallel": runs,
         "tracing": tracing,
+        "store": store_bench,
         "substrate": {
             "kernel_events_per_sec": kernel,
             "transfer_events": transfer["events"],
@@ -179,9 +262,10 @@ def main(argv: list[str] | None = None) -> int:
             "pool adds serialization overhead instead of parallelism"
         ),
     }
+    payload = append_history(payload, args.out)
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2)
-    print(f"wrote {args.out}")
+    print(f"wrote {args.out} ({len(payload['history'])} history entries)")
     return 0
 
 

@@ -86,6 +86,9 @@ def loss_sweep(
     campaign_config: CampaignConfig | None = None,
     workers: int = 1,
     chunk_size: int | None = None,
+    store=None,
+    run_prefix: str | None = None,
+    resume: bool = False,
 ) -> list[LossSweepSeries]:
     """Run the Fig. 9 experiment: one campaign per loss rate.
 
@@ -95,7 +98,10 @@ def loss_sweep(
 
     All ``loss_rate × repetition`` campaigns are submitted to one
     worker pool (``workers > 1``), so every loss rate is just another
-    set of independent shards rather than a serial outer loop.
+    set of independent shards rather than a serial outer loop.  With a
+    :class:`~repro.store.ResultStore` attached, each ``loss_rate ×
+    repetition`` campaign is a separate named run under ``run_prefix``
+    and already-stored visits are replayed instead of re-simulated.
     """
     target_pages = tuple(pages if pages is not None else universe.pages)
     base = campaign_config or CampaignConfig()
@@ -115,6 +121,9 @@ def loss_sweep(
         pages=target_pages,
         workers=workers,
         chunk_size=chunk_size,
+        store=store,
+        run_prefix=run_prefix,
+        resume=resume,
     )
     series: list[LossSweepSeries] = []
     for loss_rate in loss_rates:

@@ -60,6 +60,9 @@ def fallback_sweep(
     campaign_config: CampaignConfig | None = None,
     workers: int = 1,
     chunk_size: int | None = None,
+    store=None,
+    run_prefix: str | None = None,
+    resume: bool = False,
 ) -> list[FallbackSweepPoint]:
     """Run the fig-fallback experiment: one campaign per intensity.
 
@@ -88,6 +91,9 @@ def fallback_sweep(
         pages=target_pages,
         workers=workers,
         chunk_size=chunk_size,
+        store=store,
+        run_prefix=run_prefix,
+        resume=resume,
     )
     points: list[FallbackSweepPoint] = []
     for intensity in intensities:

@@ -56,6 +56,15 @@ class StudyConfig:
     fallback_intensities: tuple[float, ...] = fallback_mod.DEFAULT_INTENSITIES
     #: Worker processes for the campaign and loss sweep (1 = in-process).
     workers: int = 1
+    #: Result store for replay/resume (``None`` = no persistence).  A
+    #: live :class:`~repro.store.ResultStore`; excluded from equality so
+    #: configs still compare by their scientific content.
+    store: "object | None" = field(default=None, compare=False)
+    #: Base name for this study's runs in the store (each stage appends
+    #: its own suffix, e.g. ``<run_name>/campaign``).
+    run_name: str = "study"
+    #: Continue interrupted runs of the same name instead of restarting.
+    resume: bool = False
 
     def resolved_generator_config(self) -> GeneratorConfig:
         if self.generator_config is not None:
@@ -98,6 +107,13 @@ class H3CdnStudy:
             self._campaign_result = campaign.run(
                 self._pages(self.config.max_campaign_pages),
                 workers=self.config.workers,
+                store=self.config.store,
+                run_name=(
+                    f"{self.config.run_name}/campaign"
+                    if self.config.store is not None
+                    else None
+                ),
+                resume=self.config.resume,
             )
         return self._campaign_result
 
@@ -115,14 +131,33 @@ class H3CdnStudy:
     def consecutive_runs(self) -> tuple[ConsecutiveRun, ConsecutiveRun]:
         """(H2 walk, H3 walk) over the ordered page list."""
         if self._consecutive is None:
+            store = self.config.store
+            run_name = None
+            if store is not None:
+                from repro.store.keys import campaign_config_hash
+
+                run_name = f"{self.config.run_name}/consecutive"
+                store.begin_run(
+                    run_name,
+                    config_hash=campaign_config_hash(self.config.campaign_config),
+                    resume=self.config.resume,
+                )
             runner = ConsecutiveVisitRunner(
                 self.universe,
                 seed=self.config.seed,
                 strict=self.config.campaign_config.strict,
+                store=store,
+                run_name=run_name,
             )
             self._consecutive = runner.run_both(
                 list(self._pages(self.config.max_consecutive_pages))
             )
+            if store is not None and run_name is not None:
+                # The journal holds both walks' keys in completion
+                # order (deduped in case a resume re-journaled one).
+                store.finish_run(
+                    run_name, list(dict.fromkeys(store.journal_keys(run_name)))
+                )
         return self._consecutive
 
     # -- Section IV: adoption --------------------------------------------
@@ -220,6 +255,13 @@ class H3CdnStudy:
                 repetitions=self.config.loss_sweep_repetitions,
                 campaign_config=self.config.campaign_config,
                 workers=self.config.workers,
+                store=self.config.store,
+                run_prefix=(
+                    f"{self.config.run_name}/fig9"
+                    if self.config.store is not None
+                    else None
+                ),
+                resume=self.config.resume,
             )
         return self._loss_sweep
 
@@ -250,6 +292,13 @@ class H3CdnStudy:
                 seed=self.config.seed,
                 campaign_config=self.config.campaign_config,
                 workers=self.config.workers,
+                store=self.config.store,
+                run_prefix=(
+                    f"{self.config.run_name}/fig-fallback"
+                    if self.config.store is not None
+                    else None
+                ),
+                resume=self.config.resume,
             )
         return self._fallback_sweep
 

@@ -104,6 +104,32 @@ def build_parser() -> argparse.ArgumentParser:
         "the first violation aborts the run (results are identical "
         "with or without --strict)",
     )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="attach a persistent result store at DIR: visits already "
+        "stored are replayed bit-identically instead of re-simulated, "
+        "fresh visits are journaled as they complete "
+        "(inspect with `python -m repro.store`)",
+    )
+    parser.add_argument(
+        "--run",
+        metavar="NAME",
+        help="base run name recorded in the store (default: the scale "
+        "name); each experiment stage appends its own suffix",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store: continue an interrupted run of the same "
+        "name, executing only the visits its journal is missing",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="ignore --store (escape hatch for scripts that always "
+        "pass one); results are bit-identical either way",
+    )
     return parser
 
 
@@ -171,7 +197,7 @@ def render_plots(result) -> list[str]:
     return lines
 
 
-def make_study(args: argparse.Namespace) -> H3CdnStudy:
+def make_study(args: argparse.Namespace, store=None) -> H3CdnStudy:
     sites, campaign_pages, consecutive_pages, loss_pages, loss_reps = SCALES[args.scale]
     if args.sites is not None:
         sites = args.sites
@@ -196,6 +222,9 @@ def make_study(args: argparse.Namespace) -> H3CdnStudy:
             max_loss_sweep_pages=loss_pages,
             loss_sweep_repetitions=loss_reps,
             workers=args.workers,
+            store=store,
+            run_name=getattr(args, "run", None) or args.scale,
+            resume=bool(getattr(args, "resume", False)),
         )
     )
 
@@ -237,10 +266,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    study = make_study(args)
+    store = None
+    if args.store and not args.no_store:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
+    study = make_study(args, store=store)
     print(
         f"# repro-h3cdn scale={args.scale} sites={study.config.n_sites} "
         f"seed={args.seed}"
+        + (f" store={args.store} run={study.config.run_name}" if store else "")
     )
     experiment_records: list[dict] = []
     results: dict[str, object] = {}
@@ -267,6 +302,23 @@ def main(argv: list[str] | None = None) -> int:
     campaign = study.campaign_result_or_none()
     totals = campaign.counter_totals() if campaign is not None else None
     counters_dict = totals.to_dict() if totals else None
+
+    store_section = None
+    if store is not None:
+        stats = store.stats
+        print()
+        print(
+            f"== store: {stats.hits} hits / {stats.misses} misses "
+            f"({stats.hit_rate:.0%} hit rate), {stats.resumed} resumed, "
+            f"{stats.writes} written =="
+        )
+        store_section = {
+            "path": args.store,
+            "run_name": study.config.run_name,
+            "resume": bool(args.resume),
+            "stats": stats.to_dict(),
+            "summary": store.stats_summary(),
+        }
     if args.counters:
         print()
         print("== counters: merged campaign totals ==")
@@ -292,6 +344,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\nwrote {n_events} trace events to {trace_path}")
 
     if args.trace_dir or args.json:
+        from repro.store.keys import campaign_config_hash
+
         manifest = build_run_manifest(
             invocation={
                 "argv": list(argv) if argv is not None else sys.argv[1:],
@@ -313,6 +367,8 @@ def main(argv: list[str] | None = None) -> int:
                 if "fig-fallback" in results
                 else None
             ),
+            config_hash=campaign_config_hash(study.config.campaign_config),
+            store=store_section,
         )
         if args.trace_dir:
             manifest_path = os.path.join(args.trace_dir, "run.json")
@@ -334,6 +390,8 @@ def main(argv: list[str] | None = None) -> int:
                 json.dump(payload, handle, indent=2)
                 handle.write("\n")
             print(f"wrote results JSON to {args.json}")
+    if store is not None:
+        store.close()
     return 0
 
 

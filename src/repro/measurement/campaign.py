@@ -84,6 +84,11 @@ class CampaignResult:
     #: Visits that could not be measured at all (fault injection only);
     #: a failed visit is recorded here instead of poisoning the run.
     failures: list[VisitFailure] = field(default_factory=list)
+    #: Store hit/miss/resume accounting when the campaign ran against a
+    #: :class:`~repro.store.ResultStore` (``None`` otherwise).  Kept off
+    #: the counter registry so counter totals stay bit-identical between
+    #: warm-store and fresh runs.
+    store_stats: "object | None" = None
 
     def degraded_visits(self) -> list[PairedVisit]:
         """Paired visits where either mode was degraded by faults."""
@@ -165,6 +170,9 @@ class Campaign:
         workers: int = 1,
         chunk_size: int | None = None,
         start_method: str | None = None,
+        store=None,
+        run_name: str | None = None,
+        resume: bool = False,
     ) -> CampaignResult:
         """Measure ``pages`` (default: the whole universe) everywhere.
 
@@ -174,6 +182,13 @@ class Campaign:
         caches optionally pre-warmed.  ``workers > 1`` shards the visits
         across a process pool; results are identical for any worker
         count (see :mod:`repro.measurement.parallel`).
+
+        With a :class:`~repro.store.ResultStore` attached, visits whose
+        content-addressed key is already stored are replayed instead of
+        re-simulated (bit-identically), fresh visits are journaled as
+        they complete, and the finished visit list is recorded under
+        ``run_name``.  ``resume=True`` continues an interrupted run of
+        the same name, executing only the missing visits.
         """
         from repro.measurement.parallel import run_campaigns
 
@@ -185,5 +200,8 @@ class Campaign:
             workers=workers,
             chunk_size=chunk_size,
             start_method=start_method,
+            store=store,
+            run_prefix=run_name,
+            resume=resume,
         )
         return results["campaign"]

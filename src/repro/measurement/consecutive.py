@@ -10,6 +10,7 @@ Fig. 8 and the Table III case study.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.browser.browser import H2_ONLY, H3_ENABLED, PageVisit
@@ -19,6 +20,9 @@ from repro.transport.config import TransportConfig
 from repro.web.page import Webpage
 from repro.web.topsites import WebUniverse
 
+#: Serialization format of a stored consecutive walk.
+WALK_FORMAT = "repro-h3cdn-walk/1"
+
 
 @dataclass
 class ConsecutiveRun:
@@ -26,10 +30,31 @@ class ConsecutiveRun:
 
     mode: str
     visits: list[PageVisit]
+    #: ``"fresh"`` or ``"replay"`` (served from a result store).
+    source: str = "fresh"
 
     def resumed_connections(self) -> list[int]:
         """Per page: entries served on ticket-resumed connections."""
         return [v.har.resumed_connection_count() for v in self.visits]
+
+    def to_dict(self) -> dict:
+        """Store payload (``source`` is provenance, never serialized)."""
+        return {
+            "format": WALK_FORMAT,
+            "mode": self.mode,
+            "visits": [visit.to_dict() for visit in self.visits],
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "ConsecutiveRun":
+        if document.get("format") != WALK_FORMAT:
+            raise ValueError(
+                f"unrecognized walk format: {document.get('format')!r}"
+            )
+        return cls(
+            mode=document["mode"],
+            visits=[PageVisit.from_dict(doc) for doc in document["visits"]],
+        )
 
 
 class ConsecutiveVisitRunner:
@@ -44,6 +69,8 @@ class ConsecutiveVisitRunner:
         use_session_tickets: bool = True,
         warm_edges_first: bool = True,
         strict: bool = False,
+        store=None,
+        run_name: str | None = None,
     ) -> None:
         self.universe = universe
         self.net_profile = net_profile
@@ -52,16 +79,60 @@ class ConsecutiveVisitRunner:
         self.use_session_tickets = use_session_tickets
         self.warm_edges_first = warm_edges_first
         self.strict = strict
+        self.store = store
+        self.run_name = run_name
+
+    def _walk_key(self, pages, mode: str) -> str:
+        """Content-addressed key for one whole walk under one mode.
+
+        Session tickets carry state from page to page, so individual
+        visits don't cache independently — the ordered walk is the unit.
+        """
+        from repro.store.keys import consecutive_key, page_part, transport_part
+
+        config_material = {
+            "net_profile": (
+                dataclasses.asdict(self.net_profile)
+                if self.net_profile is not None
+                else None
+            ),
+            "seed": self.seed,
+            "transport": (
+                transport_part(self.transport_config)
+                if self.transport_config is not None
+                else None
+            ),
+            "use_session_tickets": self.use_session_tickets,
+            "warm_edges_first": self.warm_edges_first,
+            "strict": self.strict,
+        }
+        return consecutive_key(
+            mode,
+            [page_part(page, self.universe.hosts) for page in pages],
+            config_material,
+        )
 
     def run(self, pages: list[Webpage] | tuple[Webpage, ...], mode: str) -> ConsecutiveRun:
         """Visit ``pages`` in order under ``mode``; tickets persist.
 
         A fresh probe (fresh clock, caches and ticket store) is built
         per run so that H2 and H3 walks are independent, mirroring the
-        paper's separate browser instances.
+        paper's separate browser instances.  With a store attached, a
+        previously completed identical walk is replayed bit-identically
+        instead of re-simulated.
         """
         if mode not in (H2_ONLY, H3_ENABLED):
             raise ValueError(f"unknown mode {mode!r}")
+        walk_key = None
+        if self.store is not None:
+            walk_key = self._walk_key(pages, mode)
+            document = self.store.get(walk_key)
+            if document is not None:
+                run = ConsecutiveRun.from_dict(document)
+                run.source = "replay"
+                if self.run_name is not None:
+                    self.store.journal_visit(self.run_name, walk_key, "replay")
+                return run
         check = None
         if self.strict:
             from repro.check import CheckContext
@@ -80,7 +151,19 @@ class ConsecutiveVisitRunner:
             probe.warm_edges(pages)
         probe.clear_session_state()
         visits = [probe.visit_once(page, mode) for page in pages]
-        return ConsecutiveRun(mode=mode, visits=visits)
+        run = ConsecutiveRun(mode=mode, visits=visits)
+        if self.store is not None and walk_key is not None:
+            self.store.put(
+                walk_key,
+                run.to_dict(),
+                kind="consecutive",
+                config_hash="",
+                page_url=pages[0].url if pages else None,
+                probe=f"consecutive-{mode}",
+            )
+            if self.run_name is not None:
+                self.store.journal_visit(self.run_name, walk_key, "fresh")
+        return run
 
     def run_both(self, pages) -> tuple[ConsecutiveRun, ConsecutiveRun]:
         """Run the walk under H2 and under H3-enabled."""

@@ -53,6 +53,10 @@ class VisitOutcome:
     h2: PageVisit | None = None
     h3: PageVisit | None = None
     error: str | None = None
+    #: Provenance: ``"fresh"`` (just measured) or ``"replay"`` (served
+    #: from a :class:`~repro.store.ResultStore`).  Never serialized —
+    #: stored payloads stay bit-identical to fresh ones.
+    source: str = "fresh"
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:

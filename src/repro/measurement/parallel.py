@@ -194,6 +194,19 @@ def _chunked(indices: Sequence[int], chunk_size: int) -> Iterable[tuple[int, ...
 # ----------------------------------------------------------------------
 
 
+def _format_run_key(key: Hashable) -> str:
+    """A stable, readable run-name suffix for one config key."""
+    if isinstance(key, tuple):
+        return "-".join(str(part) for part in key)
+    return str(key)
+
+
+def _run_name_for(run_prefix: str | None, key: Hashable, multi: bool) -> str | None:
+    if run_prefix is None:
+        return None
+    return f"{run_prefix}/{_format_run_key(key)}" if multi else run_prefix
+
+
 def run_campaigns(
     universe: WebUniverse,
     configs: dict[Hashable, CampaignConfig],
@@ -202,6 +215,9 @@ def run_campaigns(
     workers: int = 1,
     chunk_size: int | None = None,
     start_method: str | None = None,
+    store=None,
+    run_prefix: str | None = None,
+    resume: bool = False,
 ) -> dict[Hashable, CampaignResult]:
     """Run one or more campaigns over shared worker processes.
 
@@ -211,30 +227,145 @@ def run_campaigns(
     (vantage-major, then probe, then page).  With ``workers <= 1`` the
     same units run in-process, in the same order, with the same derived
     seeds — so worker count never changes a single result.
+
+    With a :class:`~repro.store.ResultStore` attached, every slot is
+    first looked up by its content-addressed key; only misses become
+    work units, and each fresh outcome is written (and journaled) as
+    soon as it crosses back from its worker — per visit when serial,
+    per chunk when pooled — so an interrupted campaign resumes from its
+    last durable visit.  ``run_prefix`` names the runs (one per config;
+    multi-config dicts get ``prefix/<key>``); ``resume`` keeps a prior
+    interrupted journal under the same name alive so recovered visits
+    are counted as resumed.  Replayed results are bit-identical to
+    fresh execution, and ``store=None`` leaves behavior exactly as
+    before.
     """
     target_pages = tuple(pages if pages is not None else universe.pages)
     all_vps = tuple(
         vantage_points if vantage_points is not None else default_vantage_points()
     )
 
-    # Deterministic unit list: configs in insertion order, vantage-major.
+    if store is not None:
+        from repro.store.keys import (
+            campaign_config_hash,
+            page_part,
+            paired_visit_key,
+            visit_config_part,
+        )
+        from repro.store.store import StoreStats
+
+        # Page key material is config-independent; hash each page once.
+        page_materials: dict[int, dict] = {}
+
+        def material_for(page_index: int) -> dict:
+            material = page_materials.get(page_index)
+            if material is None:
+                material = page_materials[page_index] = page_part(
+                    target_pages[page_index], universe.hosts
+                )
+            return material
+
+    # Deterministic slot list per config (vantage-major, then probe,
+    # then page) — the canonical order results are assembled in.
+    _Slot = tuple[int, int, int]
+    slots_by_key: dict[Hashable, list[_Slot]] = {}
+    outcome_by_slot: dict[tuple, VisitOutcome] = {}
+    slot_store_key: dict[tuple, str] = {}
+    stats_by_key: dict[Hashable, "StoreStats"] = {}
+    run_name_by_key: dict[Hashable, str | None] = {}
+    config_hash_by_key: dict[Hashable, str] = {}
     units: list[_WorkUnit] = []
+
     for key, config in configs.items():
         vps = all_vps
         if config.max_vantage_points is not None:
             vps = vps[: config.max_vantage_points]
-        page_indices = list(range(len(target_pages)))
+        slots: list[_Slot] = [
+            (vp_index, probe_index, page_index)
+            for vp_index in range(len(vps))
+            for probe_index in range(config.probes_per_vantage)
+            for page_index in range(len(target_pages))
+        ]
+        slots_by_key[key] = slots
         per_chunk = chunk_size if chunk_size is not None else _default_chunk_size(
-            len(page_indices), workers
+            len(target_pages), workers
         )
-        for vp_index in range(len(vps)):
-            for probe_index in range(config.probes_per_vantage):
-                for chunk in _chunked(page_indices, per_chunk):
-                    units.append((key, vp_index, probe_index, chunk))
+
+        pending: dict[tuple[int, int], list[int]] = {}
+        if store is None:
+            for vp_index, probe_index, page_index in slots:
+                pending.setdefault((vp_index, probe_index), []).append(page_index)
+        else:
+            config_part = visit_config_part(config)
+            config_hash_by_key[key] = campaign_config_hash(config)
+            run_name = _run_name_for(run_prefix, key, multi=len(configs) > 1)
+            run_name_by_key[key] = run_name
+            prior: set[str] = set()
+            if run_name is not None:
+                prior = store.begin_run(
+                    run_name, config_hash=config_hash_by_key[key], resume=resume
+                )
+            stats = stats_by_key[key] = StoreStats()
+            for vp_index, probe_index, page_index in slots:
+                visit_key = paired_visit_key(
+                    config_part,
+                    material_for(page_index),
+                    all_vps[vp_index],
+                    probe_index,
+                    derive_seed(config.seed, vp_index, probe_index, page_index),
+                )
+                slot = (key, vp_index, probe_index, page_index)
+                slot_store_key[slot] = visit_key
+                document = store.get(visit_key)
+                if document is not None:
+                    outcome = VisitOutcome.from_dict(document)
+                    outcome.source = "replay"
+                    outcome_by_slot[slot] = outcome
+                    stats.hits += 1
+                    if visit_key in prior:
+                        stats.resumed += 1
+                        store.stats.resumed += 1
+                else:
+                    stats.misses += 1
+                    pending.setdefault((vp_index, probe_index), []).append(page_index)
+        for (vp_index, probe_index), page_indices in pending.items():
+            for chunk in _chunked(page_indices, per_chunk):
+                units.append((key, vp_index, probe_index, chunk))
+
+    def consume(unit: _WorkUnit, outcomes: list[VisitOutcome]) -> None:
+        """Record one unit's fresh outcomes; write-through when stored."""
+        key, vp_index, probe_index, page_indices = unit
+        for page_index, outcome in zip(page_indices, outcomes):
+            slot = (key, vp_index, probe_index, page_index)
+            outcome_by_slot[slot] = outcome
+            if store is not None:
+                visit_key = slot_store_key[slot]
+                wrote = store.put(
+                    visit_key,
+                    outcome.to_dict(),
+                    kind="paired",
+                    config_hash=config_hash_by_key[key],
+                    page_url=target_pages[page_index].url,
+                    probe=f"{all_vps[vp_index].name}-{probe_index}",
+                )
+                if wrote:
+                    stats_by_key[key].writes += 1
+                run_name = run_name_by_key[key]
+                if run_name is not None:
+                    store.journal_visit(run_name, visit_key, source="fresh")
 
     if workers <= 1:
-        unit_results = [_run_unit_inprocess(unit, universe, all_vps, configs,
-                                            target_pages) for unit in units]
+        # In-process, one visit at a time: with a store attached this is
+        # what gives the write-ahead journal per-visit granularity.
+        for unit in units:
+            key, vp_index, probe_index, page_indices = unit
+            config = configs[key]
+            for page_index in page_indices:
+                outcome = measure_visit_outcome(
+                    universe, all_vps[vp_index], vp_index, probe_index,
+                    config, target_pages[page_index], page_index,
+                )
+                consume((key, vp_index, probe_index, (page_index,)), [outcome])
     else:
         ctx = multiprocessing.get_context(start_method)
         with ctx.Pool(
@@ -242,23 +373,26 @@ def run_campaigns(
             initializer=_init_worker,
             initargs=(universe, all_vps, configs, target_pages),
         ) as pool:
-            raw = pool.map(_run_unit, units)
-        unit_results = [
-            [VisitOutcome.from_dict(doc) for doc in chunk_result]
-            for chunk_result in raw
-        ]
+            # imap (not map): chunk results stream back in input order,
+            # so store writes and journal entries land as work finishes
+            # instead of all at once at the end.
+            for unit, chunk_result in zip(units, pool.imap(_run_unit, units)):
+                consume(
+                    unit,
+                    [VisitOutcome.from_dict(doc) for doc in chunk_result],
+                )
 
-    # Reassemble per campaign, in canonical order.  ``pool.map``
-    # preserves input order, so zipping units with results suffices.
+    # Reassemble per campaign by walking the canonical slot order —
+    # identical whether an outcome was replayed or freshly measured.
     results: dict[Hashable, CampaignResult] = {}
-    paired_by_key: dict[Hashable, list[PairedVisit]] = {key: [] for key in configs}
-    failures_by_key: dict[Hashable, list[VisitFailure]] = {key: [] for key in configs}
-    for (key, vp_index, probe_index, _), chunk_result in zip(units, unit_results):
-        vantage = all_vps[vp_index]
-        probe_name = f"{vantage.name}-{probe_index}"
-        for outcome in chunk_result:
+    for key, config in configs.items():
+        paired: list[PairedVisit] = []
+        failures: list[VisitFailure] = []
+        for vp_index, probe_index, page_index in slots_by_key[key]:
+            outcome = outcome_by_slot[(key, vp_index, probe_index, page_index)]
+            probe_name = f"{all_vps[vp_index].name}-{probe_index}"
             if outcome.status == "failed":
-                failures_by_key[key].append(
+                failures.append(
                     VisitFailure(
                         page_url=target_pages[outcome.page_index].url,
                         probe_name=probe_name,
@@ -266,7 +400,7 @@ def run_campaigns(
                     )
                 )
                 continue
-            paired_by_key[key].append(
+            paired.append(
                 PairedVisit(
                     page=target_pages[outcome.page_index],
                     probe_name=probe_name,
@@ -274,31 +408,20 @@ def run_campaigns(
                     h3=outcome.h3,
                 )
             )
-    for key, config in configs.items():
-        results[key] = CampaignResult(
-            universe, config, paired_by_key[key], failures=failures_by_key[key]
-        )
+        result = CampaignResult(universe, config, paired, failures=failures)
+        if store is not None:
+            result.store_stats = stats_by_key[key]
+            run_name = run_name_by_key[key]
+            if run_name is not None:
+                store.finish_run(
+                    run_name,
+                    [
+                        slot_store_key[(key, vp_index, probe_index, page_index)]
+                        for vp_index, probe_index, page_index in slots_by_key[key]
+                    ],
+                )
+        results[key] = result
     return results
-
-
-def _run_unit_inprocess(
-    unit: _WorkUnit,
-    universe: WebUniverse,
-    vantage_points: tuple[VantagePoint, ...],
-    configs: dict[Hashable, CampaignConfig],
-    pages: tuple[Webpage, ...],
-) -> list[VisitOutcome]:
-    """Serial fallback: same units, no pool, no serialization round trip."""
-    key, vp_index, probe_index, page_indices = unit
-    vantage = vantage_points[vp_index]
-    config = configs[key]
-    return [
-        measure_visit_outcome(
-            universe, vantage, vp_index, probe_index, config,
-            pages[page_index], page_index,
-        )
-        for page_index in page_indices
-    ]
 
 
 def _default_chunk_size(n_pages: int, workers: int) -> int:

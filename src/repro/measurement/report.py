@@ -41,12 +41,21 @@ class CampaignReport:
     h3: ModeSummary
     plt_reduction_ci: ConfidenceInterval
     pages_h3_wins: int
+    #: Store hit/miss accounting, when the campaign ran against a
+    #: :class:`~repro.store.ResultStore` (``None`` otherwise).
+    store: "object | None" = None
 
     @property
     def h3_win_rate(self) -> float:
         return self.pages_h3_wins / self.pages_measured if self.pages_measured else 0.0
 
-    def render(self) -> str:
+    def render(self, include_store: bool = True) -> str:
+        """Human-readable digest.
+
+        ``include_store=False`` drops the store-accounting line — the
+        measurement lines are bit-identical between a fresh run and a
+        warm-store replay, and determinism tests compare exactly that.
+        """
         lines = [
             f"campaign: {self.pages_measured} paired page measurements, "
             f"{self.total_requests} requests",
@@ -62,6 +71,12 @@ class CampaignReport:
             f"  PLT reduction: {self.plt_reduction_ci} ms; "
             f"H3 wins on {self.h3_win_rate:.0%} of pages"
         )
+        if include_store and self.store is not None:
+            lines.append(
+                f"  store: {self.store.hits} hits / {self.store.misses} misses "
+                f"({self.store.hit_rate:.0%} hit rate), "
+                f"{self.store.resumed} resumed, {self.store.writes} written"
+            )
         return "\n".join(lines)
 
 
@@ -97,4 +112,5 @@ def campaign_report(result: CampaignResult, seed: int = 0) -> CampaignReport:
         h3=_summarize_mode(result, H3_ENABLED),
         plt_reduction_ci=bootstrap_ci(reductions, seed=seed),
         pages_h3_wins=sum(1 for r in reductions if r > 0),
+        store=result.store_stats,
     )

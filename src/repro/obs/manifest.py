@@ -22,6 +22,8 @@ def build_run_manifest(
     counters: dict | None = None,
     trace_files: list[str] | None = None,
     fallback_sweep: dict | None = None,
+    config_hash: str | None = None,
+    store: dict | None = None,
 ) -> dict:
     """Assemble a manifest document.
 
@@ -32,7 +34,11 @@ def build_run_manifest(
     ``None`` when counters were not collected); ``fallback_sweep`` is
     the ``fig-fallback`` experiment's data payload, recorded only when
     that experiment ran (the key is absent otherwise, keeping fault-free
-    manifests unchanged).
+    manifests unchanged).  ``config_hash`` is the campaign config's
+    content hash (:func:`repro.store.campaign_config_hash`) and
+    ``store`` the result-store accounting
+    (``{"path", "stats", "summary"}``); both keys are absent when not
+    provided, keeping store-less manifests unchanged.
     """
     manifest = {
         "format": MANIFEST_FORMAT,
@@ -44,17 +50,26 @@ def build_run_manifest(
         "counters": counters,
         "trace_files": list(trace_files) if trace_files else [],
     }
+    if config_hash is not None:
+        manifest["config_hash"] = config_hash
     if fallback_sweep is not None:
         manifest["fallback_sweep"] = dict(fallback_sweep)
+    if store is not None:
+        manifest["store"] = dict(store)
     return manifest
 
 
 def write_run_manifest(path: str, manifest: dict) -> None:
-    """Write a manifest as pretty-printed JSON."""
+    """Write a manifest as canonical pretty-printed JSON.
+
+    Keys are sorted so two manifests of equivalent runs diff cleanly
+    byte for byte — the same canonicalization rule the result store
+    applies to its payloads.
+    """
     if manifest.get("format") != MANIFEST_FORMAT:
         raise ValueError("not a run manifest")
     with open(path, "w") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=False)
+        json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
 

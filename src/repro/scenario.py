@@ -75,6 +75,18 @@ class Scenario:
 
     # -- rendering -----------------------------------------------------
 
+    def config_hash(self, **overrides: Any) -> str:
+        """Content hash of this scenario's rendered campaign config.
+
+        The scenario *name* is presentation metadata and does not enter
+        the hash — two differently-named scenarios that render the same
+        :class:`CampaignConfig` hash identically, exactly like the
+        result store's visit keys.
+        """
+        from repro.store.keys import campaign_config_hash
+
+        return campaign_config_hash(self.campaign_config(**overrides))
+
     def campaign_config(self, **overrides: Any) -> CampaignConfig:
         """Render this scenario as a :class:`CampaignConfig`.
 

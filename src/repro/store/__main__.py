@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.store``."""
+
+import sys
+
+from repro.store.cli import main
+
+sys.exit(main())

@@ -1,0 +1,156 @@
+"""``python -m repro.store`` — inspect and maintain a result store.
+
+Subcommands::
+
+    stats  <store>                    inventory: entries, runs, bytes
+    verify <store>                    re-hash payloads + HAR invariants
+    gc     <store> [--dry-run]        prune entries unreachable from runs
+    diff   <store> <runA> <runB>      per-page PLT deltas with bootstrap
+                                      CIs; exits 1 on a regression
+
+Exit codes: 0 clean, 1 verification failure or regression, 2 usage
+errors (unknown store/run).  ``diff``'s non-zero-on-regression contract
+is what lets CI pipelines use it as a perf gate between a baseline run
+and a candidate run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.store.diff import DEFAULT_THRESHOLD_MS, diff_runs
+from repro.store.store import ResultStore, StoreError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Inspect and maintain a repro result store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="store inventory")
+    stats.add_argument("store", help="store directory")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the summary as JSON")
+
+    verify = sub.add_parser(
+        "verify", help="re-hash every payload and re-check HAR invariants"
+    )
+    verify.add_argument("store", help="store directory")
+
+    gc = sub.add_parser(
+        "gc", help="prune entries unreachable from named runs"
+    )
+    gc.add_argument("store", help="store directory")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be pruned without writing")
+
+    diff = sub.add_parser(
+        "diff", help="per-page PLT regression diff between two named runs"
+    )
+    diff.add_argument("store", help="store directory")
+    diff.add_argument("run_a", help="baseline run name")
+    diff.add_argument("run_b", help="candidate run name")
+    diff.add_argument("--threshold-ms", type=float,
+                      default=DEFAULT_THRESHOLD_MS,
+                      help="mean slowdown (ms) the CI lower bound must clear "
+                      f"to count as a regression (default {DEFAULT_THRESHOLD_MS:g})")
+    diff.add_argument("--confidence", type=float, default=0.95,
+                      help="bootstrap CI confidence level (default 0.95)")
+    diff.add_argument("--seed", type=int, default=0,
+                      help="bootstrap resampling seed (default 0)")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the diff as JSON")
+    return parser
+
+
+def _open_store(path: str) -> ResultStore:
+    if not os.path.isdir(path):
+        raise StoreError(f"not a store directory: {path}")
+    return ResultStore(path)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with _open_store(args.store) as store:
+        summary = store.stats_summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"store {args.store} (schema v{summary['schema_version']})")
+    print(f"  entries: {summary['entries']} "
+          f"({', '.join(f'{k}={v}' for k, v in sorted(summary['entries_by_kind'].items())) or 'none'})")
+    print(f"  artifacts: {summary['artifact_bytes']:,} bytes; "
+          f"index: {summary['index_bytes']:,} bytes")
+    for run in summary["runs"]:
+        state = "complete" if run["complete"] else "interrupted"
+        print(f"  run {run['name']!r}: {run['n_visits']} visits, "
+              f"{run['journaled']} journaled, {state}, "
+              f"config {run['config_hash'][:12]}")
+    if not summary["runs"]:
+        print("  (no named runs)")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    with _open_store(args.store) as store:
+        n_entries = store.stats_summary()["entries"]
+        problems = store.verify()
+    if not problems:
+        print(f"verify: {n_entries} entries ok")
+        return 0
+    print(f"verify: {len(problems)} problem(s) in {n_entries} entries",
+          file=sys.stderr)
+    for problem in problems:
+        print(f"  {problem}", file=sys.stderr)
+    return 1
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    with _open_store(args.store) as store:
+        report = store.gc(dry_run=args.dry_run)
+    action = "would prune" if report.dry_run else "pruned"
+    print(
+        f"gc: {action} {report.entries_pruned} of {report.entries_before} "
+        f"entries, reclaiming {report.bytes_reclaimed:,} bytes"
+    )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    with _open_store(args.store) as store:
+        result = diff_runs(
+            store,
+            args.run_a,
+            args.run_b,
+            threshold_ms=args.threshold_ms,
+            confidence=args.confidence,
+            seed=args.seed,
+        )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    return 1 if result.regression else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "stats": _cmd_stats,
+        "verify": _cmd_verify,
+        "gc": _cmd_gc,
+        "diff": _cmd_diff,
+    }
+    try:
+        return handlers[args.command](args)
+    except (StoreError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

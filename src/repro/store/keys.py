@@ -1,0 +1,255 @@
+"""Content-addressed keys: canonical serialization + BLAKE2b hashing.
+
+A stored result is addressed by a hash over *everything that determines
+it* — and nothing else.  The key material for one paired visit is the
+canonical JSON rendering of:
+
+* the per-visit slice of the :class:`~repro.measurement.campaign.
+  CampaignConfig` (protocol knobs, shaping, transport config, fault
+  profile, strict flag — but *not* campaign topology like
+  ``probes_per_vantage``, which changes how many visits exist rather
+  than what any one visit measures),
+* the page spec (HTML + subresources) plus the
+  :class:`~repro.web.hosts.HostSpec` of every host the page touches —
+  so regenerating a universe with more sites, or renaming it, never
+  invalidates visits whose actual inputs are unchanged,
+* the vantage point, the probe index, and the *derived* per-visit seed
+  (which folds in the campaign seed and the page's position — page
+  order changes RNG streams, so it legitimately changes the key),
+* the store schema version (:data:`STORE_SCHEMA_VERSION`), so a format
+  bump invalidates everything at once instead of mis-reading old
+  payloads.
+
+Deliberately excluded: the fault profile's *name* (two profiles with
+identical events and retry policy produce identical results) and the
+universe's generator config/seed (captured through the concrete page
+and host specs instead).
+
+Canonical JSON is ``sort_keys=True`` with compact separators and
+``allow_nan=False``; the only non-finite value in any config —
+``FaultEvent.end_ms`` defaulting to infinity — is rendered as the
+string ``"inf"``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from typing import Mapping
+
+from repro.measurement.campaign import CampaignConfig
+from repro.measurement.vantage import VantagePoint
+from repro.web.hosts import HostSpec
+from repro.web.page import Webpage
+
+#: Bump on any incompatible change to key material or payload formats;
+#: every key embeds it, so old entries simply become misses.
+STORE_SCHEMA_VERSION = 1
+
+#: Hex digest length for visit keys and payload hashes (128-bit).
+DIGEST_SIZE = 16
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON: sorted keys, compact, no NaN/Infinity."""
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def blake2b_hex(data: bytes, digest_size: int = DIGEST_SIZE) -> str:
+    return hashlib.blake2b(data, digest_size=digest_size).hexdigest()
+
+
+def _finite(value):
+    """Render non-finite floats as strings (canonical JSON rejects them)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return "inf" if value > 0 else ("-inf" if value < 0 else "nan")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Config canonicalization
+# ----------------------------------------------------------------------
+
+
+def transport_part(config) -> dict:
+    """A :class:`~repro.transport.config.TransportConfig` as key material."""
+    return {k: _finite(v) for k, v in dataclasses.asdict(config).items()}
+
+
+def fault_profile_part(profile) -> dict | None:
+    """A :class:`~repro.faults.FaultProfile` as key material.
+
+    The profile *name* is excluded: it is presentation metadata and two
+    identically-scripted profiles must share cached results.
+    """
+    if profile is None:
+        return None
+    return {
+        "events": [
+            {
+                "kind": event.kind,
+                "start_ms": _finite(event.start_ms),
+                "end_ms": _finite(event.end_ms),
+                "hosts": list(event.hosts) if event.hosts is not None else None,
+                "host_fraction": event.host_fraction,
+                "salt": event.salt,
+            }
+            for event in profile.events
+        ],
+        "retry": dataclasses.asdict(profile.retry),
+    }
+
+
+#: CampaignConfig fields that shape *one* visit's simulation.  Topology
+#: fields (probes_per_vantage, max_vantage_points) and the base seed are
+#: excluded — the first two only change how many visits exist, and the
+#: seed enters each key through the derived per-visit seed.
+_VISIT_CONFIG_FIELDS = (
+    "visits_per_page",
+    "loss_rate",
+    "rate_mbps",
+    "warm_popular",
+    "use_session_tickets",
+    "collect_counters",
+    "trace",
+    "strict",
+)
+
+
+def visit_config_part(config: CampaignConfig) -> dict:
+    """The per-visit slice of a campaign config, as key material."""
+    part = {name: getattr(config, name) for name in _VISIT_CONFIG_FIELDS}
+    part["transport"] = transport_part(config.transport_config)
+    part["faults"] = fault_profile_part(config.fault_profile)
+    return part
+
+
+def campaign_config_hash(config: CampaignConfig) -> str:
+    """Hash of the *whole* campaign config (run-level provenance).
+
+    Unlike :func:`visit_config_part` this covers every field — seed and
+    topology included — because it identifies a campaign, not a visit.
+    It is the ``config_hash`` recorded in run manifests and the store's
+    ``runs`` table.
+    """
+    material = visit_config_part(config)
+    material["seed"] = config.seed
+    material["probes_per_vantage"] = config.probes_per_vantage
+    material["max_vantage_points"] = config.max_vantage_points
+    material["schema"] = STORE_SCHEMA_VERSION
+    return blake2b_hex(canonical_json(material).encode())
+
+
+# ----------------------------------------------------------------------
+# Workload canonicalization
+# ----------------------------------------------------------------------
+
+
+def _resource_part(resource) -> dict:
+    return {
+        "url": resource.url,
+        "host": resource.host,
+        "type": resource.rtype.value,
+        "size": resource.size_bytes,
+        "provider": resource.provider_name,
+        "wave": resource.wave,
+        "popular": resource.popular,
+        "request_bytes": resource.request_bytes,
+    }
+
+
+def _host_part(spec: HostSpec) -> dict:
+    return {
+        "hostname": spec.hostname,
+        "kind": spec.kind,
+        "provider": spec.provider_name,
+        "h3": spec.supports_h3,
+        "h2": spec.supports_h2,
+        "rtt_ms": spec.base_rtt_ms,
+        "think_ms": spec.base_think_ms,
+        "origin_fetch_ms": spec.origin_fetch_ms,
+        "h3_overhead_ms": spec.h3_think_overhead_ms,
+        "tls": spec.tls_version.value,
+    }
+
+
+def page_part(page: Webpage, hosts: Mapping[str, HostSpec]) -> dict:
+    """One page plus the host specs it touches, as key material.
+
+    ``hosts`` is the universe's full inventory; only the page's own
+    hosts are folded in, so unrelated universe changes don't invalidate
+    the page's cached visits.
+    """
+    return {
+        "url": page.url,
+        "origin_host": page.origin_host,
+        "html": _resource_part(page.html),
+        "resources": [_resource_part(r) for r in page.resources],
+        "hosts": [
+            _host_part(hosts[name]) for name in sorted(page.hosts())
+            if name in hosts
+        ],
+    }
+
+
+def vantage_part(vantage: VantagePoint) -> dict:
+    return {
+        "name": vantage.name,
+        "rtt_scale": vantage.rtt_scale,
+        "extra_delay_ms": vantage.extra_delay_ms,
+    }
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+
+
+def paired_visit_key(
+    config_part: dict,
+    page_material: dict,
+    vantage: VantagePoint,
+    probe_index: int,
+    derived_seed: int,
+) -> str:
+    """The store key for one paired (H2, H3) visit.
+
+    ``config_part`` and ``page_material`` are precomputed via
+    :func:`visit_config_part` / :func:`page_part` so campaign-scale key
+    derivation hashes each config and page once, not once per slot.
+    """
+    material = {
+        "schema": STORE_SCHEMA_VERSION,
+        "kind": "paired",
+        "mode": "h2+h3",
+        "config": config_part,
+        "page": page_material,
+        "vantage": vantage_part(vantage),
+        "probe_index": probe_index,
+        "seed": derived_seed,
+    }
+    return blake2b_hex(canonical_json(material).encode())
+
+
+def consecutive_key(
+    mode: str,
+    pages_material: list[dict],
+    config_material: dict,
+) -> str:
+    """The store key for one whole consecutive-visit walk.
+
+    Session tickets persist across the walk, so individual visits don't
+    decompose — the unit of caching is the ordered walk under one mode.
+    """
+    material = {
+        "schema": STORE_SCHEMA_VERSION,
+        "kind": "consecutive",
+        "mode": mode,
+        "config": config_material,
+        "pages": pages_material,
+    }
+    return blake2b_hex(canonical_json(material).encode())

@@ -561,7 +561,7 @@ class TestLossSweepConfigDerivation:
             pass
 
         def fake_run_campaigns(universe, configs, pages, workers=1,
-                               chunk_size=None):
+                               chunk_size=None, **kwargs):
             captured.update(configs)
             raise _Captured  # config derivation is all this test needs
 
