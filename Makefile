@@ -9,11 +9,38 @@ PYTHONPATH := src
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
-# Quick perf sanity: a small campaign serially and with 2 workers
-# (includes the determinism cross-check), plus substrate events/sec.
+# Quick perf sanity: a small campaign (parallel cross-check when ≥2
+# CPUs are available), substrate events/sec for every built kernel,
+# tracing overhead and the analytic fast path — then hard gates:
+# the default kernel must clear 300k chained events/s and tracer-on
+# CPU overhead must stay under 35%.  The overhead gate takes the
+# SMALLER of the artifact's two estimators (cross-round min/min and
+# paired within-round median): host interference only ever inflates
+# CPU time and hits the two estimators independently, while a real
+# regression (the pre-optimization tracer cost +77%) inflates both.
+# The smoke ceiling is wider than the documented <20% reference-scale
+# bar (recorded in BENCH_campaign.json, measured over longer runs)
+# because ~1 s smoke runs on shared hosts carry tens-of-percent
+# CPU-time noise even after pairing.  Numbers come from the artifact,
+# so the gate and the record can never disagree.
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_campaign.py \
-		--pages 8 --sites 8 --workers 2 --out BENCH_campaign_smoke.json
+		--pages 8 --sites 8 --workers 2 --repeats 5 \
+		--out BENCH_campaign_smoke.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
+	import json; b = json.load(open('BENCH_campaign_smoke.json')); \
+	kern = b['substrate']['kernel_events_per_sec']; \
+	assert kern > 300_000, f'kernel floor: {kern:,.0f} events/s < 300k'; \
+	tr = min(b['tracing']['overhead_cpu_pct'], \
+	         b['tracing']['overhead_cpu_pct_paired']); \
+	assert tr < 35.0, f'tracer-on CPU overhead {tr:.1f}%% breaches the 35%% ceiling'; \
+	fp = b['fast_path']; \
+	assert fp['cpu_speedup'] and fp['cpu_speedup'] > 1.0, fp; \
+	assert fp['plt_worst_rel_delta_pct'] < 0.1, fp; \
+	print(f\"bench-smoke: kernel {kern:,.0f} ev/s, \" \
+	      f\"tracing {tr:+.1f}%% cpu (gated estimate), fast path \" \
+	      f\"x{fp['cpu_speedup']:.2f} \" \
+	      f\"({fp['plt_identical']}/{fp['visits']} PLTs identical)\")"
 
 # Observability smoke: run a traced smoke campaign, then validate the
 # exported JSONL trace against the schema and check the manifest exists.

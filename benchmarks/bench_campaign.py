@@ -8,11 +8,21 @@ trajectory of the parallel runner is tracked as one JSON artifact::
 
 It measures, on one ≥32-page universe:
 
-* serial (``workers=1``) campaign wall-clock,
+* serial (``workers=1``) campaign wall-clock and CPU time,
 * parallel campaign wall-clock per worker count, with a determinism
-  check against the serial result,
-* DES substrate events/sec (event-loop kernel and a lossy 500 KB
-  transfer), the numbers the hot-path pass is accountable for.
+  check against the serial result (skipped — and annotated — when the
+  host exposes fewer than two CPUs: a pool cannot beat the serial run
+  there and a sub-1.0 "speedup" would only pollute the history),
+* observability overhead: the same campaign with counters only and
+  with full tracing, as both wall-clock and CPU-time percentages (CPU
+  time is the stable estimator on noisy shared hosts),
+* the analytic transport fast path (``TransportConfig.fast_path``) on
+  vs off, with a PLT-identity audit of the paired visits,
+* DES substrate events/sec for **every** scheduler implementation
+  (binary heap, calendar queue, C kernel when built) on two shapes:
+  a chained-callback hot loop and a schedule/cancel timer churn — so
+  the calendar queue's and C core's advantages stay measured, not
+  assumed — plus a lossy 500 KB transfer on the default loop.
 
 Speedup expectations scale with *available cores* (recorded in the
 output): on a single-core container the pool cannot beat the serial
@@ -22,17 +32,21 @@ run, and the artifact says so rather than pretending otherwise.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import random
+import statistics
 import subprocess
 import tempfile
 import time
+from collections import deque
 
 from repro.events import EventLoop
+from repro.events.loop import CalendarEventLoop, CEventLoop, HeapEventLoop
 from repro.measurement import Campaign, CampaignConfig
 from repro.netsim import NetemProfile, NetworkPath
-from repro.transport import QuicConnection
+from repro.transport import QuicConnection, TransportConfig
 from repro.web.topsites import GeneratorConfig, cached_universe
 
 
@@ -49,6 +63,47 @@ def git_sha() -> str | None:
         )
     except OSError:
         return None
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def timed(fn, *args, **kwargs):
+    """``(result, wall_seconds, cpu_seconds)`` for one call.
+
+    Collects then freezes the heap first so the cyclic GC only scans
+    objects the measured call itself allocates.  Without this, sections
+    that run later in the bench get billed for collections that scan
+    every retained result from *earlier* sections — on the smoke scale
+    that mismeasured tracing overhead by >20 points.
+    """
+    gc.collect()
+    gc.freeze()
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - wall, time.process_time() - cpu
+
+
+def timed_best(repeats, fn, *args, **kwargs):
+    """``timed`` over ``repeats`` calls, keeping the minimum times.
+
+    Minimum-of-N is the standard noise estimator for CPU-bound work: a
+    run can only be slowed down by interference, never sped up, so the
+    minimum is the closest observation to the true cost.  Overhead
+    percentages at smoke scale (~1.5 s runs on shared 1-CPU hosts)
+    swing by tens of points single-shot; min-of-3 makes them gateable.
+    """
+    result, best_wall, best_cpu = timed(fn, *args, **kwargs)
+    for _ in range(repeats - 1):
+        _, wall_s, cpu_s = timed(fn, *args, **kwargs)
+        best_wall = min(best_wall, wall_s)
+        best_cpu = min(best_cpu, cpu_s)
+    return result, best_wall, best_cpu
 
 
 def bench_store_cold_vs_warm(universe, pages, config) -> dict:
@@ -102,15 +157,33 @@ def append_history(payload: dict, out_path: str) -> dict:
         },
         "store_warm_seconds": payload["store"]["warm_seconds"],
         "kernel_events_per_sec": payload["substrate"]["kernel_events_per_sec"],
+        "kernel_chain": {
+            name: impl["chain_events_per_sec"]
+            for name, impl in payload["substrate"]["kernels"].items()
+        },
+        "tracing_overhead_cpu_pct": payload["tracing"]["overhead_cpu_pct"],
+        "tracing_overhead_cpu_pct_paired":
+            payload["tracing"]["overhead_cpu_pct_paired"],
+        "fast_path_speedup": payload["fast_path"]["cpu_speedup"],
     }
     history.append(entry)
     payload["history"] = history
     return payload
 
 
-def bench_kernel_events_per_sec(n_events: int = 200_000) -> float:
+def _kernel_impls() -> dict[str, type]:
+    impls: dict[str, type] = {
+        "heap": HeapEventLoop,
+        "calendar": CalendarEventLoop,
+    }
+    if CEventLoop is not None:
+        impls["c"] = CEventLoop
+    return impls
+
+
+def bench_kernel_chain(loop_cls, n_events: int = 200_000) -> float:
     """Chained call_later throughput: the scheduler's inner loop."""
-    loop = EventLoop()
+    loop = loop_cls()
     state = {"n": 0}
 
     def tick() -> None:
@@ -122,6 +195,45 @@ def bench_kernel_events_per_sec(n_events: int = 200_000) -> float:
     start = time.perf_counter()
     loop.run()
     return n_events / (time.perf_counter() - start)
+
+
+def bench_kernel_churn(loop_cls, n_events: int = 200_000) -> float:
+    """Schedule-then-cancel churn: the delayed-ack/PTO re-arm pattern.
+
+    Every tick arms a fresh 7.5 ms timer and cancels the one armed two
+    ticks earlier, so nearly every timer dies before its bucket drains
+    — the shape the calendar queue's bulk purge is built for.
+    """
+    loop = loop_cls()
+    timers: deque = deque()
+    state = {"n": 0}
+
+    def noop() -> None:  # pragma: no cover - cancelled before firing
+        pass
+
+    def tick() -> None:
+        state["n"] += 1
+        timers.append(loop.call_later(7.5, noop))
+        if len(timers) > 2:
+            timers.popleft().cancel()
+        if state["n"] < n_events:
+            loop.call_later(0.01, tick)
+
+    loop.call_later(0.0, tick)
+    start = time.perf_counter()
+    loop.run()
+    return n_events / (time.perf_counter() - start)
+
+
+def bench_kernels(n_events: int = 200_000) -> dict:
+    """Both shapes across every built scheduler implementation."""
+    return {
+        name: {
+            "chain_events_per_sec": bench_kernel_chain(cls, n_events),
+            "churn_events_per_sec": bench_kernel_churn(cls, n_events),
+        }
+        for name, cls in _kernel_impls().items()
+    }
 
 
 def bench_transfer_events_per_sec(response_bytes: int = 500_000) -> dict:
@@ -146,6 +258,44 @@ def bench_transfer_events_per_sec(response_bytes: int = 500_000) -> dict:
     }
 
 
+def bench_fast_path(universe, pages, slow_result, slow_cpu_s, repeats=1) -> dict:
+    """The analytic fast path vs the packet path, plus a fidelity audit.
+
+    ``slow_result``/``slow_cpu_s`` are the default serial campaign
+    (fast path off) measured by the caller.  The audit counts paired
+    visits whose PLT is bit-identical across the two paths and reports
+    the worst relative divergence — the documented residual is
+    same-instant tie-breaking, so this should sit at ~0%.
+    """
+    fast_campaign = Campaign(
+        universe,
+        CampaignConfig(seed=3, transport_config=TransportConfig(fast_path=True)),
+    )
+    fast, fast_wall_s, fast_cpu_s = timed_best(
+        repeats, fast_campaign.run, pages, workers=1
+    )
+    visits = identical = 0
+    worst = 0.0
+    for slow_pv, fast_pv in zip(slow_result.paired_visits, fast.paired_visits):
+        for slow_v, fast_v in ((slow_pv.h2, fast_pv.h2), (slow_pv.h3, fast_pv.h3)):
+            visits += 1
+            if slow_v.plt_ms == fast_v.plt_ms:
+                identical += 1
+            if slow_v.plt_ms:
+                worst = max(
+                    worst, abs(slow_v.plt_ms - fast_v.plt_ms) / slow_v.plt_ms
+                )
+    return {
+        "off_cpu_seconds": slow_cpu_s,
+        "on_cpu_seconds": fast_cpu_s,
+        "on_seconds": fast_wall_s,
+        "cpu_speedup": slow_cpu_s / fast_cpu_s if fast_cpu_s > 0 else None,
+        "visits": visits,
+        "plt_identical": identical,
+        "plt_worst_rel_delta_pct": worst * 100.0,
+    }
+
+
 def fingerprint(result) -> list:
     return [
         (pv.probe_name, pv.page.url, pv.h2.plt_ms, pv.h3.plt_ms)
@@ -161,6 +311,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", default="2,4",
                         help="comma-separated worker counts to benchmark")
     parser.add_argument("--out", default="BENCH_campaign.json")
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="repeat timed campaign runs, keep the min (noise control "
+        "for short smoke runs; see timed_best)",
+    )
     args = parser.parse_args(argv)
 
     worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
@@ -168,60 +323,121 @@ def main(argv: list[str] | None = None) -> int:
     pages = universe.pages[: args.pages]
     config = CampaignConfig(seed=3)
     campaign = Campaign(universe, config)
+    cpus = available_cpus()
 
     print(f"universe: {args.sites} sites, measuring {len(pages)} pages")
-    start = time.perf_counter()
-    serial = campaign.run(pages, workers=1)
-    serial_s = time.perf_counter() - start
-    print(f"serial (workers=1): {serial_s:.2f}s")
+    # Warm-up pass: the very first campaign pays one-off costs (lazy
+    # imports, allocator growth, universe asset generation) that would
+    # otherwise inflate the serial baseline — and with it every
+    # overhead/speedup percentage computed against it.  Matters most at
+    # smoke scale, where warm-up is a large share of a ~2s run.
+    campaign.run(pages[: min(4, len(pages))], workers=1)
+    serial, serial_s, serial_cpu_s = timed_best(
+        args.repeats, campaign.run, pages, workers=1
+    )
+    print(f"serial (workers=1): {serial_s:.2f}s wall, {serial_cpu_s:.2f}s cpu")
 
-    runs = {}
-    serial_print = fingerprint(serial)
-    for workers in worker_counts:
-        start = time.perf_counter()
-        result = campaign.run(pages, workers=workers)
-        elapsed = time.perf_counter() - start
-        identical = fingerprint(result) == serial_print
-        runs[str(workers)] = {
-            "seconds": elapsed,
-            "speedup_vs_serial": serial_s / elapsed,
-            "identical_to_serial": identical,
-        }
-        print(
-            f"workers={workers}: {elapsed:.2f}s "
-            f"(speedup {serial_s / elapsed:.2f}x, identical={identical})"
+    runs: dict[str, dict] = {}
+    parallel_note = None
+    if cpus < 2:
+        # A worker pool cannot outrun the serial loop on one CPU; a
+        # recorded sub-1.0 "speedup" would read as a regression in the
+        # history, so skip the measurement and say why.
+        parallel_note = (
+            f"skipped: only {cpus} CPU available to this process; "
+            "pool speedup is not measurable here"
         )
-        if not identical:
-            raise SystemExit(f"workers={workers} diverged from the serial run")
+        print(f"parallel: {parallel_note}")
+    else:
+        serial_print = fingerprint(serial)
+        for workers in worker_counts:
+            start = time.perf_counter()
+            result = campaign.run(pages, workers=workers)
+            elapsed = time.perf_counter() - start
+            identical = fingerprint(result) == serial_print
+            runs[str(workers)] = {
+                "seconds": elapsed,
+                "speedup_vs_serial": serial_s / elapsed,
+                "identical_to_serial": identical,
+            }
+            print(
+                f"workers={workers}: {elapsed:.2f}s "
+                f"(speedup {serial_s / elapsed:.2f}x, identical={identical})"
+            )
+            if not identical:
+                raise SystemExit(f"workers={workers} diverged from the serial run")
 
-    # Observability overhead: the same serial campaign with counters
-    # only, then with full tracing.  The tracer-off run above is the
-    # baseline; the acceptance bar is "counters ≈ free, tracing cheap".
-    start = time.perf_counter()
+    # Observability overhead: the same serial campaign untraced, with
+    # counters only, and with full tracing.  Wall-clock is reported for
+    # continuity, but the acceptance numbers are CPU-time percentages:
+    # on shared hosts the wall clock wobbles far more than the work
+    # does.  The three variants are run *interleaved* (off, counters,
+    # traced, off, counters, ...) and each series keeps its minimum —
+    # host frequency scaling drifts on a timescale of seconds, so
+    # back-to-back runs see the same clock and sequential series don't.
     campaign_counters = Campaign(
         universe, CampaignConfig(seed=3, collect_counters=True)
     )
-    campaign_counters.run(pages, workers=1)
-    counters_s = time.perf_counter() - start
-
-    start = time.perf_counter()
     campaign_traced = Campaign(
         universe, CampaignConfig(seed=3, collect_counters=True, trace=True)
     )
-    campaign_traced.run(pages, workers=1)
-    traced_s = time.perf_counter() - start
+    off_series: list[float] = []
+    counters_series: list[float] = []
+    traced_series: list[float] = []
+    counters_s = traced_s = float("inf")
+    for _ in range(args.repeats):
+        _, _, cpu_s = timed(campaign.run, pages, workers=1)
+        off_series.append(cpu_s)
+        _, wall_s, cpu_s = timed(campaign_counters.run, pages, workers=1)
+        counters_s = min(counters_s, wall_s)
+        counters_series.append(cpu_s)
+        _, wall_s, cpu_s = timed(campaign_traced.run, pages, workers=1)
+        traced_s = min(traced_s, wall_s)
+        traced_series.append(cpu_s)
+    off_cpu_s = min(off_series)
+    counters_cpu_s = min(counters_series)
+    traced_cpu_s = min(traced_series)
 
     tracing = {
         "off_seconds": serial_s,
+        "off_cpu_seconds": off_cpu_s,
         "counters_seconds": counters_s,
         "counters_overhead_pct": 100.0 * (counters_s - serial_s) / serial_s,
+        "counters_overhead_cpu_pct":
+            100.0 * (counters_cpu_s - off_cpu_s) / off_cpu_s,
         "on_seconds": traced_s,
         "overhead_pct": 100.0 * (traced_s - serial_s) / serial_s,
+        "overhead_cpu_pct": 100.0 * (traced_cpu_s - off_cpu_s) / off_cpu_s,
+        # Median over rounds of the *within-round* traced/off ratio.
+        # Each round's pair ran back to back under the same host clock,
+        # so the ratio cancels between-round speed drift, and the
+        # median sheds rounds where interference hit one member of the
+        # pair.  This is the estimator bench-smoke gates on: min/min
+        # across series cannot resolve <20% on hosts where identical
+        # work varies by tens of percent (the ≈free counters run reads
+        # anywhere from -6% to +11% by min/min on such hosts).
+        "overhead_cpu_pct_paired": 100.0 * (
+            statistics.median(
+                t / o for t, o in zip(traced_series, off_series)
+            ) - 1.0
+        ),
     }
     print(
-        f"tracing: off {serial_s:.2f}s, counters {counters_s:.2f}s "
-        f"({tracing['counters_overhead_pct']:+.1f}%), "
-        f"traced {traced_s:.2f}s ({tracing['overhead_pct']:+.1f}%)"
+        f"tracing (cpu): off {off_cpu_s:.2f}s, counters {counters_cpu_s:.2f}s "
+        f"({tracing['counters_overhead_cpu_pct']:+.1f}%), "
+        f"traced {traced_cpu_s:.2f}s ({tracing['overhead_cpu_pct']:+.1f}%, "
+        f"paired {tracing['overhead_cpu_pct_paired']:+.1f}%)"
+    )
+
+    fast_path = bench_fast_path(
+        universe, pages, serial, off_cpu_s, repeats=args.repeats
+    )
+    print(
+        f"fast path (cpu): off {fast_path['off_cpu_seconds']:.2f}s, "
+        f"on {fast_path['on_cpu_seconds']:.2f}s "
+        f"(speedup {fast_path['cpu_speedup']:.2f}x, "
+        f"{fast_path['plt_identical']}/{fast_path['visits']} PLTs identical, "
+        f"worst delta {fast_path['plt_worst_rel_delta_pct']:.3f}%)"
     )
 
     store_bench = bench_store_cold_vs_warm(universe, pages, config)
@@ -232,28 +448,43 @@ def main(argv: list[str] | None = None) -> int:
         f"{store_bench['hits']} hits)"
     )
 
-    kernel = bench_kernel_events_per_sec()
+    kernels = bench_kernels()
     transfer = bench_transfer_events_per_sec()
-    print(f"substrate kernel: {kernel:,.0f} events/s")
+    for name, impl in kernels.items():
+        print(
+            f"substrate kernel [{name}]: "
+            f"chain {impl['chain_events_per_sec']:,.0f} events/s, "
+            f"churn {impl['churn_events_per_sec']:,.0f} events/s"
+        )
     print(
         f"substrate transfer: {transfer['events']} events, "
         f"{transfer['events_per_sec']:,.0f} events/s"
     )
 
+    default_kernel = (
+        "c" if CEventLoop is not None and EventLoop is CEventLoop
+        else ("heap" if EventLoop is HeapEventLoop else "calendar")
+    )
     payload = {
         "benchmark": "campaign-engine",
         "pages": len(pages),
         "sites": args.sites,
         "cpu_count": os.cpu_count(),
-        "sched_affinity_cpus": (
-            len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else None
-        ),
+        "sched_affinity_cpus": cpus,
         "serial_seconds": serial_s,
+        "serial_cpu_seconds": serial_cpu_s,
         "parallel": runs,
+        "parallel_note": parallel_note,
         "tracing": tracing,
+        "fast_path": fast_path,
         "store": store_bench,
         "substrate": {
-            "kernel_events_per_sec": kernel,
+            "default_kernel": default_kernel,
+            "kernels": kernels,
+            # Headline number: the default loop's chain throughput
+            # (field name kept stable for older history entries).
+            "kernel_events_per_sec":
+                kernels[default_kernel]["chain_events_per_sec"],
             "transfer_events": transfer["events"],
             "transfer_events_per_sec": transfer["events_per_sec"],
         },

@@ -102,7 +102,10 @@ class PageVisit:
     #: Per-visit counter-registry snapshot (``CounterRegistry.to_dict``)
     #: when observability was attached; ``None`` otherwise.
     counters: dict | None = None
-    #: Per-visit qlog-style trace events when tracing was on.
+    #: Per-visit qlog-style trace events when tracing was on.  Fresh
+    #: in-process visits carry a lazy :class:`~repro.obs.trace.TraceLog`
+    #: (list-of-dicts compatible); visits rebuilt by :meth:`from_dict`
+    #: carry the materialized plain list.
     trace: list | None = None
     #: ``"ok"`` normally; ``"degraded"`` when fault injection forced
     #: retries/fallback or failed individual fetches.  Serialized only
@@ -138,7 +141,10 @@ class PageVisit:
         if self.counters is not None:
             document["counters"] = self.counters
         if self.trace is not None:
-            document["trace"] = self.trace
+            trace = self.trace
+            document["trace"] = (
+                trace.to_jsonable() if hasattr(trace, "to_jsonable") else trace
+            )
         if self.status != "ok":
             document["status"] = self.status
         return document

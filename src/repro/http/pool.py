@@ -763,11 +763,15 @@ class ConnectionPool:
             if pooled.failed:
                 return  # stale delivery from a torn-down connection
             first_byte_at = issued_at + record.timing.wait
-            record.timing.receive = t - first_byte_at
-            if self.check:
+            receive = t - first_byte_at
+            if -EPSILON_MS < receive < 0.0:
                 # ``issued_at + wait`` re-derives the first-byte instant
                 # through a float round trip, so a stream that completes
-                # at that same instant can land ~1e-13 below zero.
+                # at that same instant can land ~1e-13 below zero; clamp
+                # so the HAR never carries a negative phase.
+                receive = 0.0
+            record.timing.receive = receive
+            if self.check:
                 self.check.require(
                     record.timing.receive >= -EPSILON_MS,
                     "pool:receive_nonnegative",

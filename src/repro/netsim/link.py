@@ -105,6 +105,50 @@ class Link:
         bits = packet.size_bytes * 8
         return bits / (self.rate_mbps * 1000.0)
 
+    @property
+    def fast_path_eligible(self) -> bool:
+        """Whether delivery on this link is a pure function of size+time.
+
+        True when nothing stochastic or injected can touch a packet: no
+        loss model, no jitter, no drop filter.  Only then may the
+        analytic transport fast path reserve transmissions without
+        simulating them (:meth:`reserve_transmit`).
+        """
+        return (
+            isinstance(self.loss, NoLoss)
+            and self.jitter_ms == 0.0
+            and self.drop_filter is None
+        )
+
+    def reserve_transmit(self, size_bytes: int, now: float) -> float:
+        """Account one guaranteed delivery analytically; returns its time.
+
+        Performs exactly the queueing/serialization/propagation
+        arithmetic of :meth:`transmit` — including advancing the shared
+        transmitter and FIFO-ordering state, so reserved and normally
+        transmitted packets queue behind each other consistently — but
+        schedules no event.  Only valid while :attr:`fast_path_eligible`
+        holds (the packet cannot be dropped and has no jitter draw, so
+        skipping the loss/jitter code changes nothing, not even RNG
+        state).
+        """
+        self.stats.sent_packets += 1
+        self.stats.sent_bytes += size_bytes
+        start = now if now > self._tx_free_at else self._tx_free_at
+        if self.rate_mbps is None:
+            tx_done = start
+        else:
+            tx_done = start + (size_bytes * 8) / (self.rate_mbps * 1000.0)
+            self.stats.busy_time_ms += tx_done - start
+        self._tx_free_at = tx_done
+        deliver_at = tx_done + self.delay_ms
+        if deliver_at < self._last_delivery_at:
+            deliver_at = self._last_delivery_at
+        self._last_delivery_at = deliver_at
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += size_bytes
+        return deliver_at
+
     def transmit(self, packet: Packet, on_deliver: Callable[[Packet], None]) -> bool:
         """Send ``packet``; returns ``False`` if it was dropped.
 

@@ -61,6 +61,13 @@ class NetworkPath:
         """Base round-trip time of the path."""
         return self.profile.rtt_ms
 
+    @property
+    def fast_path_eligible(self) -> bool:
+        """Whether both directions are loss-free, jitter-free and
+        unfiltered — the precondition for the analytic transport fast
+        path (:mod:`repro.transport.fastpath`)."""
+        return self.uplink.fast_path_eligible and self.downlink.fast_path_eligible
+
     def send_to_server(
         self, packet: Packet, on_deliver: Callable[[Packet], None]
     ) -> bool:

@@ -18,7 +18,7 @@ boundary.
 from __future__ import annotations
 
 from repro.obs.counters import CounterRegistry
-from repro.obs.trace import ConnectionTracer
+from repro.obs.trace import ConnectionTracer, TraceLog
 
 
 class ObsContext:
@@ -32,6 +32,10 @@ class ObsContext:
         self.counters = CounterRegistry()
         self._tracers: list[ConnectionTracer] = []
         self._fault_tracer: ConnectionTracer | None = None
+        # Batched transport totals: absorb_connection sums plain ints
+        # here and drain_visit flushes them as one increment per key,
+        # instead of eight registry calls per torn-down connection.
+        self._absorbed = [0, 0, 0, 0, 0, 0, 0, 0.0]
 
     # ------------------------------------------------------------------
 
@@ -68,18 +72,39 @@ class ObsContext:
 
         Called by the pool at teardown (cold path), so per-packet
         accounting stays on the existing ``ConnectionStats`` fast path
-        and only aggregates here.
+        and only aggregates here; the sums are flushed to the registry
+        once per visit by :meth:`drain_visit`.
         """
         stats = conn.stats
-        counters = self.counters
-        counters.incr("transport.packets.sent", stats.data_packets_sent)
-        counters.incr("transport.packets.lost", stats.data_packets_lost)
-        counters.incr("transport.packets.retransmitted", stats.retransmissions)
-        counters.incr("transport.acks.received", stats.acks_received)
-        counters.incr("transport.pto.fired", stats.rto_events)
-        counters.incr("transport.hol.blocked_chunks", stats.hol_blocked_chunks)
-        counters.incr("transport.hol.stalls", stats.hol_stalls)
-        counters.incr("transport.hol.stall_ms", stats.hol_stall_ms)
+        absorbed = self._absorbed
+        absorbed[0] += stats.data_packets_sent
+        absorbed[1] += stats.data_packets_lost
+        absorbed[2] += stats.retransmissions
+        absorbed[3] += stats.acks_received
+        absorbed[4] += stats.rto_events
+        absorbed[5] += stats.hol_blocked_chunks
+        absorbed[6] += stats.hol_stalls
+        absorbed[7] += stats.hol_stall_ms
+
+    #: Registry keys matching the ``_absorbed`` slots, in order.
+    _ABSORBED_KEYS = (
+        "transport.packets.sent",
+        "transport.packets.lost",
+        "transport.packets.retransmitted",
+        "transport.acks.received",
+        "transport.pto.fired",
+        "transport.hol.blocked_chunks",
+        "transport.hol.stalls",
+        "transport.hol.stall_ms",
+    )
+
+    def _flush_absorbed(self) -> None:
+        absorbed = self._absorbed
+        incr = self.counters.incr
+        for key, value in zip(self._ABSORBED_KEYS, absorbed):
+            if value:
+                incr(key, value)
+        self._absorbed = [0, 0, 0, 0, 0, 0, 0, 0.0]
 
     # ------------------------------------------------------------------
 
@@ -90,13 +115,19 @@ class ObsContext:
             events.extend(tracer.tagged_events())
         return events
 
-    def drain_visit(self) -> tuple[dict, list[dict] | None]:
-        """Snapshot and reset: ``(counters dict, trace events or None)``."""
+    def drain_visit(self) -> tuple[dict, "TraceLog | None"]:
+        """Snapshot and reset: ``(counters dict, trace log or None)``.
+
+        The trace comes back as a lazy :class:`~repro.obs.trace.TraceLog`
+        over the raw record tuples — drain itself does zero per-event
+        work; export dicts materialize only if someone reads the trace.
+        """
+        self._flush_absorbed()
         counters = self.counters.to_dict()
         self.counters.clear()
-        trace: list[dict] | None = None
+        trace: TraceLog | None = None
         if self.trace_enabled:
-            trace = self.trace_events()
+            trace = TraceLog(self._tracers)
         self._tracers.clear()
         self._fault_tracer = None
         return counters, trace

@@ -33,6 +33,7 @@ from repro.events import EventLoop, Timer
 from repro.netsim.packet import Packet, PacketKind, StreamChunk
 from repro.netsim.path import NetworkPath
 from repro.obs.trace import NULL_TRACER
+from repro.transport import fastpath
 from repro.transport.config import TransportConfig
 from repro.transport.congestion import CongestionController, make_congestion_controller
 from repro.transport.rtt import RttEstimator
@@ -275,6 +276,17 @@ class BaseConnection:
         # Last cwnd the tracer logged (metrics events are emitted only
         # on ≥1-MSS changes so traces stay bounded).
         self._traced_cwnd = self.cc.cwnd_bytes
+        # Analytic fast path (repro.transport.fastpath): opt-in via
+        # config, and forced off under tracing or strict checking — both
+        # want the real per-packet path.  Path eligibility (loss-free,
+        # jitter-free, unfiltered) is re-checked per attempt.
+        self._fast_path_enabled = (
+            self.config.fast_path and not self.tracer and not self.check
+        )
+        #: The in-progress analytic walk (``fastpath._Epoch``), parked
+        #: here between its yield points; None when the packet path (or
+        #: nothing) is driving the send side.
+        self._fp_epoch = None
 
     # ------------------------------------------------------------------
     # Handshake
@@ -460,10 +472,8 @@ class BaseConnection:
         pkt = Packet(PacketKind.DATA, seq=seq, chunks=(chunk,), sent_at=self.loop.now)
         pkt.retransmission = tries > 0
         if self.tracer:
-            self.tracer.event(
-                self.loop.now, "transport:packet_sent",
-                seq=seq, size=pkt.size_bytes, dir="c2s",
-                retransmission=tries > 0,
+            self.tracer.packet_sent(
+                self.loop.now, seq, pkt.size_bytes, "c2s", tries > 0
             )
         timer = Timer(self.loop, lambda: self._on_request_timeout(seq))
         self._pending_requests[seq] = _PendingRequestPacket(pkt, timer, tries)
@@ -537,6 +547,8 @@ class BaseConnection:
         check (loss-recovery packets must not be starved by the very
         congestion event that caused them).
         """
+        if self._fast_path_enabled and fastpath.advance(self):
+            return
         sent_any = False
         while self._retx_queue:
             chunk, conn_start = self._retx_queue.popleft()
@@ -602,10 +614,8 @@ class BaseConnection:
         if retransmission:
             self.stats.retransmissions += 1
         if self.tracer:
-            self.tracer.event(
-                self.loop.now, "transport:packet_sent",
-                seq=seq, size=pkt.size_bytes, dir="s2c",
-                retransmission=retransmission,
+            self.tracer.packet_sent(
+                self.loop.now, seq, pkt.size_bytes, "s2c", retransmission
             )
         self.path.send_to_client(pkt, self._client_on_packet_from_server)
         self._arm_pto()
@@ -622,7 +632,7 @@ class BaseConnection:
             if info is None:
                 continue  # duplicate or already declared lost
             if self.tracer:
-                self.tracer.event(self.loop.now, "transport:packet_acked", seq=seq)
+                self.tracer.packet_acked(self.loop.now, seq)
             newly_acked = True
             self._bytes_in_flight -= info.size_bytes
             self.cc.on_ack(info.size_bytes, self.loop.now)
@@ -670,10 +680,7 @@ class BaseConnection:
             self._bytes_in_flight -= info.size_bytes
             self.stats.data_packets_lost += 1
             if self.tracer:
-                self.tracer.event(
-                    self.loop.now, "transport:packet_lost",
-                    seq=seq, trigger="packet_threshold",
-                )
+                self.tracer.packet_lost(self.loop.now, seq, "packet_threshold")
             self._retx_queue.append((info.chunk, info.conn_start))
             if seq > self._recovery_until_seq:
                 newly_entered_recovery = True
@@ -710,10 +717,7 @@ class BaseConnection:
         self._bytes_in_flight -= info.size_bytes
         self.stats.data_packets_lost += 1
         if self.tracer:
-            self.tracer.event(
-                self.loop.now, "transport:packet_lost",
-                seq=oldest_seq, trigger="pto",
-            )
+            self.tracer.packet_lost(self.loop.now, oldest_seq, "pto")
             self._trace_metrics(force=True)
         self._retx_queue.append((info.chunk, info.conn_start))
         if oldest_seq > self._recovery_until_seq:
@@ -738,10 +742,8 @@ class BaseConnection:
         # backstop so tail packets are never acked late.
         seq = pkt.seq
         if self.tracer:
-            self.tracer.event(
-                self.loop.now, "transport:packet_received",
-                seq=seq, size=pkt.size_bytes,
-                retransmission=pkt.retransmission,
+            self.tracer.packet_received(
+                self.loop.now, seq, pkt.size_bytes, pkt.retransmission
             )
         out_of_order = seq != self._ack_largest_received + 1
         if seq > self._ack_largest_received:
@@ -830,6 +832,48 @@ class BaseConnection:
                 stream.on_complete(self.loop.now)
 
     # ------------------------------------------------------------------
+    # Analytic fast path (repro.transport.fastpath) support
+    # ------------------------------------------------------------------
+
+    def _fast_path_sync(self, stream_ends: dict[int, int], payload_bytes: int) -> None:
+        """Advance receiver reassembly state past an analytic epoch.
+
+        ``stream_ends`` maps each stream id touched by the epoch to its
+        final delivered stream offset; ``payload_bytes`` is the epoch's
+        total in-order payload.  Subclasses own the reassembly state, so
+        each must override this for the fast path to be usable.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support the analytic fast path"
+        )
+
+    def _fast_path_step(self) -> None:
+        """Continuation target: resume the parked analytic walk."""
+        epoch = self._fp_epoch
+        if epoch is not None and not self.closed:
+            epoch.run()
+
+    def _fast_path_first_byte(self, stream_id: int) -> None:
+        """Scheduled at a stream's computed first-byte delivery time."""
+        stream = self.streams.get(stream_id)
+        if stream is None or stream.t_first_byte is not None:
+            return
+        stream.t_first_byte = self.loop.now
+        if stream.on_first_byte is not None:
+            stream.on_first_byte(self.loop.now)
+
+    def _fast_path_stream_done(self, stream_id: int, delivered_bytes: int) -> None:
+        """Scheduled at a stream's computed last-chunk delivery time."""
+        stream = self.streams.get(stream_id)
+        if stream is None:
+            return
+        stream.received += delivered_bytes
+        if stream.received >= stream.response_bytes and stream.t_complete is None:
+            stream.t_complete = self.loop.now
+            if stream.on_complete is not None:
+                stream.on_complete(self.loop.now)
+
+    # ------------------------------------------------------------------
 
     def _trace_metrics(self, force: bool = False) -> None:
         """Emit a qlog ``recovery:metrics_updated`` event.
@@ -841,16 +885,17 @@ class BaseConnection:
         if not force and abs(cwnd - self._traced_cwnd) < self.config.mss:
             return
         self._traced_cwnd = cwnd
-        self.tracer.event(
-            self.loop.now, "recovery:metrics_updated",
-            cwnd=cwnd,
-            ssthresh=getattr(self.cc, "ssthresh_bytes", None),
-            bytes_in_flight=self._bytes_in_flight,
+        self.tracer.metrics_updated(
+            self.loop.now,
+            cwnd,
+            getattr(self.cc, "ssthresh_bytes", None),
+            self._bytes_in_flight,
         )
 
     def close(self) -> None:
         """Tear down timers; the connection cannot be used afterwards."""
         self.closed = True
+        fastpath.cancel(self)
         self._pto_timer.stop()
         self._hs_timer.stop()
         self._ack_timer.stop()

@@ -207,10 +207,14 @@ class TestCheckedController:
 class TestLoopMonotonicity:
     def test_corrupted_heap_fires(self):
         """An event stamped in the past (behind call_later's back) is
-        caught at pop time."""
+        caught at pop time.  White-box: injects directly into the heap
+        scheduler's queue (the other schedulers share the same check
+        via test_every_pop_is_checked below)."""
         import heapq
 
-        loop = EventLoop()
+        from repro.events.loop import HeapEventLoop
+
+        loop = HeapEventLoop()
         loop.set_check(CheckContext())
         loop.call_later(10.0, lambda: None)
         loop.run()
@@ -222,10 +226,27 @@ class TestLoopMonotonicity:
         with pytest.raises(InvariantViolation, match="loop:time_monotonic"):
             loop.run()
 
+    def test_corrupted_calendar_fires(self):
+        """Same injection against the calendar queue's drain run."""
+        from repro.events.loop import CalendarEventLoop
+
+        loop = CalendarEventLoop()
+        loop.set_check(CheckContext())
+        loop.call_later(10.0, lambda: None)
+        loop.run()
+        assert loop.now == 10.0
+        rogue = ScheduledEvent(5.0, 10_000, lambda: None, (), loop)
+        loop._drain.append((rogue.time, rogue.seq, rogue))
+        loop._live += 1
+        with pytest.raises(InvariantViolation, match="loop:time_monotonic"):
+            loop.run()
+
     def test_step_checks_too(self):
         import heapq
 
-        loop = EventLoop()
+        from repro.events.loop import HeapEventLoop
+
+        loop = HeapEventLoop()
         loop.set_check(CheckContext())
         loop.call_later(10.0, lambda: None)
         while loop.step():
@@ -235,6 +256,29 @@ class TestLoopMonotonicity:
         loop._live += 1
         with pytest.raises(InvariantViolation, match="loop:time_monotonic"):
             loop.step()
+
+    def test_every_pop_is_checked(self):
+        """All schedulers (including the C kernel, which cannot be
+        corrupted from Python) route every pop through check.require
+        with the monotonicity verdict."""
+
+        class RecordingCheck:
+            def __init__(self):
+                self.calls = []
+
+            def require(self, condition, invariant, message, **data):
+                self.calls.append((condition, invariant, data))
+
+        loop = EventLoop()
+        check = RecordingCheck()
+        loop.set_check(check)
+        loop.call_later(1.0, lambda: None)
+        loop.call_later(2.0, lambda: None)
+        loop.run()
+        assert [c[0] for c in check.calls] == [True, True]
+        assert {c[1] for c in check.calls} == {"loop:time_monotonic"}
+        assert check.calls[1][2]["time_ms"] == 1.0
+        assert check.calls[1][2]["event_time_ms"] == 2.0
 
     def test_set_check_with_null_clears(self):
         loop = EventLoop()

@@ -196,3 +196,182 @@ class TestTimer:
         assert timer.armed
         loop.run()
         assert not timer.armed
+
+
+# ---------------------------------------------------------------------
+# Differential edge cases: every scheduler implementation must agree.
+# ---------------------------------------------------------------------
+
+from repro.events.loop import CalendarEventLoop, CEventLoop, HeapEventLoop
+
+ALL_LOOPS = [
+    pytest.param(HeapEventLoop, id="heap"),
+    pytest.param(CalendarEventLoop, id="calendar"),
+    pytest.param(
+        CEventLoop,
+        id="c",
+        marks=pytest.mark.skipif(
+            CEventLoop is None, reason="C kernel not built on this host"
+        ),
+    ),
+]
+
+
+@pytest.mark.parametrize("loop_cls", ALL_LOOPS)
+class TestSchedulerEdgeCases:
+    def test_cancel_before_fire(self, loop_cls):
+        loop = loop_cls()
+        fired = []
+        keep = loop.call_later(5.0, fired.append, "keep")
+        drop = loop.call_later(3.0, fired.append, "drop")
+        drop.cancel()
+        loop.run()
+        assert fired == ["keep"]
+        assert keep.cancelled is False
+
+    def test_cancel_from_earlier_callback(self, loop_cls):
+        # A callback cancelling a later-scheduled event must win even
+        # when both sit in the same drained bucket.
+        loop = loop_cls()
+        fired = []
+        victim = loop.call_later(5.0, fired.append, "victim")
+        loop.call_later(5.0, lambda: (fired.append("killer"), victim.cancel()))
+        loop.run()
+        # victim was pushed first, so it fires before the killer runs.
+        assert fired == ["victim", "killer"]
+
+        loop = loop_cls()
+        fired = []
+        loop.call_later(4.0, lambda: victim2.cancel())
+        victim2 = loop.call_later(5.0, fired.append, "victim")
+        loop.run()
+        assert fired == []
+
+    def test_double_cancel_is_harmless(self, loop_cls):
+        loop = loop_cls()
+        event = loop.call_later(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(loop) == 0
+        loop.run()
+        assert loop.processed_events == 0
+
+    def test_same_timestamp_fifo_stability(self, loop_cls):
+        # 200 events at one instant, pushed in order, must fire in
+        # order — across bucket drains, heap sifts and the C heap.
+        loop = loop_cls()
+        fired = []
+        for i in range(200):
+            loop.call_later(2.0, fired.append, i)
+        loop.run()
+        assert fired == list(range(200))
+
+    def test_same_timestamp_fifo_across_mixed_pushes(self, loop_cls):
+        # Interleave same-time pushes with earlier/later ones so the
+        # tie-broken batch is assembled from non-contiguous pushes.
+        loop = loop_cls()
+        fired = []
+        loop.call_later(9.0, fired.append, "tail")
+        first = [loop.call_later(5.0, fired.append, f"a{i}") for i in range(3)]
+        loop.call_later(1.0, fired.append, "head")
+        [loop.call_later(5.0, fired.append, f"b{i}") for i in range(3)]
+        first[1].cancel()
+        loop.run()
+        assert fired == ["head", "a0", "a2", "b0", "b1", "b2", "tail"]
+
+    def test_reentrant_scheduling_during_pop(self, loop_cls):
+        # A callback scheduling at the *current* instant: the new event
+        # must run in this same pass, after already-queued peers.
+        loop = loop_cls()
+        fired = []
+
+        def reenter():
+            fired.append("reenter")
+            loop.call_at(loop.now, fired.append, "nested")
+
+        loop.call_later(3.0, reenter)
+        loop.call_later(3.0, fired.append, "peer")
+        loop.run()
+        assert fired == ["reenter", "peer", "nested"]
+        assert loop.now == 3.0
+
+    def test_reentrant_chain_does_not_stall_clock(self, loop_cls):
+        # A zero-delay chain during a drain keeps FIFO order and the
+        # clock pinned; a finite chain must terminate.
+        loop = loop_cls()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 50:
+                loop.call_later(0.0, chain, depth + 1)
+
+        loop.call_later(1.0, chain, 0)
+        loop.run()
+        assert fired == list(range(51))
+        assert loop.now == 1.0
+
+    def test_max_events_exactness(self, loop_cls):
+        loop = loop_cls()
+        for i in range(10):
+            loop.call_later(float(i), lambda: None)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=4)
+        assert loop.processed_events == 4
+        # The remaining events are intact and still runnable.
+        loop.run()
+        assert loop.processed_events == 10
+
+    def test_max_events_not_consumed_by_cancelled(self, loop_cls):
+        # Cancelled entries are skipped silently: they must not eat
+        # into the max_events budget.
+        loop = loop_cls()
+        for i in range(6):
+            event = loop.call_later(float(i), lambda: None)
+            if i % 2 == 0:
+                event.cancel()
+        loop.run(max_events=3)
+        assert loop.processed_events == 3
+
+    def test_run_until_ms_stops_clock_at_bound(self, loop_cls):
+        loop = loop_cls()
+        fired = []
+        loop.call_later(2.0, fired.append, "in")
+        loop.call_later(7.0, fired.append, "out")
+        loop.run(until_ms=5.0)
+        assert fired == ["in"]
+        assert loop.now == 5.0
+        loop.run()
+        assert fired == ["in", "out"]
+
+    def test_next_event_time_tracks_head(self, loop_cls):
+        loop = loop_cls()
+        assert loop.next_event_time() is None
+        loop.call_later(5.0, lambda: None)
+        head = loop.call_later(2.0, lambda: None)
+        assert loop.next_event_time() == 2.0
+        head.cancel()
+        assert loop.next_event_time() == 5.0
+        loop.run()
+        assert loop.next_event_time() is None
+
+    def test_next_event_time_does_not_fire_or_advance(self, loop_cls):
+        loop = loop_cls()
+        fired = []
+        loop.call_later(3.0, fired.append, "x")
+        assert loop.next_event_time() == 3.0
+        assert fired == []
+        assert loop.now == 0.0
+        assert len(loop) == 1
+
+    def test_far_future_and_near_interleave(self, loop_cls):
+        # Deadlines past the calendar wheel's horizon (>1024 ms) must
+        # still interleave correctly with near-term events.
+        loop = loop_cls()
+        fired = []
+        loop.call_later(5000.0, fired.append, "far")
+        loop.call_later(1.0, fired.append, "near")
+        loop.call_later(2000.0, lambda: loop.call_later(0.5, fired.append, "mid"))
+        loop.run()
+        assert fired == ["near", "mid", "far"]
+        assert loop.now == 5000.0
