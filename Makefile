@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-smoke lint trace-smoke faults-smoke check-smoke store-smoke
+.PHONY: test bench-smoke lint trace-smoke faults-smoke check-smoke store-smoke obs-smoke
 
 # Tier-1 suite. tests/test_parallel.py runs 2- and 4-worker campaigns
 # against the serial baseline, so the parallel path is exercised on
@@ -26,6 +26,7 @@ test:
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_campaign.py \
 		--pages 8 --sites 8 --workers 2 --repeats 5 \
+		--sections parallel,tracing,fastpath,store,substrate \
 		--out BENCH_campaign_smoke.json
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
 	import json; b = json.load(open('BENCH_campaign_smoke.json')); \
@@ -131,6 +132,68 @@ store-smoke:
 	print('store-smoke: interrupt/resume recovered 2 journaled visits')"
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.store verify .store_smoke/st
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.store stats .store_smoke/st
+
+# Deep-telemetry smoke: the full observability stack end to end.
+# 1. Run a smoke campaign with tracing, sim-time metrics sampling,
+#    spans, loop profiling and live progress; schema-validate every
+#    exported JSONL family (trace, metrics, spans).
+# 2. Export qlog 0.3 (qvis) and Chrome trace-event JSON (Perfetto) and
+#    check the required top-level fields of both formats.
+# 3. Check the run manifest carries the metrics/spans/progress/
+#    loop_profile sections.
+# 4. Gate sampler cost from the benchmark's position-balanced paired
+#    estimator: sampler-on CPU overhead must stay under 15% (smaller
+#    of the two estimators, same rationale as bench-smoke), and the
+#    off-vs-off canary — identical code on both sides, so anything it
+#    reads is host noise — must sit within ±2%, which doubles as the
+#    disabled-path overhead bound this host can certify.  The canary
+#    gate reads the smaller of the paired-median and min/min forms:
+#    shared hosts show warm-up drift and ±5% adjacent-run jitter that
+#    can push any single estimator past 2% on ~0.7 s runs, but series
+#    minima of identical work converge (noise only ever slows a run),
+#    so at least one estimator reads ~0 unless the measurement itself
+#    is broken.  The history lands in BENCH_campaign_obs.json.
+obs-smoke:
+	rm -rf .obs_smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli \
+		--scale smoke --sites 6 --experiments table2 --counters \
+		--trace-dir .obs_smoke --metrics-interval 5 --spans \
+		--profile --progress --json .obs_smoke/results.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.obs.schema \
+		.obs_smoke/trace.jsonl .obs_smoke/metrics.jsonl .obs_smoke/spans.jsonl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.obs.export qlog \
+		.obs_smoke/trace.jsonl -o .obs_smoke/trace.qlog
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.obs.export perfetto \
+		.obs_smoke/spans.jsonl -o .obs_smoke/perfetto.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
+	import json; q = json.load(open('.obs_smoke/trace.qlog')); \
+	assert q['qlog_version'] == '0.3', q['qlog_version']; \
+	assert q['qlog_format'] == 'JSON' and q['traces'], 'qlog fields missing'; \
+	t = q['traces'][0]; \
+	assert 'vantage_point' in t and 'common_fields' in t and t['events'], t.keys(); \
+	p = json.load(open('.obs_smoke/perfetto.json')); \
+	xs = [e for e in p['traceEvents'] if e.get('ph') == 'X']; \
+	assert xs and all({'name','ts','dur','pid','tid'} <= set(e) for e in xs), 'bad trace events'; \
+	m = json.load(open('.obs_smoke/run.json')); \
+	missing = [k for k in ('metrics','spans','progress','loop_profile') if k not in m]; \
+	assert not missing, f'manifest sections missing: {missing}'; \
+	assert m['metrics']['records'] > 0 and m['spans']['records'] > 0, m; \
+	print(f\"obs-smoke: qlog {len(q['traces'])} traces, \" \
+	      f\"perfetto {len(xs)} spans, manifest sections ok\")"
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_campaign.py \
+		--pages 6 --sites 8 --repeats 5 --sections metrics \
+		--out BENCH_campaign_obs.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
+	import json; b = json.load(open('BENCH_campaign_obs.json')); \
+	m = b['metrics_sampler']; \
+	on = min(m['overhead_cpu_pct'], m['overhead_cpu_pct_paired']); \
+	assert on < 15.0, f'sampler-on CPU overhead {on:.1f}%% breaches the 15%% ceiling'; \
+	canary = min(abs(m['disabled_canary_pct']), \
+	             abs(m['disabled_canary_minmin_pct'])); \
+	assert canary < 2.0, f'off-vs-off canary {canary:.1f}%% outside the 2%% bound'; \
+	assert m['fingerprint_identical'] is True, m; \
+	print(f\"obs-smoke: sampler {on:+.1f}%% cpu (gated estimate), \" \
+	      f\"canary {canary:.1f}%%, {m['samples']} samples, results identical\")"
 
 # No third-party linters in the container; bytecode compilation catches
 # syntax errors and obvious breakage across the whole tree.

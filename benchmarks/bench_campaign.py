@@ -16,6 +16,10 @@ It measures, on one ≥32-page universe:
 * observability overhead: the same campaign with counters only and
   with full tracing, as both wall-clock and CPU-time percentages (CPU
   time is the stable estimator on noisy shared hosts),
+* metrics-sampler overhead: the sim-time sampler
+  (``CampaignConfig.metrics_interval_ms``) on vs off with the paired
+  median-ratio estimator, an off-vs-off canary that bounds what the
+  host can resolve, and a result-fingerprint identity check,
 * the analytic transport fast path (``TransportConfig.fast_path``) on
   vs off, with a PLT-identity audit of the paired visits,
 * DES substrate events/sec for **every** scheduler implementation
@@ -140,6 +144,8 @@ def append_history(payload: dict, out_path: str) -> dict:
     Each invocation appends one ``{sha, timestamp, ...headline}`` entry
     to a ``history`` list carried across runs of the same artifact, so
     the perf trajectory is greppable from the single JSON file.
+    ``--sections`` runs omit whole payload sections, so every headline
+    read is ``.get``-tolerant and absent values are dropped.
     """
     history: list[dict] = []
     if os.path.exists(out_path):
@@ -148,25 +154,34 @@ def append_history(payload: dict, out_path: str) -> dict:
                 history = json.load(handle).get("history", [])
         except (ValueError, OSError):
             history = []
+    tracing = payload.get("tracing") or {}
+    substrate = payload.get("substrate") or {}
+    metrics = payload.get("metrics_sampler") or {}
     entry = {
         "git_sha": git_sha(),
         "timestamp_unix": time.time(),
         "serial_seconds": payload["serial_seconds"],
         "parallel": {
-            workers: run["seconds"] for workers, run in payload["parallel"].items()
+            workers: run["seconds"]
+            for workers, run in (payload.get("parallel") or {}).items()
         },
-        "store_warm_seconds": payload["store"]["warm_seconds"],
-        "kernel_events_per_sec": payload["substrate"]["kernel_events_per_sec"],
+        "store_warm_seconds": (payload.get("store") or {}).get("warm_seconds"),
+        "kernel_events_per_sec": substrate.get("kernel_events_per_sec"),
         "kernel_chain": {
             name: impl["chain_events_per_sec"]
-            for name, impl in payload["substrate"]["kernels"].items()
+            for name, impl in (substrate.get("kernels") or {}).items()
         },
-        "tracing_overhead_cpu_pct": payload["tracing"]["overhead_cpu_pct"],
+        "tracing_overhead_cpu_pct": tracing.get("overhead_cpu_pct"),
         "tracing_overhead_cpu_pct_paired":
-            payload["tracing"]["overhead_cpu_pct_paired"],
-        "fast_path_speedup": payload["fast_path"]["cpu_speedup"],
+            tracing.get("overhead_cpu_pct_paired"),
+        "fast_path_speedup": (payload.get("fast_path") or {}).get("cpu_speedup"),
+        "metrics_overhead_cpu_pct_paired":
+            metrics.get("overhead_cpu_pct_paired"),
+        "metrics_disabled_canary_pct": metrics.get("disabled_canary_pct"),
+        "metrics_disabled_canary_minmin_pct":
+            metrics.get("disabled_canary_minmin_pct"),
     }
-    history.append(entry)
+    history.append({k: v for k, v in entry.items() if v is not None})
     payload["history"] = history
     return payload
 
@@ -296,6 +311,96 @@ def bench_fast_path(universe, pages, slow_result, slow_cpu_s, repeats=1) -> dict
     }
 
 
+def bench_metrics_sampler(universe, pages, repeats: int) -> dict:
+    """Sim-time metrics sampler on vs off, with a resolution canary.
+
+    Each round runs six campaigns in the *position-balanced* order
+    ``offA, offB, on, on, offB, offA``: within a round, every variant
+    occupies symmetric positions, so both linear host drift and the
+    first-run-is-faster positional bias (which reads as a phantom +10%
+    on small runs) cancel out of the within-round ratios.
+
+    * ``overhead_cpu_pct_paired`` — median over rounds of on-pair CPU
+      over the off runs (the gateable number),
+    * ``overhead_cpu_pct`` — min-of-series over min-of-series
+      (continuity with the tracing section; resolution-limited),
+    * ``disabled_canary_pct`` / ``disabled_canary_minmin_pct`` — the
+      balanced-paired and the min-over-min estimators applied to the
+      two *identical* off series.  Whatever they read is pure host
+      noise; they bound what this host can resolve, and stand in for
+      the disabled-path overhead claim (the sampler-off code differs
+      from a telemetry-free build only by falsy-guard checks — the
+      hard guarantee is bit-identity, asserted via fingerprints here
+      and in the tests).  The min/min form converges fast (a run can
+      only be slowed, never sped up, so series minima of identical
+      work agree closely) and is the one the obs-smoke gate reads.
+
+    One full round runs untimed first: cold processes spend their first
+    ~10 runs 15–30% above steady state (allocator/branch-predictor
+    warm-up), a curvature the balanced order cannot cancel.
+
+    Rounds are *adaptive*: the canary doubles as a measurement-validity
+    check, so while it reads ≥2% (i.e. the run was polluted by a host
+    noise burst — identical code cannot differ) the loop keeps adding
+    rounds, up to ``3 × repeats``, letting the medians and series
+    minima converge before anything is reported or gated.
+    """
+    campaign_off_a = Campaign(universe, CampaignConfig(seed=3))
+    campaign_off_b = Campaign(universe, CampaignConfig(seed=3))
+    campaign_on = Campaign(
+        universe, CampaignConfig(seed=3, metrics_interval_ms=5.0)
+    )
+    for campaign in (campaign_off_a, campaign_off_b, campaign_on):
+        timed(campaign.run, pages, workers=1)
+        timed(campaign.run, pages, workers=1)
+    off_a_series: list[float] = []
+    off_b_series: list[float] = []
+    on_series: list[float] = []
+    on_ratios: list[float] = []
+    canary_ratios: list[float] = []
+    off_result = on_result = None
+    rounds = 0
+    while True:
+        off_result, _, off_a1 = timed(campaign_off_a.run, pages, workers=1)
+        _, _, off_b1 = timed(campaign_off_b.run, pages, workers=1)
+        on_result, _, on_1 = timed(campaign_on.run, pages, workers=1)
+        _, _, on_2 = timed(campaign_on.run, pages, workers=1)
+        _, _, off_b2 = timed(campaign_off_b.run, pages, workers=1)
+        _, _, off_a2 = timed(campaign_off_a.run, pages, workers=1)
+        off_a_series += [off_a1, off_a2]
+        off_b_series += [off_b1, off_b2]
+        on_series += [on_1, on_2]
+        off_mean = (off_a1 + off_a2 + off_b1 + off_b2) / 2.0
+        on_ratios.append((on_1 + on_2) / off_mean)
+        canary_ratios.append((off_b1 + off_b2) / (off_a1 + off_a2))
+        rounds += 1
+        canary_paired = statistics.median(canary_ratios) - 1.0
+        canary_minmin = min(off_b_series) / min(off_a_series) - 1.0
+        converged = min(abs(canary_paired), abs(canary_minmin)) < 0.02
+        if rounds >= repeats and (converged or rounds >= 3 * repeats):
+            break
+    off_series = off_a_series + off_b_series
+    if fingerprint(on_result) != fingerprint(off_result):
+        raise SystemExit("metrics-sampler run diverged from the plain run")
+    samples = sum(1 for _ in on_result.metrics_events())
+    off_cpu_s = min(off_series)
+    on_cpu_s = min(on_series)
+    return {
+        "interval_ms": 5.0,
+        "samples": samples,
+        "rounds": rounds,
+        "off_cpu_seconds": off_cpu_s,
+        "on_cpu_seconds": on_cpu_s,
+        "overhead_cpu_pct": 100.0 * (on_cpu_s - off_cpu_s) / off_cpu_s,
+        "overhead_cpu_pct_paired": 100.0 * (
+            statistics.median(on_ratios) - 1.0
+        ),
+        "disabled_canary_pct": 100.0 * canary_paired,
+        "disabled_canary_minmin_pct": 100.0 * canary_minmin,
+        "fingerprint_identical": True,
+    }
+
+
 def fingerprint(result) -> list:
     return [
         (pv.probe_name, pv.page.url, pv.h2.plt_ms, pv.h3.plt_ms)
@@ -316,7 +421,23 @@ def main(argv: list[str] | None = None) -> int:
         help="repeat timed campaign runs, keep the min (noise control "
         "for short smoke runs; see timed_best)",
     )
+    parser.add_argument(
+        "--sections", default="all",
+        help="comma-separated sections to run (default all): "
+        "parallel,tracing,fastpath,store,substrate,metrics — the "
+        "serial baseline always runs",
+    )
     args = parser.parse_args(argv)
+
+    all_sections = {"parallel", "tracing", "fastpath", "store",
+                    "substrate", "metrics"}
+    if args.sections == "all":
+        sections = all_sections
+    else:
+        sections = {s.strip() for s in args.sections.split(",") if s.strip()}
+        unknown = sections - all_sections
+        if unknown:
+            parser.error(f"unknown sections: {', '.join(sorted(unknown))}")
 
     worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
     universe = cached_universe(GeneratorConfig(n_sites=args.sites), seed=args.seed)
@@ -339,7 +460,9 @@ def main(argv: list[str] | None = None) -> int:
 
     runs: dict[str, dict] = {}
     parallel_note = None
-    if cpus < 2:
+    if "parallel" not in sections:
+        parallel_note = "skipped by --sections"
+    elif cpus < 2:
         # A worker pool cannot outrun the serial loop on one CPU; a
         # recorded sub-1.0 "speedup" would read as a regression in the
         # history, so skip the measurement and say why.
@@ -375,96 +498,131 @@ def main(argv: list[str] | None = None) -> int:
     # traced, off, counters, ...) and each series keeps its minimum —
     # host frequency scaling drifts on a timescale of seconds, so
     # back-to-back runs see the same clock and sequential series don't.
-    campaign_counters = Campaign(
-        universe, CampaignConfig(seed=3, collect_counters=True)
-    )
-    campaign_traced = Campaign(
-        universe, CampaignConfig(seed=3, collect_counters=True, trace=True)
-    )
-    off_series: list[float] = []
-    counters_series: list[float] = []
-    traced_series: list[float] = []
-    counters_s = traced_s = float("inf")
-    for _ in range(args.repeats):
-        _, _, cpu_s = timed(campaign.run, pages, workers=1)
-        off_series.append(cpu_s)
-        _, wall_s, cpu_s = timed(campaign_counters.run, pages, workers=1)
-        counters_s = min(counters_s, wall_s)
-        counters_series.append(cpu_s)
-        _, wall_s, cpu_s = timed(campaign_traced.run, pages, workers=1)
-        traced_s = min(traced_s, wall_s)
-        traced_series.append(cpu_s)
-    off_cpu_s = min(off_series)
-    counters_cpu_s = min(counters_series)
-    traced_cpu_s = min(traced_series)
-
-    tracing = {
-        "off_seconds": serial_s,
-        "off_cpu_seconds": off_cpu_s,
-        "counters_seconds": counters_s,
-        "counters_overhead_pct": 100.0 * (counters_s - serial_s) / serial_s,
-        "counters_overhead_cpu_pct":
-            100.0 * (counters_cpu_s - off_cpu_s) / off_cpu_s,
-        "on_seconds": traced_s,
-        "overhead_pct": 100.0 * (traced_s - serial_s) / serial_s,
-        "overhead_cpu_pct": 100.0 * (traced_cpu_s - off_cpu_s) / off_cpu_s,
-        # Median over rounds of the *within-round* traced/off ratio.
-        # Each round's pair ran back to back under the same host clock,
-        # so the ratio cancels between-round speed drift, and the
-        # median sheds rounds where interference hit one member of the
-        # pair.  This is the estimator bench-smoke gates on: min/min
-        # across series cannot resolve <20% on hosts where identical
-        # work varies by tens of percent (the ≈free counters run reads
-        # anywhere from -6% to +11% by min/min on such hosts).
-        "overhead_cpu_pct_paired": 100.0 * (
-            statistics.median(
-                t / o for t, o in zip(traced_series, off_series)
-            ) - 1.0
-        ),
-    }
-    print(
-        f"tracing (cpu): off {off_cpu_s:.2f}s, counters {counters_cpu_s:.2f}s "
-        f"({tracing['counters_overhead_cpu_pct']:+.1f}%), "
-        f"traced {traced_cpu_s:.2f}s ({tracing['overhead_cpu_pct']:+.1f}%, "
-        f"paired {tracing['overhead_cpu_pct_paired']:+.1f}%)"
-    )
-
-    fast_path = bench_fast_path(
-        universe, pages, serial, off_cpu_s, repeats=args.repeats
-    )
-    print(
-        f"fast path (cpu): off {fast_path['off_cpu_seconds']:.2f}s, "
-        f"on {fast_path['on_cpu_seconds']:.2f}s "
-        f"(speedup {fast_path['cpu_speedup']:.2f}x, "
-        f"{fast_path['plt_identical']}/{fast_path['visits']} PLTs identical, "
-        f"worst delta {fast_path['plt_worst_rel_delta_pct']:.3f}%)"
-    )
-
-    store_bench = bench_store_cold_vs_warm(universe, pages, config)
-    print(
-        f"store: cold {store_bench['cold_seconds']:.2f}s, "
-        f"warm {store_bench['warm_seconds']:.2f}s "
-        f"(replay speedup {store_bench['replay_speedup']:.1f}x, "
-        f"{store_bench['hits']} hits)"
-    )
-
-    kernels = bench_kernels()
-    transfer = bench_transfer_events_per_sec()
-    for name, impl in kernels.items():
-        print(
-            f"substrate kernel [{name}]: "
-            f"chain {impl['chain_events_per_sec']:,.0f} events/s, "
-            f"churn {impl['churn_events_per_sec']:,.0f} events/s"
+    tracing = None
+    off_cpu_s = serial_cpu_s
+    if "tracing" in sections:
+        campaign_counters = Campaign(
+            universe, CampaignConfig(seed=3, collect_counters=True)
         )
-    print(
-        f"substrate transfer: {transfer['events']} events, "
-        f"{transfer['events_per_sec']:,.0f} events/s"
-    )
+        campaign_traced = Campaign(
+            universe, CampaignConfig(seed=3, collect_counters=True, trace=True)
+        )
+        off_series: list[float] = []
+        counters_series: list[float] = []
+        traced_series: list[float] = []
+        counters_s = traced_s = float("inf")
+        for _ in range(args.repeats):
+            _, _, cpu_s = timed(campaign.run, pages, workers=1)
+            off_series.append(cpu_s)
+            _, wall_s, cpu_s = timed(campaign_counters.run, pages, workers=1)
+            counters_s = min(counters_s, wall_s)
+            counters_series.append(cpu_s)
+            _, wall_s, cpu_s = timed(campaign_traced.run, pages, workers=1)
+            traced_s = min(traced_s, wall_s)
+            traced_series.append(cpu_s)
+        off_cpu_s = min(off_series)
+        counters_cpu_s = min(counters_series)
+        traced_cpu_s = min(traced_series)
 
-    default_kernel = (
-        "c" if CEventLoop is not None and EventLoop is CEventLoop
-        else ("heap" if EventLoop is HeapEventLoop else "calendar")
-    )
+        tracing = {
+            "off_seconds": serial_s,
+            "off_cpu_seconds": off_cpu_s,
+            "counters_seconds": counters_s,
+            "counters_overhead_pct": 100.0 * (counters_s - serial_s) / serial_s,
+            "counters_overhead_cpu_pct":
+                100.0 * (counters_cpu_s - off_cpu_s) / off_cpu_s,
+            "on_seconds": traced_s,
+            "overhead_pct": 100.0 * (traced_s - serial_s) / serial_s,
+            "overhead_cpu_pct": 100.0 * (traced_cpu_s - off_cpu_s) / off_cpu_s,
+            # Median over rounds of the *within-round* traced/off ratio.
+            # Each round's pair ran back to back under the same host
+            # clock, so the ratio cancels between-round speed drift, and
+            # the median sheds rounds where interference hit one member
+            # of the pair.  This is the estimator bench-smoke gates on:
+            # min/min across series cannot resolve <20% on hosts where
+            # identical work varies by tens of percent (the ≈free
+            # counters run reads anywhere from -6% to +11% by min/min on
+            # such hosts).
+            "overhead_cpu_pct_paired": 100.0 * (
+                statistics.median(
+                    t / o for t, o in zip(traced_series, off_series)
+                ) - 1.0
+            ),
+        }
+        print(
+            f"tracing (cpu): off {off_cpu_s:.2f}s, "
+            f"counters {counters_cpu_s:.2f}s "
+            f"({tracing['counters_overhead_cpu_pct']:+.1f}%), "
+            f"traced {traced_cpu_s:.2f}s ({tracing['overhead_cpu_pct']:+.1f}%, "
+            f"paired {tracing['overhead_cpu_pct_paired']:+.1f}%)"
+        )
+
+    metrics_sampler = None
+    if "metrics" in sections:
+        metrics_sampler = bench_metrics_sampler(universe, pages, args.repeats)
+        print(
+            f"metrics sampler (cpu): off "
+            f"{metrics_sampler['off_cpu_seconds']:.2f}s, on "
+            f"{metrics_sampler['on_cpu_seconds']:.2f}s "
+            f"({metrics_sampler['overhead_cpu_pct']:+.1f}%, paired "
+            f"{metrics_sampler['overhead_cpu_pct_paired']:+.1f}%, canary "
+            f"{metrics_sampler['disabled_canary_pct']:+.1f}%), "
+            f"{metrics_sampler['samples']} samples"
+        )
+
+    fast_path = None
+    if "fastpath" in sections:
+        fast_path = bench_fast_path(
+            universe, pages, serial, off_cpu_s, repeats=args.repeats
+        )
+        print(
+            f"fast path (cpu): off {fast_path['off_cpu_seconds']:.2f}s, "
+            f"on {fast_path['on_cpu_seconds']:.2f}s "
+            f"(speedup {fast_path['cpu_speedup']:.2f}x, "
+            f"{fast_path['plt_identical']}/{fast_path['visits']} PLTs "
+            f"identical, "
+            f"worst delta {fast_path['plt_worst_rel_delta_pct']:.3f}%)"
+        )
+
+    store_bench = None
+    if "store" in sections:
+        store_bench = bench_store_cold_vs_warm(universe, pages, config)
+        print(
+            f"store: cold {store_bench['cold_seconds']:.2f}s, "
+            f"warm {store_bench['warm_seconds']:.2f}s "
+            f"(replay speedup {store_bench['replay_speedup']:.1f}x, "
+            f"{store_bench['hits']} hits)"
+        )
+
+    substrate = None
+    if "substrate" in sections:
+        kernels = bench_kernels()
+        transfer = bench_transfer_events_per_sec()
+        for name, impl in kernels.items():
+            print(
+                f"substrate kernel [{name}]: "
+                f"chain {impl['chain_events_per_sec']:,.0f} events/s, "
+                f"churn {impl['churn_events_per_sec']:,.0f} events/s"
+            )
+        print(
+            f"substrate transfer: {transfer['events']} events, "
+            f"{transfer['events_per_sec']:,.0f} events/s"
+        )
+        default_kernel = (
+            "c" if CEventLoop is not None and EventLoop is CEventLoop
+            else ("heap" if EventLoop is HeapEventLoop else "calendar")
+        )
+        substrate = {
+            "default_kernel": default_kernel,
+            "kernels": kernels,
+            # Headline number: the default loop's chain throughput
+            # (field name kept stable for older history entries).
+            "kernel_events_per_sec":
+                kernels[default_kernel]["chain_events_per_sec"],
+            "transfer_events": transfer["events"],
+            "transfer_events_per_sec": transfer["events_per_sec"],
+        }
+
     payload = {
         "benchmark": "campaign-engine",
         "pages": len(pages),
@@ -475,24 +633,20 @@ def main(argv: list[str] | None = None) -> int:
         "serial_cpu_seconds": serial_cpu_s,
         "parallel": runs,
         "parallel_note": parallel_note,
-        "tracing": tracing,
-        "fast_path": fast_path,
-        "store": store_bench,
-        "substrate": {
-            "default_kernel": default_kernel,
-            "kernels": kernels,
-            # Headline number: the default loop's chain throughput
-            # (field name kept stable for older history entries).
-            "kernel_events_per_sec":
-                kernels[default_kernel]["chain_events_per_sec"],
-            "transfer_events": transfer["events"],
-            "transfer_events_per_sec": transfer["events_per_sec"],
-        },
         "note": (
             "speedup is bounded by available cores; on a 1-core host the "
             "pool adds serialization overhead instead of parallelism"
         ),
     }
+    for key, section in (
+        ("tracing", tracing),
+        ("metrics_sampler", metrics_sampler),
+        ("fast_path", fast_path),
+        ("store", store_bench),
+        ("substrate", substrate),
+    ):
+        if section is not None:
+            payload[key] = section
     payload = append_history(payload, args.out)
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2)

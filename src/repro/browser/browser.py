@@ -107,6 +107,12 @@ class PageVisit:
     #: (list-of-dicts compatible); visits rebuilt by :meth:`from_dict`
     #: carry the materialized plain list.
     trace: list | None = None
+    #: Per-visit sim-time metrics samples (``metrics:`` records) when
+    #: the sampler was attached; ``None`` otherwise.
+    metrics: list | None = None
+    #: Per-visit hierarchical spans (visit → phase → transfer) when
+    #: span recording was on; ``None`` otherwise.
+    spans: list | None = None
     #: ``"ok"`` normally; ``"degraded"`` when fault injection forced
     #: retries/fallback or failed individual fetches.  Serialized only
     #: when not ``"ok"`` so fault-free payloads keep their exact shape.
@@ -145,6 +151,10 @@ class PageVisit:
             document["trace"] = (
                 trace.to_jsonable() if hasattr(trace, "to_jsonable") else trace
             )
+        if self.metrics is not None:
+            document["metrics"] = self.metrics
+        if self.spans is not None:
+            document["spans"] = self.spans
         if self.status != "ok":
             document["status"] = self.status
         return document
@@ -164,6 +174,8 @@ class PageVisit:
             pool_stats=PoolStats.from_dict(document["poolStats"]),
             counters=document.get("counters"),
             trace=document.get("trace"),
+            metrics=document.get("metrics"),
+            spans=document.get("spans"),
             status=document.get("status", "ok"),
         )
 
@@ -240,6 +252,11 @@ class Browser:
         har = HarLog(page_url=page.url, started_at_ms=self.loop.now)
         start = self.loop.now
         events_before = self.loop.processed_events
+        spans = self.obs.spans if self.obs is not None else None
+        visit_span = None
+        if spans is not None:
+            visit_span = spans.begin("visit", page.url, start)
+            spans.current_visit = visit_span
 
         wave1 = [r for r in page.resources if r.wave == 1]
         wave0 = [r for r in page.resources if r.wave == 0]
@@ -284,6 +301,9 @@ class Browser:
         self._fetch(pool, page.html, on_entry)
         self.loop.run_until(lambda: state["outstanding"] == 0)
         har.on_load_ms = self.loop.now - start
+        if visit_span is not None:
+            spans.end(visit_span, self.loop.now)
+            spans.current_visit = None
         pool.close()
         status = "ok"
         if self.faults is not None:
@@ -312,7 +332,12 @@ class Browser:
                 "loop.events_processed",
                 self.loop.processed_events - events_before,
             )
-            visit.counters, visit.trace = self.obs.drain_visit()
+            (
+                visit.counters,
+                visit.trace,
+                visit.metrics,
+                visit.spans,
+            ) = self.obs.drain_visit()
         if self.check:
             check_visit(self.check, visit, faults_active=self.faults is not None)
         return visit
@@ -332,6 +357,15 @@ class Browser:
         requested_at = self.loop.now
 
         def after_dns(dns_ms: float) -> None:
+            if dns_ms > 0 and self.obs is not None and self.obs.spans is not None:
+                # Retroactive: the resolver just reported; zero-cost
+                # cached answers are not worth a span each.
+                spans = self.obs.spans
+                spans.add(
+                    "phase", f"dns:{resource.host}",
+                    self.loop.now - dns_ms, self.loop.now,
+                    parent=spans.current_visit,
+                )
             server = self.farm.server(resource.host)
             protocol = self._pick_protocol(server)
             pool.fetch(

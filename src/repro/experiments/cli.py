@@ -92,6 +92,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect the campaign counter registry and print merged totals",
     )
     parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        metavar="MS",
+        help="sample transport/link metrics (cwnd, in-flight, sRTT, "
+        "goodput, queue depth) every MS of simulated time; with "
+        "--trace-dir the samples land in metrics.jsonl "
+        "(results are bit-identical with or without sampling)",
+    )
+    parser.add_argument(
+        "--spans",
+        action="store_true",
+        help="record hierarchical visit/phase/transfer spans; with "
+        "--trace-dir they land in spans.jsonl (Perfetto-exportable "
+        "via python -m repro.obs.export)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile event-loop callbacks (wall-clock) and record the "
+        "top entries in the run manifest",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print live progress heartbeats to stderr while campaigns "
+        "run and record the summary in the run manifest",
+    )
+    parser.add_argument(
         "--faults",
         choices=sorted(FAULT_PROFILES),
         help="apply a named fault profile to every campaign "
@@ -215,7 +243,12 @@ def make_study(args: argparse.Namespace, store=None) -> H3CdnStudy:
             n_sites=sites,
             seed=args.seed,
             campaign_config=scenario.campaign_config(
-                collect_counters=collect, trace=trace
+                collect_counters=collect,
+                trace=trace,
+                metrics_interval_ms=getattr(args, "metrics_interval", None),
+                spans=bool(getattr(args, "spans", False)),
+                profile_loop=bool(getattr(args, "profile", False)),
+                progress=bool(getattr(args, "progress", False)),
             ),
             max_campaign_pages=campaign_pages,
             max_consecutive_pages=consecutive_pages,
@@ -330,6 +363,8 @@ def main(argv: list[str] | None = None) -> int:
                   "materialized the paired campaign)")
 
     trace_files: list[str] = []
+    metrics_section = None
+    spans_section = None
     if args.trace_dir:
         os.makedirs(args.trace_dir, exist_ok=True)
         trace_path = os.path.join(args.trace_dir, "trace.jsonl")
@@ -342,6 +377,69 @@ def main(argv: list[str] | None = None) -> int:
                     n_events += 1
         trace_files.append("trace.jsonl")
         print(f"\nwrote {n_events} trace events to {trace_path}")
+        if args.metrics_interval is not None:
+            metrics_path = os.path.join(args.trace_dir, "metrics.jsonl")
+            n_samples = 0
+            with open(metrics_path, "w") as handle:
+                if campaign is not None:
+                    for record in campaign.metrics_events():
+                        handle.write(json.dumps(record))
+                        handle.write("\n")
+                        n_samples += 1
+            trace_files.append("metrics.jsonl")
+            metrics_section = {
+                "interval_ms": args.metrics_interval,
+                "records": n_samples,
+            }
+            print(f"wrote {n_samples} metrics samples to {metrics_path}")
+        if args.spans:
+            spans_path = os.path.join(args.trace_dir, "spans.jsonl")
+            n_spans = 0
+            with open(spans_path, "w") as handle:
+                # One synthetic campaign root span: sim clocks restart
+                # per visit, so its extent is wall-clock only.
+                root = {
+                    "id": 1,
+                    "parent": None,
+                    "kind": "campaign",
+                    "name": f"{args.scale}:{study.config.run_name}",
+                    "t0": 0.0,
+                    "t1": 0.0,
+                    "wall_ms": round(
+                        1000.0 * sum(
+                            e.get("wall_clock_s", 0.0)
+                            for e in experiment_records
+                        ),
+                        3,
+                    ),
+                }
+                handle.write(json.dumps(root))
+                handle.write("\n")
+                n_spans += 1
+                if campaign is not None:
+                    for record in campaign.span_records():
+                        handle.write(json.dumps(record))
+                        handle.write("\n")
+                        n_spans += 1
+            trace_files.append("spans.jsonl")
+            spans_section = {"records": n_spans}
+            print(f"wrote {n_spans} spans to {spans_path}")
+
+    progress_section = (
+        dict(campaign.progress)
+        if campaign is not None and campaign.progress is not None
+        else None
+    )
+    profile_section = None
+    if args.profile and campaign is not None and campaign.loop_profile:
+        # Top callbacks by cumulative wall-clock (profile_stats order).
+        profile_section = dict(list(campaign.loop_profile.items())[:25])
+        print()
+        print("== loop profile: top callbacks by cumulative wall-clock ==")
+        for name, entry in list(campaign.loop_profile.items())[:10]:
+            print(
+                f"  {entry['total_ms']:10.1f} ms  {entry['count']:>9d}×  {name}"
+            )
 
     if args.trace_dir or args.json:
         from repro.store.keys import campaign_config_hash
@@ -358,6 +456,10 @@ def main(argv: list[str] | None = None) -> int:
                 "trace": bool(args.trace_dir),
                 "faults": args.faults,
                 "strict": bool(args.strict),
+                "metrics_interval_ms": args.metrics_interval,
+                "spans": bool(args.spans),
+                "profile": bool(args.profile),
+                "progress": bool(args.progress),
             },
             experiments=experiment_records,
             counters=counters_dict,
@@ -369,6 +471,10 @@ def main(argv: list[str] | None = None) -> int:
             ),
             config_hash=campaign_config_hash(study.config.campaign_config),
             store=store_section,
+            metrics=metrics_section,
+            spans=spans_section,
+            progress=progress_section,
+            loop_profile=profile_section,
         )
         if args.trace_dir:
             manifest_path = os.path.join(args.trace_dir, "run.json")

@@ -164,6 +164,8 @@ class _PooledConnection:
         #: Set once the connection is torn down by fault recovery;
         #: late callbacks from the dead connection check it and bail.
         self.failed = False
+        #: Open ``phase:connect`` span id while handshaking (spans only).
+        self.connect_span: int | None = None
 
     @property
     def busy(self) -> bool:
@@ -202,8 +204,12 @@ class ConnectionPool:
         self.rng = rng or random.Random(0)
         self.use_session_tickets = use_session_tickets
         #: Optional :class:`repro.obs.ObsContext`; supplies per-connection
-        #: tracers and receives pool/transport counters at teardown.
+        #: tracers/samplers and receives pool/transport counters at
+        #: teardown.
         self.obs = obs
+        #: Span recorder for the current visit (pools are per-visit, so
+        #: caching the recorder here is safe), or None when spans are off.
+        self._spans = obs.spans if obs is not None else None
         #: Optional :class:`repro.faults.FaultInjector`.  ``None`` keeps
         #: every recovery hook dormant — no timers, no path wrapping, no
         #: extra bookkeeping — so fault-free runs stay bit-identical.
@@ -370,6 +376,17 @@ class ConnectionPool:
                     )
             if ticket is not None and not has_ticket and self.obs is not None:
                 self.obs.counters.incr("tls.tickets.rejected")
+        sampler = (
+            self.obs.connection_sampler(conn_name, opener.protocol.value)
+            if self.obs is not None
+            else None
+        )
+        if sampler is not None:
+            # Link samplers go on the *unwrapped* path: a fault wrapper
+            # proxies the same underlying links, and attachment must
+            # survive re-wrapping across retries.
+            self.obs.attach_link_sampler(path.downlink)
+            self.obs.attach_link_sampler(path.uplink)
         if self.faults is not None:
             # Per-connection fault view: blackouts drop everything, UDP
             # blackholes drop only QUIC packets.
@@ -382,14 +399,14 @@ class ConnectionPool:
             conn: BaseConnection = QuicConnection(
                 self.loop, path, config=self.transport_config,
                 rng=conn_rng, resumed=has_ticket, name=conn_name,
-                tracer=tracer, check=self.check or None,
+                tracer=tracer, check=self.check or None, sampler=sampler,
             )
         else:
             conn = TcpConnection(
                 self.loop, path, config=self.transport_config,
                 rng=conn_rng, resumed=has_ticket,
                 tls_version=opener.server.tls_version, name=conn_name,
-                tracer=tracer, check=self.check or None,
+                tracer=tracer, check=self.check or None, sampler=sampler,
             )
         pooled = _PooledConnection(conn, opener.protocol, host)
         pooled.resumed = has_ticket
@@ -417,6 +434,12 @@ class ConnectionPool:
     ) -> None:
         pooled.handshake_counted = counted
         pooled.connect_started_at = self.loop.now
+        spans = self._spans
+        if spans is not None:
+            pooled.connect_span = spans.begin(
+                "phase", f"connect:{pooled.host}", self.loop.now,
+                parent=spans.current_visit,
+            )
         if counted:
             self._active_handshakes += 1
         if self.faults is None:
@@ -450,6 +473,19 @@ class ConnectionPool:
                 pooled.reset_event = self.loop.call_at(
                     reset_at, self._on_connection_reset, pooled
                 )
+        spans = self._spans
+        if spans is not None and pooled.connect_span is not None:
+            now = self.loop.now
+            spans.end(pooled.connect_span, now)
+            ssl_ms = getattr(pooled.conn, "ssl_ms", None)
+            if ssl_ms:
+                # The TLS share of the handshake, reconstructed from the
+                # flight timings (the handshake just completed at `now`).
+                spans.add(
+                    "phase", f"tls:{pooled.host}", now - ssl_ms, now,
+                    parent=pooled.connect_span,
+                )
+            pooled.connect_span = None
         self._release_handshake_slot(pooled)
         if result.zero_rtt:
             self.stats.zero_rtt_connections += 1
@@ -734,6 +770,14 @@ class ConnectionPool:
         )
         pooled.active_streams += 1
         issued_at = now
+        spans = self._spans
+        if spans is not None:
+            request_span = spans.begin(
+                "phase", f"request:{fetch.url}", now, parent=spans.current_visit
+            )
+        else:
+            request_span = None
+        transfer_span: list[int | None] = [None]
         if self.faults is not None:
             pooled.inflight.append(fetch)
             fetch.timer = Timer(
@@ -749,6 +793,10 @@ class ConnectionPool:
                 # retried entry and driving its ``wait`` negative.
                 return
             record.timing.wait = t - issued_at
+            if request_span is not None:
+                transfer_span[0] = spans.begin(
+                    "transfer", fetch.url, t, parent=request_span
+                )
             if self.check:
                 self.check.require(
                     record.timing.wait >= 0.0,
@@ -781,6 +829,10 @@ class ConnectionPool:
                     receive_ms=record.timing.receive,
                 )
             record.completed_at_ms = t
+            if request_span is not None:
+                if transfer_span[0] is not None:
+                    spans.end(transfer_span[0], t)
+                spans.end(request_span, t)
             pooled.active_streams -= 1
             if fetch.timer is not None:
                 fetch.timer.stop()

@@ -57,6 +57,23 @@ class CampaignConfig:
     #: the first violation raises.  Observe-only: results with strict
     #: on are identical to strict off.
     strict: bool = False
+    #: Sim-time metrics sampling interval (ms) for the
+    #: :mod:`repro.obs.metrics` samplers; ``None`` disables sampling.
+    #: Observe-only and excluded from store content keys.
+    metrics_interval_ms: float | None = None
+    #: Ring-buffer capacity per metrics sampler.
+    metrics_max_samples: int = 512
+    #: Record hierarchical spans (visit → phase → transfer) per visit.
+    #: Observe-only and excluded from store content keys.
+    spans: bool = False
+    #: Enable event-loop callback profiling on every probe and carry
+    #: the per-visit profiles in the outcomes (wall-clock diagnostics;
+    #: stripped before store writes).
+    profile_loop: bool = False
+    #: Emit live progress heartbeats to stderr while the campaign runs
+    #: and record a progress summary on the result.  Wall-clock only;
+    #: never affects results or store keys.
+    progress: bool = False
 
 
 @dataclass
@@ -67,6 +84,10 @@ class PairedVisit:
     probe_name: str
     h2: PageVisit
     h3: PageVisit
+    #: Event-loop callback profile for this visit's simulation
+    #: (``config.profile_loop``): ``{qualname: {"count", "total_ms"}}``.
+    #: Wall-clock — diagnostic only, never stored or compared.
+    loop_profile: dict | None = None
 
     @property
     def plt_reduction_ms(self) -> float:
@@ -89,6 +110,13 @@ class CampaignResult:
     #: the counter registry so counter totals stay bit-identical between
     #: warm-store and fresh runs.
     store_stats: "object | None" = None
+    #: Merged event-loop callback profile (``config.profile_loop``):
+    #: ``{qualname: {"count", "total_ms"}}`` in canonical visit order,
+    #: sorted by cumulative time.  Wall-clock — diagnostic only.
+    loop_profile: dict | None = None
+    #: Live-progress summary (``config.progress``): visits/s, events/s,
+    #: peak RSS, wall-clock.  Diagnostic only.
+    progress: dict | None = None
 
     def degraded_visits(self) -> list[PairedVisit]:
         """Paired visits where either mode was degraded by faults."""
@@ -144,6 +172,43 @@ class CampaignResult:
                         "probe": paired.probe_name,
                         "mode": mode,
                         **event,
+                    }
+
+    def metrics_events(self):
+        """Flat iterator over metrics samples, tagged with visit context.
+
+        Canonical (vantage, probe, page) order, the same discipline as
+        :meth:`counter_totals` — deterministic for any worker count.
+        """
+        for paired in self.paired_visits:
+            for mode, visit in (("h2-only", paired.h2), ("h3-enabled", paired.h3)):
+                if not visit.metrics:
+                    continue
+                for record in visit.metrics:
+                    yield {
+                        "page": paired.page.url,
+                        "probe": paired.probe_name,
+                        "mode": mode,
+                        **record,
+                    }
+
+    def span_records(self):
+        """Flat iterator over spans, tagged with visit context.
+
+        Span ids restart per visit; the (page, probe, mode) tags make
+        each visit's id space unambiguous.  Sim-time fields are
+        deterministic; ``wall_ms`` is host-dependent by nature.
+        """
+        for paired in self.paired_visits:
+            for mode, visit in (("h2-only", paired.h2), ("h3-enabled", paired.h3)):
+                if not visit.spans:
+                    continue
+                for span in visit.spans:
+                    yield {
+                        "page": paired.page.url,
+                        "probe": paired.probe_name,
+                        "mode": mode,
+                        **span,
                     }
 
 

@@ -57,6 +57,10 @@ class VisitOutcome:
     #: from a :class:`~repro.store.ResultStore`).  Never serialized —
     #: stored payloads stay bit-identical to fresh ones.
     source: str = "fresh"
+    #: Event-loop callback profile (``config.profile_loop``); wall-clock
+    #: only.  Carried across the process gap but stripped before store
+    #: writes so stored documents stay host-independent.
+    profile: dict | None = None
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -71,13 +75,19 @@ class VisitOutcome:
 
     @classmethod
     def from_visits(
-        cls, page_index: int, h2: PageVisit, h3: PageVisit
+        cls,
+        page_index: int,
+        h2: PageVisit,
+        h3: PageVisit,
+        profile: dict | None = None,
     ) -> "VisitOutcome":
         """Wrap two measured visits, deriving the paired status."""
         status = "ok"
         if h2.status != "ok" or h3.status != "ok":
             status = "degraded"
-        return cls(page_index=page_index, status=status, h2=h2, h3=h3)
+        return cls(
+            page_index=page_index, status=status, h2=h2, h3=h3, profile=profile
+        )
 
     @classmethod
     def from_error(cls, page_index: int, error: str) -> "VisitOutcome":
@@ -87,7 +97,7 @@ class VisitOutcome:
 
     def to_dict(self) -> dict:
         """Picklable rendering (plain dicts all the way down)."""
-        return {
+        document = {
             "format": OUTCOME_FORMAT,
             "pageIndex": self.page_index,
             "status": self.status,
@@ -95,6 +105,9 @@ class VisitOutcome:
             "h3": self.h3.to_dict() if self.h3 is not None else None,
             "error": self.error,
         }
+        if self.profile is not None:
+            document["profile"] = self.profile
+        return document
 
     @classmethod
     def from_dict(cls, document: dict) -> "VisitOutcome":
@@ -110,4 +123,5 @@ class VisitOutcome:
             h2=PageVisit.from_dict(h2) if h2 is not None else None,
             h3=PageVisit.from_dict(h3) if h3 is not None else None,
             error=document.get("error"),
+            profile=document.get("profile"),
         )

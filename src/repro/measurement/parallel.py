@@ -77,10 +77,26 @@ def measure_paired_visit(
     along; its payloads cross the process gap inside the visit dicts.
     """
     obs = None
-    if config.collect_counters or config.trace:
+    if (
+        config.collect_counters
+        or config.trace
+        or config.spans
+        or config.profile_loop
+        or config.metrics_interval_ms is not None
+    ):
         from repro.obs import ObsContext
 
-        obs = ObsContext(trace=config.trace)
+        obs = ObsContext(
+            trace=config.trace,
+            profile_loop=config.profile_loop,
+            # Counters keep their historical trigger (counters or trace);
+            # metrics/spans/profile-only runs leave visit.counters None
+            # so existing payload shapes are untouched.
+            counters=config.collect_counters or config.trace,
+            metrics_interval_ms=config.metrics_interval_ms,
+            metrics_max_samples=config.metrics_max_samples,
+            spans=config.spans,
+        )
     check = None
     if config.strict:
         from repro.check import CheckContext
@@ -103,7 +119,11 @@ def measure_paired_visit(
         probe.warm_edges((page,))
     h2 = probe.measure_page(page, H2_ONLY, visits=config.visits_per_page)
     h3 = probe.measure_page(page, H3_ENABLED, visits=config.visits_per_page)
-    return PairedVisit(page=page, probe_name=probe.name, h2=h2, h3=h3)
+    loop_profile = probe.loop.profile_stats() if config.profile_loop else None
+    return PairedVisit(
+        page=page, probe_name=probe.name, h2=h2, h3=h3,
+        loop_profile=loop_profile,
+    )
 
 
 def measure_visit_outcome(
@@ -127,7 +147,9 @@ def measure_visit_outcome(
         paired = measure_paired_visit(
             universe, vantage, vp_index, probe_index, config, page, page_index
         )
-        return VisitOutcome.from_visits(page_index, paired.h2, paired.h3)
+        return VisitOutcome.from_visits(
+            page_index, paired.h2, paired.h3, profile=paired.loop_profile
+        )
     try:
         paired = measure_paired_visit(
             universe, vantage, vp_index, probe_index, config, page, page_index
@@ -140,7 +162,9 @@ def measure_visit_outcome(
         return VisitOutcome.from_error(
             page_index, f"{type(exc).__name__}: {exc}"
         )
-    return VisitOutcome.from_visits(page_index, paired.h2, paired.h3)
+    return VisitOutcome.from_visits(
+        page_index, paired.h2, paired.h3, profile=paired.loop_profile
+    )
 
 
 # ----------------------------------------------------------------------
@@ -332,17 +356,37 @@ def run_campaigns(
             for chunk in _chunked(page_indices, per_chunk):
                 units.append((key, vp_index, probe_index, chunk))
 
+    # Live progress (config.progress on any campaign): wall-clock only,
+    # observes finished outcomes, never touches a running simulation.
+    progress = None
+    if any(config.progress for config in configs.values()):
+        from repro.obs.progress import ProgressReporter
+
+        progress = ProgressReporter(
+            total=sum(len(slots) for slots in slots_by_key.values()),
+            workers=max(1, workers),
+        )
+        if outcome_by_slot:
+            progress.add_replayed(len(outcome_by_slot))
+
     def consume(unit: _WorkUnit, outcomes: list[VisitOutcome]) -> None:
         """Record one unit's fresh outcomes; write-through when stored."""
         key, vp_index, probe_index, page_indices = unit
         for page_index, outcome in zip(page_indices, outcomes):
             slot = (key, vp_index, probe_index, page_index)
             outcome_by_slot[slot] = outcome
+            if progress is not None:
+                progress.add_outcome(outcome)
             if store is not None:
                 visit_key = slot_store_key[slot]
+                document = outcome.to_dict()
+                # The loop profile is wall-clock noise: strip it so
+                # stored documents stay host-independent and replayed
+                # payloads stay bit-identical to profile-off runs.
+                document.pop("profile", None)
                 wrote = store.put(
                     visit_key,
-                    outcome.to_dict(),
+                    document,
                     kind="paired",
                     config_hash=config_hash_by_key[key],
                     page_url=target_pages[page_index].url,
@@ -382,6 +426,8 @@ def run_campaigns(
                     [VisitOutcome.from_dict(doc) for doc in chunk_result],
                 )
 
+    progress_summary = progress.finish() if progress is not None else None
+
     # Reassemble per campaign by walking the canonical slot order —
     # identical whether an outcome was replayed or freshly measured.
     results: dict[Hashable, CampaignResult] = {}
@@ -406,9 +452,16 @@ def run_campaigns(
                     probe_name=probe_name,
                     h2=outcome.h2,
                     h3=outcome.h3,
+                    loop_profile=outcome.profile,
                 )
             )
         result = CampaignResult(universe, config, paired, failures=failures)
+        if config.profile_loop:
+            result.loop_profile = _merge_profiles(
+                pv.loop_profile for pv in paired
+            )
+        if config.progress:
+            result.progress = progress_summary
         if store is not None:
             result.store_stats = stats_by_key[key]
             run_name = run_name_by_key[key]
@@ -422,6 +475,34 @@ def run_campaigns(
                 )
         results[key] = result
     return results
+
+
+def _merge_profiles(profiles) -> dict:
+    """Merge per-visit loop profiles into campaign totals.
+
+    Profiles are merged in canonical visit order and rendered sorted by
+    cumulative time, so the *structure* is deterministic for any worker
+    count even though the wall-clock values themselves are not.
+    Replayed visits carry no profile (stripped before store writes) and
+    contribute nothing.
+    """
+    merged: dict[str, list] = {}
+    for profile in profiles:
+        if not profile:
+            continue
+        for name, entry in profile.items():
+            slot = merged.get(name)
+            if slot is None:
+                merged[name] = [entry["count"], entry["total_ms"]]
+            else:
+                slot[0] += entry["count"]
+                slot[1] += entry["total_ms"]
+    return {
+        name: {"count": count, "total_ms": total_ms}
+        for name, (count, total_ms) in sorted(
+            merged.items(), key=lambda item: -item[1][1]
+        )
+    }
 
 
 def _default_chunk_size(n_pages: int, workers: int) -> int:

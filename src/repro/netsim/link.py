@@ -91,6 +91,10 @@ class Link:
         #: called with each packet before the stochastic loss model; a
         #: truthy return drops the packet.
         self.drop_filter: Callable[[Packet], bool] | None = None
+        #: Optional sim-time metrics sampler (repro.obs.metrics), set by
+        #: the ObsContext per visit and detached at drain; sampled after
+        #: the transmitter slot is reserved so it sees the backlog.
+        self.sampler = None
         # Time at which the transmitter finishes serializing the packet
         # currently on the wire; packets queue behind it (FIFO).
         self._tx_free_at = 0.0
@@ -165,6 +169,8 @@ class Link:
         tx_done = start + self.serialization_delay_ms(packet)
         self.stats.busy_time_ms += tx_done - start
         self._tx_free_at = tx_done
+        if self.sampler is not None:
+            self.sampler.on_transmit(now, tx_done, packet.size_bytes)
 
         dropped = self.drop_filter(packet) if self.drop_filter is not None else False
         if dropped or self.loss.should_drop(self.rng):

@@ -1,4 +1,4 @@
-"""Observability: qlog-style tracing, metrics, and run manifests.
+"""Observability: qlog-style tracing, metrics, spans, and run manifests.
 
 This package is the simulator's telemetry layer:
 
@@ -6,9 +6,14 @@ This package is the simulator's telemetry layer:
   with a zero-cost null tracer for the disabled case,
 * :mod:`repro.obs.counters` — counters/gauges/histograms with
   deterministic cross-worker merging,
+* :mod:`repro.obs.metrics` — sim-time metrics samplers (cwnd, RTT,
+  goodput, queue depth) with the same zero-cost null pattern,
+* :mod:`repro.obs.spans` — hierarchical visit/phase/transfer spans,
+* :mod:`repro.obs.progress` — live wall-clock campaign progress,
 * :mod:`repro.obs.context` — the :class:`ObsContext` threaded through
   probes, browsers, pools and transports,
-* :mod:`repro.obs.schema` — the JSONL trace schema and validator,
+* :mod:`repro.obs.schema` — the JSONL telemetry schema and validator,
+* :mod:`repro.obs.export` — qlog 0.3 and Perfetto exporters,
 * :mod:`repro.obs.manifest` — ``run.json`` provenance manifests.
 
 Everything here is strictly *observational*: with an ``ObsContext``
@@ -23,12 +28,29 @@ from repro.obs.manifest import (
     read_run_manifest,
     write_run_manifest,
 )
+from repro.obs.metrics import (
+    NULL_SAMPLER,
+    ConnectionSampler,
+    LinkSampler,
+    NullSampler,
+    timeseries,
+)
+from repro.obs.progress import ProgressReporter
+from repro.obs.spans import SPAN_KINDS, SpanRecorder
 from repro.obs.trace import EVENT_NAMES, NULL_TRACER, ConnectionTracer, NullTracer
 
-#: Schema names are re-exported lazily (PEP 562) so that running the
-#: validator as ``python -m repro.obs.schema`` does not import the
-#: module twice (once via this package, once via runpy).
-_SCHEMA_EXPORTS = ("TraceSchemaError", "validate_event", "validate_jsonl")
+#: Schema/export names are re-exported lazily (PEP 562) so that running
+#: ``python -m repro.obs.schema`` / ``python -m repro.obs.export`` does
+#: not import those modules twice (once via this package, once via
+#: runpy).
+_SCHEMA_EXPORTS = (
+    "TraceSchemaError",
+    "validate_event",
+    "validate_record",
+    "validate_span",
+    "validate_jsonl",
+)
+_EXPORT_EXPORTS = ("to_qlog", "spans_to_trace_events")
 
 
 def __getattr__(name: str):
@@ -36,6 +58,10 @@ def __getattr__(name: str):
         from repro.obs import schema
 
         return getattr(schema, name)
+    if name in _EXPORT_EXPORTS:
+        from repro.obs import export
+
+        return getattr(export, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -47,9 +73,21 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "EVENT_NAMES",
+    "ConnectionSampler",
+    "LinkSampler",
+    "NullSampler",
+    "NULL_SAMPLER",
+    "timeseries",
+    "SpanRecorder",
+    "SPAN_KINDS",
+    "ProgressReporter",
     "TraceSchemaError",
     "validate_event",
+    "validate_record",
+    "validate_span",
     "validate_jsonl",
+    "to_qlog",
+    "spans_to_trace_events",
     "MANIFEST_FORMAT",
     "build_run_manifest",
     "read_run_manifest",

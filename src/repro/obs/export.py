@@ -1,0 +1,238 @@
+"""Standard telemetry exporters: qlog 0.3 and Chrome trace-event JSON.
+
+The simulator's native JSONL families (``repro.obs.trace`` events,
+``repro.obs.metrics`` samples, ``repro.obs.spans`` records) are compact
+and schema-checked, but the wider ecosystem already has excellent
+viewers.  This module converts:
+
+* traces → **qlog 0.3** (draft-ietf-quic-qlog-main-schema), one trace
+  per simulated QUIC connection, loadable in qvis
+  (https://qvis.quictools.info);
+* spans → **Chrome trace-event JSON** (complete ``"X"`` events),
+  loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+
+Usage::
+
+    python -m repro.obs.export qlog .trace/trace.jsonl -o out.qlog
+    python -m repro.obs.export perfetto .trace/spans.jsonl -o out.json
+
+Export is a pure read-side transform of drained records — nothing here
+can influence a simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: The qlog main-schema version this exporter emits.
+QLOG_VERSION = "0.3"
+
+#: Simulator event names translated to standard qlog 0.3 names; every
+#: other event passes through verbatim (qlog permits custom events).
+_QLOG_RENAMES = {
+    "transport:packet_lost": "recovery:packet_lost",
+    "recovery:metrics_updated": "recovery:metrics_updated",
+}
+
+
+def _qlog_event(record: dict) -> dict:
+    """One tagged trace record → one qlog event dict."""
+    name = record["name"]
+    data = record.get("data") or {}
+    if name in ("transport:packet_sent", "transport:packet_received"):
+        out = {
+            "header": {"packet_type": "1RTT", "packet_number": data.get("seq")},
+            "raw": {"length": data.get("size")},
+        }
+        if data.get("retransmission"):
+            out["is_retransmission"] = True
+    elif name == "transport:packet_lost":
+        out = {
+            "header": {"packet_type": "1RTT", "packet_number": data.get("seq")},
+            "trigger": data.get("trigger"),
+        }
+    elif name == "recovery:metrics_updated":
+        out = {
+            "congestion_window": data.get("cwnd"),
+            "ssthresh": data.get("ssthresh"),
+            "bytes_in_flight": data.get("bytes_in_flight"),
+        }
+    elif name == "metrics:transport_sample":
+        # Periodic sampler records become additional metrics updates —
+        # qvis plots them on the same congestion timeline.
+        name = "recovery:metrics_updated"
+        out = {
+            "congestion_window": data.get("cwnd"),
+            "bytes_in_flight": data.get("bytes_in_flight"),
+            "smoothed_rtt": data.get("srtt_ms"),
+        }
+    else:
+        out = dict(data)
+    return {
+        "time": record["time"],
+        "name": _QLOG_RENAMES.get(name, name),
+        "data": out,
+    }
+
+
+def to_qlog(
+    events,
+    *,
+    title: str = "repro-h3cdn trace",
+    protocols: tuple[str, ...] = ("h3",),
+    conn: str | None = None,
+) -> dict:
+    """Build one qlog 0.3 document from tagged trace/metrics records.
+
+    Records are grouped into one qlog trace per ``(page, probe, mode,
+    conn)``; by default only QUIC (``h3``) connections are exported
+    since qlog is a QUIC schema (``protocols=None`` exports every
+    connection, TCP included, for side-by-side viewing).  ``conn``
+    restricts the export to connections whose name contains it.
+    """
+    groups: dict[tuple, list] = {}
+    for record in events:
+        if protocols is not None and record.get("protocol") not in protocols:
+            continue
+        name = record.get("conn", "")
+        if conn is not None and conn not in name:
+            continue
+        key = (
+            record.get("page", ""),
+            record.get("probe", ""),
+            record.get("mode", ""),
+            name,
+        )
+        groups.setdefault(key, []).append(record)
+
+    traces = []
+    for (page, probe, mode, conn_name), records in groups.items():
+        records.sort(key=lambda r: r["time"])
+        traces.append(
+            {
+                "title": f"{conn_name} [{mode}] {page}",
+                "vantage_point": {"name": probe or "probe", "type": "client"},
+                "common_fields": {
+                    "ODCID": conn_name,
+                    "time_format": "relative",
+                    "reference_time": 0,
+                    "protocol_type": [records[0].get("protocol", "h3")],
+                },
+                "events": [_qlog_event(record) for record in records],
+            }
+        )
+    return {
+        "qlog_version": QLOG_VERSION,
+        "qlog_format": "JSON",
+        "title": title,
+        "traces": traces,
+    }
+
+
+def spans_to_trace_events(spans, *, pid: int = 1) -> dict:
+    """Build a Chrome trace-event JSON document from tagged spans.
+
+    Every span becomes one complete (``"ph": "X"``) event: ``ts`` is the
+    span's sim-time start in microseconds, ``dur`` its sim-time length.
+    Each ``(page, probe, mode)`` visit gets its own ``tid`` plus a
+    ``thread_name`` metadata event, so Perfetto renders one track per
+    visit with phases and transfers nested by time.
+    """
+    tids: dict[tuple, int] = {}
+    trace_events: list[dict] = []
+    for span in spans:
+        key = (span.get("page", ""), span.get("probe", ""), span.get("mode", ""))
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"{key[2]} {key[0]} ({key[1]})"},
+                }
+            )
+        args = {"id": span["id"]}
+        if span.get("parent") is not None:
+            args["parent"] = span["parent"]
+        if span.get("wall_ms") is not None:
+            args["wall_ms"] = span["wall_ms"]
+        trace_events.append(
+            {
+                "name": span["name"],
+                "cat": span["kind"],
+                "ph": "X",
+                "ts": span["t0"] * 1000.0,
+                "dur": (span["t1"] - span["t0"]) * 1000.0,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def _read_jsonl(path: str) -> list[dict]:
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="Export simulator telemetry to standard viewers.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    qlog = sub.add_parser("qlog", help="trace/metrics JSONL → qlog 0.3 (qvis)")
+    qlog.add_argument("jsonl", help="trace.jsonl (optionally + metrics records)")
+    qlog.add_argument("-o", "--out", default=None, help="output path (default stdout)")
+    qlog.add_argument("--conn", default=None, help="only connections whose name contains this")
+    qlog.add_argument(
+        "--all-protocols",
+        action="store_true",
+        help="export TCP connections too (default: QUIC only)",
+    )
+
+    perfetto = sub.add_parser("perfetto", help="spans JSONL → Chrome trace-event JSON")
+    perfetto.add_argument("jsonl", help="spans.jsonl")
+    perfetto.add_argument("-o", "--out", default=None, help="output path (default stdout)")
+
+    args = parser.parse_args(argv)
+    records = _read_jsonl(args.jsonl)
+    if args.command == "qlog":
+        document = to_qlog(
+            records,
+            protocols=None if args.all_protocols else ("h3",),
+            conn=args.conn,
+        )
+        summary = f"{len(document['traces'])} trace(s)"
+    else:
+        document = spans_to_trace_events(records)
+        summary = f"{len(document['traceEvents'])} trace event(s)"
+    rendered = json.dumps(document, indent=1, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.out}: {summary}", file=sys.stderr)
+    else:
+        print(rendered)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -24,6 +24,10 @@ def build_run_manifest(
     fallback_sweep: dict | None = None,
     config_hash: str | None = None,
     store: dict | None = None,
+    metrics: dict | None = None,
+    spans: dict | None = None,
+    progress: dict | None = None,
+    loop_profile: dict | None = None,
 ) -> dict:
     """Assemble a manifest document.
 
@@ -39,6 +43,13 @@ def build_run_manifest(
     ``store`` the result-store accounting
     (``{"path", "stats", "summary"}``); both keys are absent when not
     provided, keeping store-less manifests unchanged.
+
+    The deep-telemetry sections follow the same absent-when-``None``
+    rule: ``metrics`` summarizes the sim-time sampler output
+    (``{"interval_ms", "records"}``), ``spans`` the span export
+    (``{"records"}``), ``progress`` is the live reporter's final
+    summary, and ``loop_profile`` the merged event-loop callback
+    profile (wall-clock; top entries only).
     """
     manifest = {
         "format": MANIFEST_FORMAT,
@@ -56,6 +67,14 @@ def build_run_manifest(
         manifest["fallback_sweep"] = dict(fallback_sweep)
     if store is not None:
         manifest["store"] = dict(store)
+    if metrics is not None:
+        manifest["metrics"] = dict(metrics)
+    if spans is not None:
+        manifest["spans"] = dict(spans)
+    if progress is not None:
+        manifest["progress"] = dict(progress)
+    if loop_profile is not None:
+        manifest["loop_profile"] = dict(loop_profile)
     return manifest
 
 

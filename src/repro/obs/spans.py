@@ -1,0 +1,120 @@
+"""Hierarchical spans: where a visit's (sim and wall) time goes.
+
+Counters say how much, traces say what happened; spans say *where the
+time went*.  The hierarchy mirrors the measurement pipeline::
+
+    campaign → visit → phase(dns / connect / tls / request) → transfer
+
+Each span carries both clocks: ``t0``/``t1`` are simulated
+milliseconds (deterministic — identical across workers and replays)
+and ``wall_ms`` is the host CPU wall-clock the simulator spent inside
+the span (diagnostic only, never compared).  A
+:class:`SpanRecorder` lives on the :class:`~repro.obs.context.ObsContext`
+and is drained per visit like the tracers; span ids restart at 1 every
+visit so the merged campaign-wide record stream is deterministic under
+the same canonical ordering discipline as counters.
+
+Spans export as plain dicts (the ``spans.jsonl`` record family, see
+:mod:`repro.obs.schema`) and convert to Chrome trace-event JSON for
+Perfetto via :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+#: The closed set of span kinds (validated by ``repro.obs.schema``).
+SPAN_KINDS: frozenset[str] = frozenset({"campaign", "visit", "phase", "transfer"})
+
+
+class SpanRecorder:
+    """Span collector for one probe/browser stack (one drain cycle).
+
+    ``begin``/``end`` bracket live spans (wall-clock measured between
+    the two calls); ``add`` records a retroactively-known complete span
+    (e.g. the TLS share of a handshake, derived after the fact).  Spans
+    missing their ``end`` by drain time — possible when fault injection
+    tears a connection down mid-transfer — are discarded: every
+    exported span is complete by construction.
+    """
+
+    __slots__ = ("_spans", "_wall_started", "_next_id", "current_visit")
+
+    def __init__(self) -> None:
+        self._spans: list[dict] = []
+        self._wall_started: dict[int, float] = {}
+        self._next_id = 1
+        #: Id of the in-progress visit span, so nested layers (pool,
+        #: transports) can parent their phases without plumbing ids.
+        self.current_visit: int | None = None
+
+    def __bool__(self) -> bool:
+        return True
+
+    def begin(
+        self, kind: str, name: str, sim_ms: float, parent: int | None = None
+    ) -> int:
+        """Open a span at simulated time ``sim_ms``; returns its id."""
+        span_id = self._next_id
+        self._next_id = span_id + 1
+        self._spans.append(
+            {
+                "id": span_id,
+                "parent": parent,
+                "kind": kind,
+                "name": name,
+                "t0": sim_ms,
+                "t1": None,
+                "wall_ms": None,
+            }
+        )
+        self._wall_started[span_id] = _time.perf_counter()
+        return span_id
+
+    def end(self, span_id: int, sim_ms: float) -> None:
+        """Close an open span at simulated time ``sim_ms``."""
+        started = self._wall_started.pop(span_id, None)
+        wall_ms = (
+            (_time.perf_counter() - started) * 1000.0 if started is not None else 0.0
+        )
+        for span in reversed(self._spans):
+            if span["id"] == span_id:
+                span["t1"] = sim_ms
+                span["wall_ms"] = wall_ms
+                return
+
+    def add(
+        self,
+        kind: str,
+        name: str,
+        t0: float,
+        t1: float,
+        parent: int | None = None,
+        wall_ms: float = 0.0,
+    ) -> int:
+        """Record a complete span whose bounds are already known."""
+        span_id = self._next_id
+        self._next_id = span_id + 1
+        self._spans.append(
+            {
+                "id": span_id,
+                "parent": parent,
+                "kind": kind,
+                "name": name,
+                "t0": t0,
+                "t1": t1,
+                "wall_ms": wall_ms,
+            }
+        )
+        return span_id
+
+    def drain(self) -> list[dict]:
+        """Completed spans in id (creation) order; resets nothing —
+        the owning :class:`ObsContext` swaps in a fresh recorder."""
+        return [span for span in self._spans if span["t1"] is not None]
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SpanRecorder spans={len(self._spans)}>"

@@ -54,6 +54,10 @@ EVENT_NAMES: frozenset[str] = frozenset(
         "recovery:request_retry",
         "recovery:request_failed",
         "recovery:dns_retry",
+        # Sim-time metrics samples (repro.obs.metrics): periodic
+        # transport / link timeseries, same JSONL record shape.
+        "metrics:transport_sample",
+        "metrics:link_sample",
     }
 )
 

@@ -107,7 +107,11 @@ def fault_profile_part(profile) -> dict | None:
 #: CampaignConfig fields that shape *one* visit's simulation.  Topology
 #: fields (probes_per_vantage, max_vantage_points) and the base seed are
 #: excluded — the first two only change how many visits exist, and the
-#: seed enters each key through the derived per-visit seed.
+#: seed enters each key through the derived per-visit seed.  Purely
+#: observational knobs (metrics_interval_ms, metrics_max_samples, spans,
+#: profile_loop, progress) are excluded *by design*: telemetry never
+#: changes what a visit measures, so toggling it must not invalidate
+#: cached visits.
 _VISIT_CONFIG_FIELDS = (
     "visits_per_page",
     "loss_rate",

@@ -32,6 +32,7 @@ from repro.check.controller import CheckedController
 from repro.events import EventLoop, Timer
 from repro.netsim.packet import Packet, PacketKind, StreamChunk
 from repro.netsim.path import NetworkPath
+from repro.obs.metrics import NULL_SAMPLER
 from repro.obs.trace import NULL_TRACER
 from repro.transport import fastpath
 from repro.transport.config import TransportConfig
@@ -73,6 +74,9 @@ class ConnectionStats:
     #: Completed HoL-stall intervals (reorder buffer non-empty → empty).
     hol_stalls: int = 0
     hol_stall_ms: float = 0.0
+    #: Analytic fast-path epochs run (response transfers advanced
+    #: arithmetically instead of per-packet; 0 on the packet path).
+    fast_path_epochs: int = 0
 
 
 class ClientStream:
@@ -196,6 +200,7 @@ class BaseConnection:
         name: str = "",
         tracer=None,
         check=None,
+        sampler=None,
     ) -> None:
         self.loop = loop
         self.path = path
@@ -207,6 +212,9 @@ class BaseConnection:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Invariant checker (strict mode); same null-object pattern.
         self.check = check if check is not None else NULL_CHECK
+        #: Sim-time metrics sampler (repro.obs.metrics); same falsy
+        #: null-object pattern, guarded with ``if self.sampler:``.
+        self.sampler = sampler if sampler is not None else NULL_SAMPLER
         self.cc = cc or make_congestion_controller(
             self.config.congestion_control,
             self.config.mss,
@@ -277,11 +285,15 @@ class BaseConnection:
         # on ≥1-MSS changes so traces stay bounded).
         self._traced_cwnd = self.cc.cwnd_bytes
         # Analytic fast path (repro.transport.fastpath): opt-in via
-        # config, and forced off under tracing or strict checking — both
-        # want the real per-packet path.  Path eligibility (loss-free,
-        # jitter-free, unfiltered) is re-checked per attempt.
+        # config, and forced off under tracing, strict checking or
+        # metrics sampling — all want the real per-packet path.  Path
+        # eligibility (loss-free, jitter-free, unfiltered) is re-checked
+        # per attempt.
         self._fast_path_enabled = (
-            self.config.fast_path and not self.tracer and not self.check
+            self.config.fast_path
+            and not self.tracer
+            and not self.check
+            and not self.sampler
         )
         #: The in-progress analytic walk (``fastpath._Epoch``), parked
         #: here between its yield points; None when the packet path (or
@@ -657,6 +669,8 @@ class BaseConnection:
         self._pto_backoff = 1
         if self.tracer:
             self._trace_metrics()
+        if self.sampler:
+            self.sampler.on_ack(self)
         self._detect_losses()
         if self._inflight:
             self._arm_pto()
@@ -690,6 +704,8 @@ class BaseConnection:
             self._recovery_until_seq = self._largest_sent
             if self.tracer:
                 self._trace_metrics(force=True)
+            if self.sampler:
+                self.sampler.on_loss(self)
 
     def _arm_pto(self) -> None:
         # RFC 9002 §6.2.1: the peer may legitimately sit on an ACK for
@@ -719,6 +735,8 @@ class BaseConnection:
         if self.tracer:
             self.tracer.packet_lost(self.loop.now, oldest_seq, "pto")
             self._trace_metrics(force=True)
+        if self.sampler:
+            self.sampler.on_loss(self)
         self._retx_queue.append((info.chunk, info.conn_start))
         if oldest_seq > self._recovery_until_seq:
             self._recovery_until_seq = self._largest_sent

@@ -88,6 +88,7 @@ def advance(conn) -> bool:
     if not conn._send_queue:
         return False
     conn._fp_epoch = epoch = _Epoch(conn)
+    conn.stats.fast_path_epochs += 1
     epoch.run()
     return True
 

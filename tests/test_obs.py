@@ -235,10 +235,12 @@ class TestObsContext:
         tracer.event(1.0, "transport:packet_sent", seq=0, size=100,
                      dir="s2c", retransmission=False)
         obs.counters.incr("x")
-        counters, trace = obs.drain_visit()
+        counters, trace, metrics, spans = obs.drain_visit()
         assert counters["counters"]["x"] == 1.0
         assert len(trace) == 1
-        counters2, trace2 = obs.drain_visit()
+        assert metrics is None
+        assert spans is None
+        counters2, trace2, _, _ = obs.drain_visit()
         assert counters2["counters"] == {}
         assert trace2 == []
 
