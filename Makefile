@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-smoke lint trace-smoke faults-smoke check-smoke store-smoke obs-smoke
+.PHONY: test bench-smoke lint trace-smoke faults-smoke check-smoke store-smoke obs-smoke stream-smoke
 
 # Tier-1 suite. tests/test_parallel.py runs 2- and 4-worker campaigns
 # against the serial baseline, so the parallel path is exercised on
@@ -194,6 +194,49 @@ obs-smoke:
 	assert m['fingerprint_identical'] is True, m; \
 	print(f\"obs-smoke: sampler {on:+.1f}%% cpu (gated estimate), \" \
 	      f\"canary {canary:.1f}%%, {m['samples']} samples, results identical\")"
+
+# Streaming-executor smoke: the constant-memory campaign contract.
+# 1. The summary folded while the campaign streams must be
+#    field-identical to folding the materialized visits afterwards,
+#    serial and pooled, and summary_only must drop the visits.
+# 2. A lazily generated universe must agree with a larger one on every
+#    shared page index (prefix identity).
+# 3. Peak RSS of a 2048-page summary-only campaign must stay within
+#    1.15x of a 256-page run — each point measured in its own
+#    subprocess because ru_maxrss is a process-lifetime high-water
+#    mark.  The ratio lands in BENCH_campaign_stream.json's history.
+stream-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
+	from repro.measurement import CampaignConfig, CampaignPlan, execute; \
+	from repro.measurement.summary import CampaignSummary; \
+	from repro.web.topsites import GeneratorConfig, cached_universe, lazy_universe; \
+	small = GeneratorConfig(n_sites=6, resources_per_page_median=12.0, \
+	                        min_resources=5, max_resources=25); \
+	uni = cached_universe(small, seed=21); \
+	config = CampaignConfig(visits_per_page=1, max_vantage_points=2, seed=7); \
+	serial = execute(CampaignPlan(universe=uni, sim=config)); \
+	refold = CampaignSummary.from_result(serial, universe=uni); \
+	assert serial.summary.to_dict() == refold.to_dict(), 'stream fold != materialized fold'; \
+	pooled = execute(CampaignPlan(universe=uni, sim=config, workers=2, \
+	                              chunk_size=1, summary_only=True)); \
+	assert pooled.summary.to_dict() == serial.summary.to_dict(), 'pooled summary diverged'; \
+	assert pooled.paired_visits == [], 'summary_only retained visits'; \
+	lazy = lazy_universe(small, seed=21); \
+	big = lazy_universe(GeneratorConfig(n_sites=64, resources_per_page_median=12.0, \
+	                                    min_resources=5, max_resources=25), seed=21); \
+	assert all(lazy.page_at(i) == big.page_at(i) for i in range(6)), \
+	    'lazy prefix identity broken'; \
+	print('stream-smoke: fold equivalence + lazy prefix identity ok')"
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_campaign.py \
+		--pages 4 --sites 6 --sections memory \
+		--out BENCH_campaign_stream.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
+	import json; b = json.load(open('BENCH_campaign_stream.json')); \
+	m = b['streaming_memory']; ratio = m['rss_growth_ratio']; \
+	assert ratio < 1.15, f'peak RSS grew {ratio:.3f}x between page counts'; \
+	print(f\"stream-smoke: peak RSS {m['rss_small_kb'] // 1024} MB \" \
+	      f\"({m['pages_small']} pages) -> {m['rss_large_kb'] // 1024} MB \" \
+	      f\"({m['pages_large']} pages), growth {ratio:.3f}x < 1.15x\")"
 
 # No third-party linters in the container; bytecode compilation catches
 # syntax errors and obvious breakage across the whole tree.

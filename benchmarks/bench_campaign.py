@@ -42,16 +42,35 @@ import os
 import random
 import statistics
 import subprocess
+import sys
 import tempfile
 import time
 from collections import deque
 
 from repro.events import EventLoop
 from repro.events.loop import CalendarEventLoop, CEventLoop, HeapEventLoop
-from repro.measurement import Campaign, CampaignConfig
+from repro.measurement import CampaignConfig, CampaignPlan, execute
 from repro.netsim import NetemProfile, NetworkPath
 from repro.transport import QuicConnection, TransportConfig
 from repro.web.topsites import GeneratorConfig, cached_universe
+
+
+def campaign_runner(universe, config):
+    """A ``run(pages, ...)`` callable over the streaming executor.
+
+    Mirrors the deprecated ``Campaign(universe, config).run`` shape the
+    bench's timing helpers expect, without the deprecation warning.
+    """
+    def run(pages, workers=1, store=None, run_name=None):
+        return execute(CampaignPlan(
+            universe=universe,
+            sim=config,
+            pages=tuple(pages),
+            workers=workers,
+            store=store,
+            run_name=run_name,
+        ))
+    return run
 
 
 def git_sha() -> str | None:
@@ -120,12 +139,12 @@ def bench_store_cold_vs_warm(universe, pages, config) -> dict:
 
     with tempfile.TemporaryDirectory() as tmp:
         with ResultStore(os.path.join(tmp, "store")) as store:
-            campaign = Campaign(universe, config)
+            run = campaign_runner(universe, config)
             start = time.perf_counter()
-            cold = campaign.run(pages, store=store, run_name="bench")
+            cold = run(pages, store=store, run_name="bench")
             cold_s = time.perf_counter() - start
             start = time.perf_counter()
-            warm = campaign.run(pages, store=store, run_name="bench")
+            warm = run(pages, store=store, run_name="bench")
             warm_s = time.perf_counter() - start
             if fingerprint(warm) != fingerprint(cold):
                 raise SystemExit("warm store replay diverged from cold run")
@@ -180,6 +199,8 @@ def append_history(payload: dict, out_path: str) -> dict:
         "metrics_disabled_canary_pct": metrics.get("disabled_canary_pct"),
         "metrics_disabled_canary_minmin_pct":
             metrics.get("disabled_canary_minmin_pct"),
+        "streaming_rss_growth_ratio":
+            (payload.get("streaming_memory") or {}).get("rss_growth_ratio"),
     }
     history.append({k: v for k, v in entry.items() if v is not None})
     payload["history"] = history
@@ -282,12 +303,12 @@ def bench_fast_path(universe, pages, slow_result, slow_cpu_s, repeats=1) -> dict
     the worst relative divergence — the documented residual is
     same-instant tie-breaking, so this should sit at ~0%.
     """
-    fast_campaign = Campaign(
+    run_fast = campaign_runner(
         universe,
         CampaignConfig(seed=3, transport_config=TransportConfig(fast_path=True)),
     )
     fast, fast_wall_s, fast_cpu_s = timed_best(
-        repeats, fast_campaign.run, pages, workers=1
+        repeats, run_fast, pages, workers=1
     )
     visits = identical = 0
     worst = 0.0
@@ -345,14 +366,14 @@ def bench_metrics_sampler(universe, pages, repeats: int) -> dict:
     rounds, up to ``3 × repeats``, letting the medians and series
     minima converge before anything is reported or gated.
     """
-    campaign_off_a = Campaign(universe, CampaignConfig(seed=3))
-    campaign_off_b = Campaign(universe, CampaignConfig(seed=3))
-    campaign_on = Campaign(
+    run_off_a = campaign_runner(universe, CampaignConfig(seed=3))
+    run_off_b = campaign_runner(universe, CampaignConfig(seed=3))
+    run_on = campaign_runner(
         universe, CampaignConfig(seed=3, metrics_interval_ms=5.0)
     )
-    for campaign in (campaign_off_a, campaign_off_b, campaign_on):
-        timed(campaign.run, pages, workers=1)
-        timed(campaign.run, pages, workers=1)
+    for run in (run_off_a, run_off_b, run_on):
+        timed(run, pages, workers=1)
+        timed(run, pages, workers=1)
     off_a_series: list[float] = []
     off_b_series: list[float] = []
     on_series: list[float] = []
@@ -361,12 +382,12 @@ def bench_metrics_sampler(universe, pages, repeats: int) -> dict:
     off_result = on_result = None
     rounds = 0
     while True:
-        off_result, _, off_a1 = timed(campaign_off_a.run, pages, workers=1)
-        _, _, off_b1 = timed(campaign_off_b.run, pages, workers=1)
-        on_result, _, on_1 = timed(campaign_on.run, pages, workers=1)
-        _, _, on_2 = timed(campaign_on.run, pages, workers=1)
-        _, _, off_b2 = timed(campaign_off_b.run, pages, workers=1)
-        _, _, off_a2 = timed(campaign_off_a.run, pages, workers=1)
+        off_result, _, off_a1 = timed(run_off_a, pages, workers=1)
+        _, _, off_b1 = timed(run_off_b, pages, workers=1)
+        on_result, _, on_1 = timed(run_on, pages, workers=1)
+        _, _, on_2 = timed(run_on, pages, workers=1)
+        _, _, off_b2 = timed(run_off_b, pages, workers=1)
+        _, _, off_a2 = timed(run_off_a, pages, workers=1)
         off_a_series += [off_a1, off_a2]
         off_b_series += [off_b1, off_b2]
         on_series += [on_1, on_2]
@@ -408,6 +429,43 @@ def fingerprint(result) -> list:
     ]
 
 
+def bench_streaming_memory(
+    pages_small: int = 256, pages_large: int = 2048
+) -> dict:
+    """Peak RSS of a summary-only streaming campaign vs page count.
+
+    The streaming executor's contract: memory is O(in-flight window +
+    folded summary), not O(pages).  Each point runs in its own
+    subprocess (``rss_probe.py``) because ``ru_maxrss`` is a process-
+    lifetime high-water mark.  The recorded ratio should stay ~1.0; the
+    stream-smoke CI gate asserts < 1.15.
+    """
+    probe = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "rss_probe.py")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(probe)), "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    points = {}
+    for n_pages in (pages_small, pages_large):
+        output = subprocess.run(
+            [sys.executable, probe, "--pages", str(n_pages)],
+            check=True, capture_output=True, text=True, env=env,
+        ).stdout
+        points[n_pages] = json.loads(output)
+    small, large = points[pages_small], points[pages_large]
+    return {
+        "pages_small": pages_small,
+        "pages_large": pages_large,
+        "rss_small_kb": small["peak_rss_kb"],
+        "rss_large_kb": large["peak_rss_kb"],
+        "rss_growth_ratio": large["peak_rss_kb"] / small["peak_rss_kb"],
+        "seconds_small": small["seconds"],
+        "seconds_large": large["seconds"],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--pages", type=int, default=32)
@@ -424,13 +482,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--sections", default="all",
         help="comma-separated sections to run (default all): "
-        "parallel,tracing,fastpath,store,substrate,metrics — the "
-        "serial baseline always runs",
+        "parallel,tracing,fastpath,store,substrate,metrics,memory — "
+        "the serial baseline always runs",
     )
     args = parser.parse_args(argv)
 
     all_sections = {"parallel", "tracing", "fastpath", "store",
-                    "substrate", "metrics"}
+                    "substrate", "metrics", "memory"}
     if args.sections == "all":
         sections = all_sections
     else:
@@ -443,7 +501,7 @@ def main(argv: list[str] | None = None) -> int:
     universe = cached_universe(GeneratorConfig(n_sites=args.sites), seed=args.seed)
     pages = universe.pages[: args.pages]
     config = CampaignConfig(seed=3)
-    campaign = Campaign(universe, config)
+    run_campaign = campaign_runner(universe, config)
     cpus = available_cpus()
 
     print(f"universe: {args.sites} sites, measuring {len(pages)} pages")
@@ -452,9 +510,9 @@ def main(argv: list[str] | None = None) -> int:
     # otherwise inflate the serial baseline — and with it every
     # overhead/speedup percentage computed against it.  Matters most at
     # smoke scale, where warm-up is a large share of a ~2s run.
-    campaign.run(pages[: min(4, len(pages))], workers=1)
+    run_campaign(pages[: min(4, len(pages))], workers=1)
     serial, serial_s, serial_cpu_s = timed_best(
-        args.repeats, campaign.run, pages, workers=1
+        args.repeats, run_campaign, pages, workers=1
     )
     print(f"serial (workers=1): {serial_s:.2f}s wall, {serial_cpu_s:.2f}s cpu")
 
@@ -475,7 +533,7 @@ def main(argv: list[str] | None = None) -> int:
         serial_print = fingerprint(serial)
         for workers in worker_counts:
             start = time.perf_counter()
-            result = campaign.run(pages, workers=workers)
+            result = run_campaign(pages, workers=workers)
             elapsed = time.perf_counter() - start
             identical = fingerprint(result) == serial_print
             runs[str(workers)] = {
@@ -501,10 +559,10 @@ def main(argv: list[str] | None = None) -> int:
     tracing = None
     off_cpu_s = serial_cpu_s
     if "tracing" in sections:
-        campaign_counters = Campaign(
+        run_counters = campaign_runner(
             universe, CampaignConfig(seed=3, collect_counters=True)
         )
-        campaign_traced = Campaign(
+        run_traced = campaign_runner(
             universe, CampaignConfig(seed=3, collect_counters=True, trace=True)
         )
         off_series: list[float] = []
@@ -512,12 +570,12 @@ def main(argv: list[str] | None = None) -> int:
         traced_series: list[float] = []
         counters_s = traced_s = float("inf")
         for _ in range(args.repeats):
-            _, _, cpu_s = timed(campaign.run, pages, workers=1)
+            _, _, cpu_s = timed(run_campaign, pages, workers=1)
             off_series.append(cpu_s)
-            _, wall_s, cpu_s = timed(campaign_counters.run, pages, workers=1)
+            _, wall_s, cpu_s = timed(run_counters, pages, workers=1)
             counters_s = min(counters_s, wall_s)
             counters_series.append(cpu_s)
-            _, wall_s, cpu_s = timed(campaign_traced.run, pages, workers=1)
+            _, wall_s, cpu_s = timed(run_traced, pages, workers=1)
             traced_s = min(traced_s, wall_s)
             traced_series.append(cpu_s)
         off_cpu_s = min(off_series)
@@ -584,6 +642,17 @@ def main(argv: list[str] | None = None) -> int:
             f"worst delta {fast_path['plt_worst_rel_delta_pct']:.3f}%)"
         )
 
+    memory_bench = None
+    if "memory" in sections:
+        memory_bench = bench_streaming_memory()
+        print(
+            f"memory: {memory_bench['pages_small']} pages "
+            f"{memory_bench['rss_small_kb'] / 1024:.0f} MB peak vs "
+            f"{memory_bench['pages_large']} pages "
+            f"{memory_bench['rss_large_kb'] / 1024:.0f} MB peak "
+            f"(growth {memory_bench['rss_growth_ratio']:.3f}x)"
+        )
+
     store_bench = None
     if "store" in sections:
         store_bench = bench_store_cold_vs_warm(universe, pages, config)
@@ -644,6 +713,7 @@ def main(argv: list[str] | None = None) -> int:
         ("fast_path", fast_path),
         ("store", store_bench),
         ("substrate", substrate),
+        ("streaming_memory", memory_bench),
     ):
         if section is not None:
             payload[key] = section

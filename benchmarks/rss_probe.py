@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Peak-RSS probe for the streaming executor — run one per subprocess.
+
+``ru_maxrss`` is a process-lifetime high-water mark, so comparing the
+memory footprint of two page counts requires one fresh interpreter per
+count; ``bench_campaign.py --sections memory`` spawns this script once
+per point.  Runs a serial, summary-only streaming campaign over a lazy
+universe (tiny pages — the subject is executor memory, not page
+complexity) and prints one JSON object on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pages", type=int, required=True)
+    parser.add_argument(
+        "--sites", type=int, default=100_000,
+        help="lazy-universe size (default 100k: footprint must not "
+        "depend on it)",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    from repro.measurement.campaign import CampaignConfig
+    from repro.measurement.executor import CampaignPlan, execute
+    from repro.web.topsites import GeneratorConfig, lazy_universe
+
+    generator_config = GeneratorConfig(
+        n_sites=max(args.sites, args.pages),
+        resources_per_page_median=8.0,
+        min_resources=5,
+        max_resources=16,
+    )
+    universe = lazy_universe(generator_config, seed=args.seed)
+    config = CampaignConfig(
+        visits_per_page=1,
+        probes_per_vantage=1,
+        max_vantage_points=1,
+        seed=args.seed,
+    )
+    start = time.time()
+    result = execute(CampaignPlan(
+        universe=universe,
+        sim=config,
+        page_count=args.pages,
+        summary_only=True,
+    ))
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(json.dumps({
+        "pages": args.pages,
+        "sites": generator_config.n_sites,
+        "visits": result.summary.total_visits,
+        "peak_rss_kb": peak_kb,
+        "seconds": round(time.time() - start, 3),
+    }))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

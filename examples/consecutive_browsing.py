@@ -11,7 +11,7 @@ Run:  python examples/consecutive_browsing.py
 """
 
 from repro.core.sharing import giant_provider_count
-from repro.measurement import ConsecutiveVisitRunner
+from repro.measurement import ConsecutivePlan, execute
 from repro.web import GeneratorConfig, TopSitesGenerator
 
 
@@ -21,8 +21,9 @@ def main() -> None:
     print(f"Browsing {len(pages)} pages consecutively "
           "(tickets persist, connections/caches do not)\n")
 
-    runner = ConsecutiveVisitRunner(universe, seed=9)
-    h2_run, h3_run = runner.run_both(pages)
+    h2_run, h3_run = execute(ConsecutivePlan(
+        universe=universe, pages=tuple(pages), seed=9
+    ))
 
     header = f"{'page':34s} {'giants':>6s} {'resumed':>7s} {'H2 PLT':>8s} {'H3 PLT':>8s} {'reduction':>9s}"
     print(header)

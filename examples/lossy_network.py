@@ -16,7 +16,7 @@ Run:  python examples/lossy_network.py
 import random
 
 from repro.events import EventLoop
-from repro.measurement import Campaign, CampaignConfig
+from repro.measurement import CampaignConfig, CampaignPlan, execute
 from repro.netsim import NetemProfile, NetworkPath, PacketKind
 from repro.transport import QuicConnection, TcpConnection
 from repro.web import GeneratorConfig, TopSitesGenerator
@@ -58,9 +58,11 @@ def page_load_demo() -> None:
         # Two repetitions per loss rate: loss realizations are noisy.
         reductions, h2_plts = [], []
         for seed in (3, 4):
-            result = Campaign(
-                universe, CampaignConfig(seed=seed, loss_rate=loss)
-            ).run(pages)
+            result = execute(CampaignPlan(
+                universe=universe,
+                sim=CampaignConfig(seed=seed, loss_rate=loss),
+                pages=pages,
+            ))
             reductions += [pv.plt_reduction_ms for pv in result.paired_visits]
             h2_plts += [pv.h2.plt_ms for pv in result.paired_visits]
         mean_reduction = sum(reductions) / len(reductions)

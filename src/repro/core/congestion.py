@@ -14,7 +14,7 @@ from typing import Sequence
 
 from repro.analysis.stats import LinearFit, linear_fit, median
 from repro.measurement.campaign import CampaignConfig
-from repro.measurement.parallel import run_campaigns
+from repro.measurement.executor import MultiCampaignPlan, execute
 from repro.web.page import Webpage
 from repro.web.topsites import WebUniverse
 
@@ -115,16 +115,16 @@ def loss_sweep(
         for loss_rate in loss_rates
         for repetition in range(repetitions)
     }
-    results = run_campaigns(
-        universe,
-        configs,
+    results = execute(MultiCampaignPlan(
+        universe=universe,
+        configs=configs,
         pages=target_pages,
         workers=workers,
         chunk_size=chunk_size,
         store=store,
         run_prefix=run_prefix,
         resume=resume,
-    )
+    ))
     series: list[LossSweepSeries] = []
     for loss_rate in loss_rates:
         points: list[tuple[int, float]] = []

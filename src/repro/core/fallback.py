@@ -25,7 +25,7 @@ from typing import Sequence
 
 from repro.faults.presets import udp_blackhole_profile
 from repro.measurement.campaign import CampaignConfig
-from repro.measurement.parallel import run_campaigns
+from repro.measurement.executor import MultiCampaignPlan, execute
 from repro.web.page import Webpage
 from repro.web.topsites import WebUniverse
 
@@ -85,16 +85,16 @@ def fallback_sweep(
         )
         for intensity in intensities
     }
-    results = run_campaigns(
-        universe,
-        configs,
+    results = execute(MultiCampaignPlan(
+        universe=universe,
+        configs=configs,
         pages=target_pages,
         workers=workers,
         chunk_size=chunk_size,
         store=store,
         run_prefix=run_prefix,
         resume=resume,
-    )
+    ))
     points: list[FallbackSweepPoint] = []
     for intensity in intensities:
         result = results[("faults", intensity)]

@@ -19,7 +19,8 @@ from repro.analysis.kmeans import kmeans
 from repro.analysis.stats import mean
 from repro.cdn.provider import GIANT_PROVIDERS
 from repro.core.metrics import reduction
-from repro.measurement.consecutive import ConsecutiveRun, ConsecutiveVisitRunner
+from repro.measurement.consecutive import ConsecutiveRun
+from repro.measurement.executor import ConsecutivePlan, execute
 from repro.measurement.farm import ProbeNetProfile
 from repro.web.page import Webpage
 from repro.web.topsites import WebUniverse
@@ -157,10 +158,13 @@ def case_study(
     low_pages, high_pages = best_groups
 
     def measure(label: str, group: list[Webpage]) -> SharingGroupStats:
-        runner = ConsecutiveVisitRunner(
-            universe, net_profile=net_profile, seed=seed, strict=strict
-        )
-        h2_run, h3_run = runner.run_both(group)
+        h2_run, h3_run = execute(ConsecutivePlan(
+            universe=universe,
+            pages=tuple(group),
+            net_profile=net_profile,
+            seed=seed,
+            strict=strict,
+        ))
         return SharingGroupStats(
             label=label,
             n_pages=len(group),

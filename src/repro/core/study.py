@@ -24,8 +24,9 @@ from repro.core.adoption import AdoptionTable, ProviderAdoption
 from repro.core.congestion import LossSweepSeries
 from repro.core.fallback import FallbackSweepPoint
 from repro.core.sharing import CaseStudyResult
-from repro.measurement.campaign import Campaign, CampaignConfig, CampaignResult
-from repro.measurement.consecutive import ConsecutiveRun, ConsecutiveVisitRunner
+from repro.measurement.campaign import CampaignConfig, CampaignResult
+from repro.measurement.consecutive import ConsecutiveRun
+from repro.measurement.executor import CampaignPlan, ConsecutivePlan, execute
 from repro.web.page import Webpage
 from repro.web.topsites import GeneratorConfig, WebUniverse, cached_universe
 
@@ -103,9 +104,10 @@ class H3CdnStudy:
     def campaign_result(self) -> CampaignResult:
         """The paired H2/H3 campaign (runs on first use)."""
         if self._campaign_result is None:
-            campaign = Campaign(self.universe, self.config.campaign_config)
-            self._campaign_result = campaign.run(
-                self._pages(self.config.max_campaign_pages),
+            self._campaign_result = execute(CampaignPlan(
+                universe=self.universe,
+                sim=self.config.campaign_config,
+                pages=self._pages(self.config.max_campaign_pages),
                 workers=self.config.workers,
                 store=self.config.store,
                 run_name=(
@@ -114,7 +116,7 @@ class H3CdnStudy:
                     else None
                 ),
                 resume=self.config.resume,
-            )
+            ))
         return self._campaign_result
 
     def campaign_result_or_none(self) -> CampaignResult | None:
@@ -142,16 +144,14 @@ class H3CdnStudy:
                     config_hash=campaign_config_hash(self.config.campaign_config),
                     resume=self.config.resume,
                 )
-            runner = ConsecutiveVisitRunner(
-                self.universe,
+            self._consecutive = execute(ConsecutivePlan(
+                universe=self.universe,
+                pages=tuple(self._pages(self.config.max_consecutive_pages)),
                 seed=self.config.seed,
                 strict=self.config.campaign_config.strict,
                 store=store,
                 run_name=run_name,
-            )
-            self._consecutive = runner.run_both(
-                list(self._pages(self.config.max_consecutive_pages))
-            )
+            ))
             if store is not None and run_name is not None:
                 # The journal holds both walks' keys in completion
                 # order (deduped in case a resume re-journaled one).

@@ -158,6 +158,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore --store (escape hatch for scripts that always "
         "pass one); results are bit-identical either way",
     )
+    parser.add_argument(
+        "--stream-pages",
+        type=int,
+        metavar="N",
+        help="instead of the experiment suite, run a constant-memory "
+        "streaming campaign over the first N pages of a lazily "
+        "generated universe (pages materialize on demand; outcomes "
+        "fold into a summary instead of accumulating) and print the "
+        "folded report; honours --sites/--seed/--workers/--store "
+        "(memory stays flat in N — try N far beyond --sites' default)",
+    )
     return parser
 
 
@@ -262,6 +273,78 @@ def make_study(args: argparse.Namespace, store=None) -> H3CdnStudy:
     )
 
 
+def run_streaming(args: argparse.Namespace) -> int:
+    """``--stream-pages N``: a summary-only campaign over a lazy universe."""
+    from repro.measurement.executor import CampaignPlan, execute
+    from repro.measurement.report import campaign_report
+    from repro.scenario import Scenario
+    from repro.web.topsites import GeneratorConfig, lazy_universe
+
+    n_pages = args.stream_pages
+    sites = args.sites if args.sites is not None else max(
+        n_pages, SCALES[args.scale][0]
+    )
+    if n_pages > sites:
+        print(
+            f"--stream-pages {n_pages} exceeds the universe's {sites} sites",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = Scenario(name="paper-default")
+    if getattr(args, "faults", None):
+        scenario = scenario.with_faults(args.faults)
+    if getattr(args, "strict", False):
+        scenario = scenario.with_strict()
+    config = scenario.campaign_config(
+        seed=args.seed,
+        progress=bool(getattr(args, "progress", False)),
+    )
+    universe = lazy_universe(GeneratorConfig(n_sites=sites), seed=args.seed)
+    store = None
+    if args.store and not args.no_store:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
+    print(
+        f"# repro-h3cdn streaming pages={n_pages} sites={sites} "
+        f"seed={args.seed} workers={args.workers}"
+        + (f" store={args.store}" if store else "")
+    )
+    start = time.time()
+    result = execute(CampaignPlan(
+        universe=universe,
+        sim=config,
+        page_count=n_pages,
+        workers=args.workers,
+        summary_only=True,
+        store=store,
+        run_name=(getattr(args, "run", None) or f"stream-{n_pages}")
+        if store
+        else None,
+        resume=bool(getattr(args, "resume", False)),
+    ))
+    wall_clock = time.time() - start
+    print()
+    print(campaign_report(result).render())
+    summary = result.summary
+    print(
+        f"  fallback: {summary.fallback_fell_back}/{summary.fallback_eligible} "
+        f"H3-eligible requests fell back ({summary.fallback_rate:.1%})"
+    )
+    if result.exec_stats:
+        stats = result.exec_stats
+        print(
+            f"  executor: {stats['mode']} mode, "
+            f"{stats['units_submitted']} units, "
+            f"in-flight peak {stats['max_in_flight_seen']}, "
+            f"reorder backlog peak {stats['max_ready_backlog']}"
+        )
+    print(f"  [{wall_clock:.1f}s]")
+    if store is not None:
+        store.close()
+    return 0
+
+
 def _jsonable(value):
     """Best-effort conversion of experiment data to JSON-safe values."""
     if value is None or isinstance(value, (str, int, float, bool)):
@@ -289,6 +372,8 @@ def main(argv: list[str] | None = None) -> int:
         for experiment_id, spec in EXPERIMENTS.items():
             print(f"{experiment_id:12s} {spec.title}")
         return 0
+    if args.stream_pages is not None:
+        return run_streaming(args)
     wanted = (
         list(EXPERIMENTS)
         if args.experiments == "all"

@@ -7,6 +7,12 @@ twice so the second (cache-warm) visit is measured, terminating
 connections and clearing caches between pages — plus the
 consecutive-visit mode (Section VI-D) where session tickets survive
 page transitions.
+
+The single entry point for running measurements is
+:func:`~repro.measurement.executor.execute` with a plan
+(:class:`CampaignPlan`, :class:`MultiCampaignPlan` or
+:class:`ConsecutivePlan`); ``Campaign.run``/``run_campaigns``/
+``ConsecutiveVisitRunner.run*`` survive as deprecated facades.
 """
 
 from repro.measurement.campaign import (
@@ -14,8 +20,17 @@ from repro.measurement.campaign import (
     CampaignConfig,
     CampaignResult,
     PairedVisit,
+    SimConfig,
+    TelemetryConfig,
 )
-from repro.measurement.consecutive import ConsecutiveVisitRunner
+from repro.measurement.consecutive import ConsecutiveRun, ConsecutiveVisitRunner
+from repro.measurement.executor import (
+    CampaignPlan,
+    ConsecutivePlan,
+    MultiCampaignPlan,
+    PageSource,
+    execute,
+)
 from repro.measurement.farm import ProbeNetProfile, ServerFarm
 from repro.measurement.outcome import VisitFailure, VisitOutcome
 from repro.measurement.parallel import (
@@ -26,7 +41,17 @@ from repro.measurement.parallel import (
     run_campaigns,
 )
 from repro.measurement.probe import Probe
-from repro.measurement.report import CampaignReport, ModeSummary, campaign_report
+from repro.measurement.report import (
+    CampaignReport,
+    ModeSummary,
+    campaign_report,
+    summary_report,
+)
+from repro.measurement.summary import (
+    CampaignSummary,
+    FixedGridHistogram,
+    ModeFold,
+)
 from repro.measurement.vantage import (
     VantagePoint,
     default_vantage_points,
@@ -36,23 +61,35 @@ from repro.measurement.vantage import (
 __all__ = [
     "Campaign",
     "CampaignConfig",
+    "CampaignPlan",
     "CampaignReport",
     "CampaignResult",
+    "CampaignSummary",
+    "ConsecutivePlan",
+    "ConsecutiveRun",
     "ConsecutiveVisitRunner",
-    "PairedVisit",
+    "FixedGridHistogram",
+    "ModeFold",
     "ModeSummary",
+    "MultiCampaignPlan",
+    "PageSource",
+    "PairedVisit",
     "ParallelCampaign",
     "Probe",
     "ProbeNetProfile",
     "ServerFarm",
+    "SimConfig",
+    "TelemetryConfig",
     "VantagePoint",
     "VisitFailure",
     "VisitOutcome",
     "campaign_report",
     "default_vantage_points",
     "derive_seed",
+    "execute",
     "global_vantage_points",
     "measure_paired_visit",
     "measure_visit_outcome",
     "run_campaigns",
+    "summary_report",
 ]

@@ -9,20 +9,113 @@ analyses consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING
 
 from repro.browser.browser import H2_ONLY, H3_ENABLED, PageVisit
 from repro.faults import FaultProfile
 from repro.measurement.outcome import VisitFailure
+from repro.measurement.summary import CampaignSummary
 from repro.measurement.vantage import VantagePoint, default_vantage_points
 from repro.transport.config import TransportConfig
 from repro.web.page import Webpage
 from repro.web.topsites import WebUniverse
 
+if TYPE_CHECKING:  # leaf-module import would still cycle via repro.store
+    from repro.store.stats import StoreStats
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Everything that shapes *what a visit measures*.
+
+    These are exactly the store-keyed knobs plus the knobs that select
+    which visits run: changing any of them changes the simulation (or
+    the set of simulations), so two campaigns agree bit-for-bit iff
+    their ``SimConfig``s agree.  Pair with a :class:`TelemetryConfig`
+    via :meth:`bundle` (or ``CampaignConfig.from_groups``) to obtain a
+    full campaign configuration.
+    """
+
+    #: Visits per page per mode; the last one is recorded (paper: 2).
+    visits_per_page: int = 2
+    #: Probes per vantage point (paper: 3).
+    probes_per_vantage: int = 1
+    #: Limit to the first N vantage points (None = all three).
+    max_vantage_points: int | None = 1
+    #: netem loss imposed at every probe (the Fig. 9 knob).
+    loss_rate: float = 0.0
+    #: Probe access-link rate.
+    rate_mbps: float | None = 50.0
+    #: Pre-seed edge caches with popular objects before measuring.
+    warm_popular: bool = True
+    #: Base seed; probes derive their own streams from it.
+    seed: int = 0
+    #: Transport-level configuration shared by all probes.
+    transport_config: TransportConfig = field(default_factory=TransportConfig)
+    #: Disable TLS session tickets everywhere (ablation).
+    use_session_tickets: bool = True
+    #: Scripted fault profile applied at every probe.
+    fault_profile: FaultProfile | None = None
+
+    def bundle(self, telemetry: "TelemetryConfig | None" = None) -> "CampaignConfig":
+        """Combine with a telemetry group into a full campaign config."""
+        return CampaignConfig.from_groups(self, telemetry)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Everything observe-only: instrumentation that never changes results.
+
+    Each knob here carries the same guarantee as :mod:`repro.obs` —
+    toggling it leaves every simulated timing, HAR and counter-relevant
+    outcome bit-identical.  (Note ``collect_counters``/``trace``/
+    ``strict`` *do* participate in store content keys for historical
+    reasons — the stored documents carry the collected telemetry — so
+    flipping them changes cache hits, never results.)
+    """
+
+    #: Collect a per-visit counter registry (handshakes, 0-RTT, HoL).
+    collect_counters: bool = False
+    #: Attach a qlog-style event tracer to every connection.
+    trace: bool = False
+    #: Run every visit under the :mod:`repro.check` invariant checker.
+    strict: bool = False
+    #: Sim-time metrics sampling interval (ms); ``None`` disables.
+    metrics_interval_ms: float | None = None
+    #: Ring-buffer capacity per metrics sampler.
+    metrics_max_samples: int = 512
+    #: Record hierarchical spans (visit → phase → transfer) per visit.
+    spans: bool = False
+    #: Enable event-loop callback profiling on every probe.
+    profile_loop: bool = False
+    #: Emit live progress heartbeats to stderr while the campaign runs.
+    progress: bool = False
+
+
+#: Flat CampaignConfig fields that belong to each group (the facade's
+#: decomposition map; store keys keep reading the flat names).
+SIM_FIELDS: tuple[str, ...] = tuple(f.name for f in fields(SimConfig))
+TELEMETRY_FIELDS: tuple[str, ...] = tuple(f.name for f in fields(TelemetryConfig))
+
 
 @dataclass(frozen=True)
 class CampaignConfig:
-    """Campaign-level knobs."""
+    """Campaign-level knobs — a facade over :class:`SimConfig` + :class:`TelemetryConfig`.
+
+    .. deprecated::
+        New code should compose the two frozen groups and pass them to
+        ``execute(CampaignPlan(...))``::
+
+            plan = CampaignPlan(universe, sim=SimConfig(loss_rate=0.01),
+                                telemetry=TelemetryConfig(collect_counters=True))
+
+        The flat dataclass stays fully functional — ``dataclasses.replace``
+        on flat fields, store keys (which read the flat attributes) and
+        manifests are unchanged — so existing configs keep working
+        verbatim.  Use :attr:`sim` / :attr:`telemetry` to decompose and
+        :meth:`from_groups` / :meth:`from_flat` to construct.
+    """
 
     #: Visits per page per mode; the last one is recorded (paper: 2).
     visits_per_page: int = 2
@@ -75,6 +168,38 @@ class CampaignConfig:
     #: never affects results or store keys.
     progress: bool = False
 
+    # -- group facade --------------------------------------------------
+
+    @property
+    def sim(self) -> SimConfig:
+        """The simulation-shaping knobs as a :class:`SimConfig` group."""
+        return SimConfig(**{name: getattr(self, name) for name in SIM_FIELDS})
+
+    @property
+    def telemetry(self) -> TelemetryConfig:
+        """The observe-only knobs as a :class:`TelemetryConfig` group."""
+        return TelemetryConfig(
+            **{name: getattr(self, name) for name in TELEMETRY_FIELDS}
+        )
+
+    @classmethod
+    def from_groups(
+        cls,
+        sim: SimConfig | None = None,
+        telemetry: TelemetryConfig | None = None,
+    ) -> "CampaignConfig":
+        """Compose the two frozen groups into a flat config."""
+        sim = sim or SimConfig()
+        telemetry = telemetry or TelemetryConfig()
+        knobs = {name: getattr(sim, name) for name in SIM_FIELDS}
+        knobs.update({name: getattr(telemetry, name) for name in TELEMETRY_FIELDS})
+        return cls(**knobs)
+
+    @classmethod
+    def from_flat(cls, **knobs) -> "CampaignConfig":
+        """Shim for callers holding a flat knob dict (manifests, CLIs)."""
+        return cls(**knobs)
+
 
 @dataclass
 class PairedVisit:
@@ -109,7 +234,17 @@ class CampaignResult:
     #: :class:`~repro.store.ResultStore` (``None`` otherwise).  Kept off
     #: the counter registry so counter totals stay bit-identical between
     #: warm-store and fresh runs.
-    store_stats: "object | None" = None
+    store_stats: StoreStats | None = None
+    #: Constant-memory fold of every outcome, populated by the
+    #: streaming executor.  In ``summary_only`` mode this is the *only*
+    #: record of the measurements (``paired_visits`` stays empty); in
+    #: materialized mode it equals ``CampaignSummary.from_result(self)``
+    #: field for field.
+    summary: CampaignSummary | None = None
+    #: Streaming-executor diagnostics (in-flight high-water, reorder
+    #: backlog, unit counts).  Wall-clock/scheduling only — never part
+    #: of results.
+    exec_stats: dict | None = None
     #: Merged event-loop callback profile (``config.profile_loop``):
     #: ``{qualname: {"count", "total_ms"}}`` in canonical visit order,
     #: sorted by cumulative time.  Wall-clock — diagnostic only.
@@ -141,6 +276,8 @@ class CampaignResult:
 
     @property
     def pages_measured(self) -> int:
+        if not self.paired_visits and self.summary is not None:
+            return self.summary.pages_measured
         return len({pv.page.url for pv in self.paired_visits})
 
     def counter_totals(self):
@@ -254,19 +391,33 @@ class Campaign:
         they complete, and the finished visit list is recorded under
         ``run_name``.  ``resume=True`` continues an interrupted run of
         the same name, executing only the missing visits.
-        """
-        from repro.measurement.parallel import run_campaigns
 
-        results = run_campaigns(
-            self.universe,
-            {"campaign": self.config},
-            pages=pages,
-            vantage_points=self.vantage_points,
-            workers=workers,
-            chunk_size=chunk_size,
-            start_method=start_method,
-            store=store,
-            run_prefix=run_name,
-            resume=resume,
+        .. deprecated::
+            This is now a facade over the streaming executor; prefer
+            ``execute(CampaignPlan(universe, sim=..., telemetry=...))``
+            from :mod:`repro.measurement.executor`.
+        """
+        import warnings
+
+        from repro.measurement.executor import CampaignPlan, execute
+
+        warnings.warn(
+            "Campaign.run() is deprecated; use "
+            "execute(CampaignPlan(...)) from repro.measurement.executor",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return results["campaign"]
+        return execute(
+            CampaignPlan(
+                universe=self.universe,
+                sim=self.config,
+                pages=pages,
+                vantage_points=self.vantage_points,
+                workers=workers,
+                chunk_size=chunk_size,
+                start_method=start_method,
+                store=store,
+                run_name=run_name,
+                resume=resume,
+            )
+        )

@@ -11,6 +11,7 @@ Fig. 8 and the Table III case study.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 
 from repro.browser.browser import H2_ONLY, H3_ENABLED, PageVisit
@@ -112,7 +113,9 @@ class ConsecutiveVisitRunner:
             config_material,
         )
 
-    def run(self, pages: list[Webpage] | tuple[Webpage, ...], mode: str) -> ConsecutiveRun:
+    def _run_mode(
+        self, pages: list[Webpage] | tuple[Webpage, ...], mode: str
+    ) -> ConsecutiveRun:
         """Visit ``pages`` in order under ``mode``; tickets persist.
 
         A fresh probe (fresh clock, caches and ticket store) is built
@@ -165,6 +168,24 @@ class ConsecutiveVisitRunner:
                 self.store.journal_visit(self.run_name, walk_key, "fresh")
         return run
 
+    def run(
+        self, pages: list[Webpage] | tuple[Webpage, ...], mode: str
+    ) -> ConsecutiveRun:
+        """Deprecated: use ``execute(ConsecutivePlan(...))`` instead."""
+        warnings.warn(
+            "ConsecutiveVisitRunner.run() is deprecated; use "
+            "repro.measurement.executor.execute(ConsecutivePlan(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_mode(pages, mode)
+
     def run_both(self, pages) -> tuple[ConsecutiveRun, ConsecutiveRun]:
-        """Run the walk under H2 and under H3-enabled."""
-        return self.run(pages, H2_ONLY), self.run(pages, H3_ENABLED)
+        """Deprecated: use ``execute(ConsecutivePlan(...))`` instead."""
+        warnings.warn(
+            "ConsecutiveVisitRunner.run_both() is deprecated; use "
+            "repro.measurement.executor.execute(ConsecutivePlan(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_mode(pages, H2_ONLY), self._run_mode(pages, H3_ENABLED)

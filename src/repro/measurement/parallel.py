@@ -256,225 +256,43 @@ def run_campaigns(
     first looked up by its content-addressed key; only misses become
     work units, and each fresh outcome is written (and journaled) as
     soon as it crosses back from its worker — per visit when serial,
-    per chunk when pooled — so an interrupted campaign resumes from its
+    per batch when pooled — so an interrupted campaign resumes from its
     last durable visit.  ``run_prefix`` names the runs (one per config;
     multi-config dicts get ``prefix/<key>``); ``resume`` keeps a prior
     interrupted journal under the same name alive so recovered visits
     are counted as resumed.  Replayed results are bit-identical to
     fresh execution, and ``store=None`` leaves behavior exactly as
     before.
+
+    .. deprecated::
+        This delegates to the streaming executor; prefer
+        ``execute(MultiCampaignPlan(...))`` from
+        :mod:`repro.measurement.executor`.
     """
-    target_pages = tuple(pages if pages is not None else universe.pages)
-    all_vps = tuple(
-        vantage_points if vantage_points is not None else default_vantage_points()
+    import warnings
+
+    from repro.measurement.executor import MultiCampaignPlan, execute
+
+    warnings.warn(
+        "run_campaigns() is deprecated; use "
+        "execute(MultiCampaignPlan(...)) from repro.measurement.executor",
+        DeprecationWarning,
+        stacklevel=2,
     )
-
-    if store is not None:
-        from repro.store.keys import (
-            campaign_config_hash,
-            page_part,
-            paired_visit_key,
-            visit_config_part,
+    return execute(
+        MultiCampaignPlan(
+            universe=universe,
+            configs=configs,
+            pages=tuple(pages) if pages is not None else None,
+            vantage_points=vantage_points,
+            workers=workers,
+            chunk_size=chunk_size,
+            start_method=start_method,
+            store=store,
+            run_prefix=run_prefix,
+            resume=resume,
         )
-        from repro.store.store import StoreStats
-
-        # Page key material is config-independent; hash each page once.
-        page_materials: dict[int, dict] = {}
-
-        def material_for(page_index: int) -> dict:
-            material = page_materials.get(page_index)
-            if material is None:
-                material = page_materials[page_index] = page_part(
-                    target_pages[page_index], universe.hosts
-                )
-            return material
-
-    # Deterministic slot list per config (vantage-major, then probe,
-    # then page) — the canonical order results are assembled in.
-    _Slot = tuple[int, int, int]
-    slots_by_key: dict[Hashable, list[_Slot]] = {}
-    outcome_by_slot: dict[tuple, VisitOutcome] = {}
-    slot_store_key: dict[tuple, str] = {}
-    stats_by_key: dict[Hashable, "StoreStats"] = {}
-    run_name_by_key: dict[Hashable, str | None] = {}
-    config_hash_by_key: dict[Hashable, str] = {}
-    units: list[_WorkUnit] = []
-
-    for key, config in configs.items():
-        vps = all_vps
-        if config.max_vantage_points is not None:
-            vps = vps[: config.max_vantage_points]
-        slots: list[_Slot] = [
-            (vp_index, probe_index, page_index)
-            for vp_index in range(len(vps))
-            for probe_index in range(config.probes_per_vantage)
-            for page_index in range(len(target_pages))
-        ]
-        slots_by_key[key] = slots
-        per_chunk = chunk_size if chunk_size is not None else _default_chunk_size(
-            len(target_pages), workers
-        )
-
-        pending: dict[tuple[int, int], list[int]] = {}
-        if store is None:
-            for vp_index, probe_index, page_index in slots:
-                pending.setdefault((vp_index, probe_index), []).append(page_index)
-        else:
-            config_part = visit_config_part(config)
-            config_hash_by_key[key] = campaign_config_hash(config)
-            run_name = _run_name_for(run_prefix, key, multi=len(configs) > 1)
-            run_name_by_key[key] = run_name
-            prior: set[str] = set()
-            if run_name is not None:
-                prior = store.begin_run(
-                    run_name, config_hash=config_hash_by_key[key], resume=resume
-                )
-            stats = stats_by_key[key] = StoreStats()
-            for vp_index, probe_index, page_index in slots:
-                visit_key = paired_visit_key(
-                    config_part,
-                    material_for(page_index),
-                    all_vps[vp_index],
-                    probe_index,
-                    derive_seed(config.seed, vp_index, probe_index, page_index),
-                )
-                slot = (key, vp_index, probe_index, page_index)
-                slot_store_key[slot] = visit_key
-                document = store.get(visit_key)
-                if document is not None:
-                    outcome = VisitOutcome.from_dict(document)
-                    outcome.source = "replay"
-                    outcome_by_slot[slot] = outcome
-                    stats.hits += 1
-                    if visit_key in prior:
-                        stats.resumed += 1
-                        store.stats.resumed += 1
-                else:
-                    stats.misses += 1
-                    pending.setdefault((vp_index, probe_index), []).append(page_index)
-        for (vp_index, probe_index), page_indices in pending.items():
-            for chunk in _chunked(page_indices, per_chunk):
-                units.append((key, vp_index, probe_index, chunk))
-
-    # Live progress (config.progress on any campaign): wall-clock only,
-    # observes finished outcomes, never touches a running simulation.
-    progress = None
-    if any(config.progress for config in configs.values()):
-        from repro.obs.progress import ProgressReporter
-
-        progress = ProgressReporter(
-            total=sum(len(slots) for slots in slots_by_key.values()),
-            workers=max(1, workers),
-        )
-        if outcome_by_slot:
-            progress.add_replayed(len(outcome_by_slot))
-
-    def consume(unit: _WorkUnit, outcomes: list[VisitOutcome]) -> None:
-        """Record one unit's fresh outcomes; write-through when stored."""
-        key, vp_index, probe_index, page_indices = unit
-        for page_index, outcome in zip(page_indices, outcomes):
-            slot = (key, vp_index, probe_index, page_index)
-            outcome_by_slot[slot] = outcome
-            if progress is not None:
-                progress.add_outcome(outcome)
-            if store is not None:
-                visit_key = slot_store_key[slot]
-                document = outcome.to_dict()
-                # The loop profile is wall-clock noise: strip it so
-                # stored documents stay host-independent and replayed
-                # payloads stay bit-identical to profile-off runs.
-                document.pop("profile", None)
-                wrote = store.put(
-                    visit_key,
-                    document,
-                    kind="paired",
-                    config_hash=config_hash_by_key[key],
-                    page_url=target_pages[page_index].url,
-                    probe=f"{all_vps[vp_index].name}-{probe_index}",
-                )
-                if wrote:
-                    stats_by_key[key].writes += 1
-                run_name = run_name_by_key[key]
-                if run_name is not None:
-                    store.journal_visit(run_name, visit_key, source="fresh")
-
-    if workers <= 1:
-        # In-process, one visit at a time: with a store attached this is
-        # what gives the write-ahead journal per-visit granularity.
-        for unit in units:
-            key, vp_index, probe_index, page_indices = unit
-            config = configs[key]
-            for page_index in page_indices:
-                outcome = measure_visit_outcome(
-                    universe, all_vps[vp_index], vp_index, probe_index,
-                    config, target_pages[page_index], page_index,
-                )
-                consume((key, vp_index, probe_index, (page_index,)), [outcome])
-    else:
-        ctx = multiprocessing.get_context(start_method)
-        with ctx.Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(universe, all_vps, configs, target_pages),
-        ) as pool:
-            # imap (not map): chunk results stream back in input order,
-            # so store writes and journal entries land as work finishes
-            # instead of all at once at the end.
-            for unit, chunk_result in zip(units, pool.imap(_run_unit, units)):
-                consume(
-                    unit,
-                    [VisitOutcome.from_dict(doc) for doc in chunk_result],
-                )
-
-    progress_summary = progress.finish() if progress is not None else None
-
-    # Reassemble per campaign by walking the canonical slot order —
-    # identical whether an outcome was replayed or freshly measured.
-    results: dict[Hashable, CampaignResult] = {}
-    for key, config in configs.items():
-        paired: list[PairedVisit] = []
-        failures: list[VisitFailure] = []
-        for vp_index, probe_index, page_index in slots_by_key[key]:
-            outcome = outcome_by_slot[(key, vp_index, probe_index, page_index)]
-            probe_name = f"{all_vps[vp_index].name}-{probe_index}"
-            if outcome.status == "failed":
-                failures.append(
-                    VisitFailure(
-                        page_url=target_pages[outcome.page_index].url,
-                        probe_name=probe_name,
-                        error=outcome.error or "unknown",
-                    )
-                )
-                continue
-            paired.append(
-                PairedVisit(
-                    page=target_pages[outcome.page_index],
-                    probe_name=probe_name,
-                    h2=outcome.h2,
-                    h3=outcome.h3,
-                    loop_profile=outcome.profile,
-                )
-            )
-        result = CampaignResult(universe, config, paired, failures=failures)
-        if config.profile_loop:
-            result.loop_profile = _merge_profiles(
-                pv.loop_profile for pv in paired
-            )
-        if config.progress:
-            result.progress = progress_summary
-        if store is not None:
-            result.store_stats = stats_by_key[key]
-            run_name = run_name_by_key[key]
-            if run_name is not None:
-                store.finish_run(
-                    run_name,
-                    [
-                        slot_store_key[(key, vp_index, probe_index, page_index)]
-                        for vp_index, probe_index, page_index in slots_by_key[key]
-                    ],
-                )
-        results[key] = result
-    return results
+    )
 
 
 def _merge_profiles(profiles) -> dict:
@@ -540,13 +358,24 @@ class ParallelCampaign:
         self.start_method = start_method
 
     def run(self, pages: tuple[Webpage, ...] | None = None) -> CampaignResult:
-        results = run_campaigns(
-            self.universe,
-            {"campaign": self.config},
-            pages=pages,
-            vantage_points=self.vantage_points,
-            workers=self.workers,
-            chunk_size=self.chunk_size,
-            start_method=self.start_method,
+        import warnings
+
+        from repro.measurement.executor import CampaignPlan, execute
+
+        warnings.warn(
+            "ParallelCampaign is deprecated; use "
+            "execute(CampaignPlan(...)) from repro.measurement.executor",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return results["campaign"]
+        return execute(
+            CampaignPlan(
+                universe=self.universe,
+                sim=self.config,
+                pages=pages,
+                vantage_points=self.vantage_points,
+                workers=self.workers,
+                chunk_size=self.chunk_size,
+                start_method=self.start_method,
+            )
+        )

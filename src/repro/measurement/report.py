@@ -8,12 +8,18 @@ the traffic-volume accounting from the ethics discussion.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.bootstrap import ConfidenceInterval, bootstrap_ci
 from repro.analysis.stats import mean, median, quantile
 from repro.browser.browser import H2_ONLY, H3_ENABLED
 from repro.measurement.campaign import CampaignResult
+from repro.measurement.summary import CampaignSummary, ModeFold
+
+if TYPE_CHECKING:  # leaf-module import would still cycle via repro.store
+    from repro.store.stats import StoreStats
 
 
 @dataclass(frozen=True)
@@ -43,7 +49,7 @@ class CampaignReport:
     pages_h3_wins: int
     #: Store hit/miss accounting, when the campaign ran against a
     #: :class:`~repro.store.ResultStore` (``None`` otherwise).
-    store: "object | None" = None
+    store: "StoreStats | None" = None
 
     @property
     def h3_win_rate(self) -> float:
@@ -97,9 +103,68 @@ def _summarize_mode(result: CampaignResult, mode: str) -> ModeSummary:
     )
 
 
+def _mode_from_fold(fold: ModeFold) -> ModeSummary:
+    """Lift a streaming :class:`ModeFold` into a :class:`ModeSummary`.
+
+    Mean/total counts are exact; median and p90 come from the fixed-grid
+    PLT histogram (deterministic, accurate to one bin width).
+    """
+    return ModeSummary(
+        mode=fold.mode,
+        pages=fold.visits,
+        requests=fold.har_entries,
+        mean_plt_ms=fold.plt.mean,
+        median_plt_ms=fold.plt.quantile(0.5),
+        p90_plt_ms=fold.plt.quantile(0.9),
+        reused_requests=fold.reused_requests,
+        resumed_requests=fold.resumed_requests,
+        bytes_transferred=fold.bytes_transferred,
+    )
+
+
+def summary_report(
+    summary: CampaignSummary, store: "StoreStats | None" = None
+) -> CampaignReport:
+    """Build a :class:`CampaignReport` from a folded streaming summary.
+
+    The materialized path bootstraps its PLT-reduction CI from the raw
+    per-visit reductions; those are gone in summary-only mode, so the
+    CI is the normal approximation from the fold's exact running
+    moments (``resamples=0`` marks the difference).
+    """
+    if summary.visits_recorded == 0:
+        raise ValueError("cannot report on an empty campaign")
+    reduction = summary.reduction
+    point = reduction.mean
+    half = (
+        1.96 * reduction.stdev / math.sqrt(reduction.n) if reduction.n > 1 else 0.0
+    )
+    return CampaignReport(
+        pages_measured=summary.visits_recorded,
+        total_requests=summary.h2.pool_requests + summary.h3.pool_requests,
+        h2=_mode_from_fold(summary.h2),
+        h3=_mode_from_fold(summary.h3),
+        plt_reduction_ci=ConfidenceInterval(
+            point=point,
+            low=point - half,
+            high=point + half,
+            confidence=0.95,
+            resamples=0,
+        ),
+        pages_h3_wins=summary.h3_wins,
+        store=store,
+    )
+
+
 def campaign_report(result: CampaignResult, seed: int = 0) -> CampaignReport:
-    """Summarize ``result`` (bootstrap CI on the mean PLT reduction)."""
+    """Summarize ``result`` (bootstrap CI on the mean PLT reduction).
+
+    Summary-only streaming results (no materialized ``paired_visits``)
+    are reported from their folded :class:`CampaignSummary` instead.
+    """
     if not result.paired_visits:
+        if result.summary is not None and result.summary.visits_recorded:
+            return summary_report(result.summary, store=result.store_stats)
         raise ValueError("cannot report on an empty campaign")
     reductions = [pv.plt_reduction_ms for pv in result.paired_visits]
     return CampaignReport(

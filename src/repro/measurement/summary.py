@@ -1,0 +1,471 @@
+"""Constant-memory campaign folds: histograms + running aggregates.
+
+The streaming executor (:mod:`repro.measurement.executor`) never holds
+more than a bounded window of visits in memory; everything an analysis
+needs from the long tail is folded *incrementally* into a
+:class:`CampaignSummary` — per-mode PLT statistics, the PLT-reduction
+distribution overall and per vantage / per probe, H3 win and fallback
+rates, failure/degraded tallies and merged counters.
+
+Two design rules make the fold a usable differential oracle:
+
+* **Fixed grids.**  CDF sketches are :class:`FixedGridHistogram`\\ s
+  whose bin edges never depend on the data, so merging two folds is an
+  element-wise sum and the result is independent of how visits were
+  sharded across workers.
+* **Canonical fold order.**  Float accumulation is not associative, so
+  the executor folds outcomes in canonical (config, vantage, probe,
+  page) slot order regardless of completion order.
+  :meth:`CampaignSummary.from_result` walks a materialized result in
+  the same order, which is why the acceptance contract — streaming
+  summary field-identical to the materialized fold, at any worker
+  count, warm or cold store — can demand exact equality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.browser.browser import H2_ONLY, H3_ENABLED
+
+#: Default grid for absolute PLTs: 0 .. 30 s in 50 ms bins.
+PLT_GRID = (0.0, 50.0, 600)
+#: Default grid for PLT reductions: −15 s .. +15 s in 50 ms bins.
+REDUCTION_GRID = (-15_000.0, 50.0, 600)
+
+
+@dataclass
+class FixedGridHistogram:
+    """A fixed-bin histogram with exact running moments.
+
+    ``counts`` has ``nbins + 2`` slots: index 0 is the underflow bucket
+    (values below ``lo``), index ``nbins + 1`` the overflow bucket.
+    Because the grid is fixed at construction, merging is element-wise
+    and quantile estimates are deterministic functions of the counts.
+    """
+
+    lo: float
+    width: float
+    nbins: int
+    counts: list[int] = field(default_factory=list)
+    n: int = 0
+    total: float = 0.0
+    sumsq: float = 0.0
+    min: float | None = None
+    max: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (self.nbins + 2)
+
+    def add(self, value: float) -> None:
+        index = math.floor((value - self.lo) / self.width)
+        if index < 0:
+            slot = 0
+        elif index >= self.nbins:
+            slot = self.nbins + 1
+        else:
+            slot = index + 1
+        self.counts[slot] += 1
+        self.n += 1
+        self.total += value
+        self.sumsq += value * value
+        self.min = value if self.min is None else builtins_min(self.min, value)
+        self.max = value if self.max is None else builtins_max(self.max, value)
+
+    def merge(self, other: "FixedGridHistogram") -> None:
+        if (other.lo, other.width, other.nbins) != (self.lo, self.width, self.nbins):
+            raise ValueError("cannot merge histograms with different grids")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.n += other.n
+        self.total += other.total
+        self.sumsq += other.sumsq
+        if other.min is not None:
+            self.min = other.min if self.min is None else builtins_min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else builtins_max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation from the exact running moments."""
+        if self.n < 2:
+            return 0.0
+        variance = (self.sumsq - self.total * self.total / self.n) / (self.n - 1)
+        return math.sqrt(variance) if variance > 0.0 else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Deterministic quantile estimate (linear within the hit bin).
+
+        Exact to within one bin width for in-range values; underflow
+        and overflow buckets report the recorded ``min``/``max``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.n == 0:
+            return 0.0
+        if q == 0.0 and self.min is not None:
+            return self.min
+        if q == 1.0 and self.max is not None:
+            return self.max
+        target = q * (self.n - 1) + 1.0
+        cumulative = 0
+        for slot, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if cumulative + count >= target:
+                if slot == 0:
+                    return self.min if self.min is not None else self.lo
+                if slot == self.nbins + 1:
+                    return self.max if self.max is not None else self.lo
+                left = self.lo + (slot - 1) * self.width
+                fraction = (target - cumulative) / count
+                return left + fraction * self.width
+            cumulative += count
+        return self.max if self.max is not None else self.lo
+
+    def to_dict(self) -> dict:
+        return {
+            "lo": self.lo,
+            "width": self.width,
+            "nbins": self.nbins,
+            "counts": list(self.counts),
+            "n": self.n,
+            "total": self.total,
+            "sumsq": self.sumsq,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FixedGridHistogram":
+        return cls(
+            lo=raw["lo"],
+            width=raw["width"],
+            nbins=raw["nbins"],
+            counts=[int(c) for c in raw["counts"]],
+            n=int(raw["n"]),
+            total=float(raw["total"]),
+            sumsq=float(raw["sumsq"]),
+            min=raw.get("min"),
+            max=raw.get("max"),
+        )
+
+
+# math.floor + dataclass field named ``min`` shadow the builtins inside
+# methods; keep explicit references.
+builtins_min = min
+builtins_max = max
+
+
+def _plt_histogram() -> FixedGridHistogram:
+    return FixedGridHistogram(*PLT_GRID)
+
+
+def _reduction_histogram() -> FixedGridHistogram:
+    return FixedGridHistogram(*REDUCTION_GRID)
+
+
+@dataclass
+class ModeFold:
+    """Running aggregates for one protocol mode's recorded visits."""
+
+    mode: str
+    visits: int = 0
+    pool_requests: int = 0
+    har_entries: int = 0
+    reused_requests: int = 0
+    resumed_requests: int = 0
+    bytes_transferred: int = 0
+    plt: FixedGridHistogram = field(default_factory=_plt_histogram)
+
+    def add_visit(self, visit) -> None:
+        self.visits += 1
+        self.pool_requests += visit.pool_stats.requests
+        self.plt.add(visit.plt_ms)
+        for entry in visit.entries:
+            self.har_entries += 1
+            if entry.used_reused_connection:
+                self.reused_requests += 1
+            if entry.resumed:
+                self.resumed_requests += 1
+            self.bytes_transferred += entry.response_bytes
+
+    def merge(self, other: "ModeFold") -> None:
+        self.visits += other.visits
+        self.pool_requests += other.pool_requests
+        self.har_entries += other.har_entries
+        self.reused_requests += other.reused_requests
+        self.resumed_requests += other.resumed_requests
+        self.bytes_transferred += other.bytes_transferred
+        self.plt.merge(other.plt)
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "visits": self.visits,
+            "poolRequests": self.pool_requests,
+            "harEntries": self.har_entries,
+            "reusedRequests": self.reused_requests,
+            "resumedRequests": self.resumed_requests,
+            "bytesTransferred": self.bytes_transferred,
+            "plt": self.plt.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ModeFold":
+        return cls(
+            mode=raw["mode"],
+            visits=int(raw["visits"]),
+            pool_requests=int(raw["poolRequests"]),
+            har_entries=int(raw["harEntries"]),
+            reused_requests=int(raw["reusedRequests"]),
+            resumed_requests=int(raw["resumedRequests"]),
+            bytes_transferred=int(raw["bytesTransferred"]),
+            plt=FixedGridHistogram.from_dict(raw["plt"]),
+        )
+
+
+SUMMARY_FORMAT = "repro-h3cdn-summary/1"
+
+
+@dataclass
+class CampaignSummary:
+    """Everything the analyses need from a campaign, in O(1) memory.
+
+    Built incrementally by the streaming executor (one
+    :meth:`add_outcome` per visit, in canonical slot order) or in one
+    pass from a materialized result (:meth:`from_result`) — the two
+    must agree field for field; that equality is the streaming
+    executor's differential oracle.
+    """
+
+    h2: ModeFold = field(default_factory=lambda: ModeFold(H2_ONLY))
+    h3: ModeFold = field(default_factory=lambda: ModeFold(H3_ENABLED))
+    #: PLT_H2 − PLT_H3 per paired visit (positive ⇒ H3 wins).
+    reduction: FixedGridHistogram = field(default_factory=_reduction_histogram)
+    by_vantage: dict[str, FixedGridHistogram] = field(default_factory=dict)
+    by_probe: dict[str, FixedGridHistogram] = field(default_factory=dict)
+    total_visits: int = 0
+    ok_visits: int = 0
+    degraded_visits: int = 0
+    failed_visits: int = 0
+    h3_wins: int = 0
+    #: Fallback accounting over H3-mode HAR entries (the Fig. fallback
+    #: definition): entries to an H3-capable host that were not served
+    #: over H3.
+    fallback_eligible: int = 0
+    fallback_fell_back: int = 0
+    #: Merged counter registry (``collect_counters`` runs only), as the
+    #: registry's dict form; merged in canonical visit order.
+    counters: dict | None = None
+    #: Distinct page URLs folded so far.  The one O(pages) component —
+    #: a few bytes per *page* (not per visit), kept for parity with
+    #: ``CampaignResult.pages_measured``; excluded from equality so two
+    #: folds compare on their aggregates.
+    page_urls: set[str] = field(default_factory=set, compare=False)
+
+    # -- folding -------------------------------------------------------
+
+    def add_outcome(self, outcome, probe_name: str, universe=None) -> None:
+        """Fold one :class:`~repro.measurement.outcome.VisitOutcome`.
+
+        ``probe_name`` is the ``"<vantage>-<probe_index>"`` name the
+        probes carry; ``universe`` (when given) enables the fallback
+        fold, which needs host capability lookups.
+        """
+        self.total_visits += 1
+        if outcome.status == "failed" or outcome.h2 is None or outcome.h3 is None:
+            self.failed_visits += 1
+            return
+        if outcome.status == "degraded":
+            self.degraded_visits += 1
+        else:
+            self.ok_visits += 1
+        self._fold_pair(outcome.h2, outcome.h3, probe_name, universe)
+
+    def _fold_pair(self, h2, h3, probe_name: str, universe) -> None:
+        self.h2.add_visit(h2)
+        self.h3.add_visit(h3)
+        self.page_urls.add(h2.page_url)
+        reduction = h2.plt_ms - h3.plt_ms
+        self.reduction.add(reduction)
+        if reduction > 0:
+            self.h3_wins += 1
+        vantage = probe_name.rsplit("-", 1)[0]
+        for bucket, name in ((self.by_vantage, vantage), (self.by_probe, probe_name)):
+            histogram = bucket.get(name)
+            if histogram is None:
+                histogram = bucket[name] = _reduction_histogram()
+            histogram.add(reduction)
+        if universe is not None:
+            hosts = universe.hosts
+            for entry in h3.entries:
+                spec = hosts.get(entry.host)
+                if spec is None or not spec.supports_h3:
+                    continue
+                self.fallback_eligible += 1
+                if entry.protocol != "h3":
+                    self.fallback_fell_back += 1
+        for visit in (h2, h3):
+            if visit.counters:
+                if self.counters is None:
+                    from repro.obs.counters import CounterRegistry
+
+                    self.counters = CounterRegistry().to_dict()
+                self._merge_counters(visit.counters)
+
+    def _merge_counters(self, raw: dict) -> None:
+        from repro.obs.counters import CounterRegistry
+
+        registry = CounterRegistry()
+        registry.merge_dict(self.counters)
+        registry.merge_dict(raw)
+        self.counters = registry.to_dict()
+
+    def merge(self, other: "CampaignSummary") -> None:
+        """Element-wise merge of two folds (for sharded campaigns)."""
+        self.h2.merge(other.h2)
+        self.h3.merge(other.h3)
+        self.reduction.merge(other.reduction)
+        for bucket, other_bucket in (
+            (self.by_vantage, other.by_vantage),
+            (self.by_probe, other.by_probe),
+        ):
+            for name, histogram in other_bucket.items():
+                mine = bucket.get(name)
+                if mine is None:
+                    bucket[name] = FixedGridHistogram.from_dict(histogram.to_dict())
+                else:
+                    mine.merge(histogram)
+        self.total_visits += other.total_visits
+        self.ok_visits += other.ok_visits
+        self.degraded_visits += other.degraded_visits
+        self.failed_visits += other.failed_visits
+        self.h3_wins += other.h3_wins
+        self.fallback_eligible += other.fallback_eligible
+        self.fallback_fell_back += other.fallback_fell_back
+        self.page_urls |= other.page_urls
+        if other.counters is not None:
+            if self.counters is None:
+                from repro.obs.counters import CounterRegistry
+
+                self.counters = CounterRegistry().to_dict()
+            self._merge_counters(other.counters)
+
+    # -- derived rates -------------------------------------------------
+
+    @property
+    def visits_recorded(self) -> int:
+        """Paired visits that produced measurements (ok + degraded)."""
+        return self.ok_visits + self.degraded_visits
+
+    @property
+    def pages_measured(self) -> int:
+        return len(self.page_urls)
+
+    @property
+    def h3_win_rate(self) -> float:
+        recorded = self.visits_recorded
+        return self.h3_wins / recorded if recorded else 0.0
+
+    @property
+    def fallback_rate(self) -> float:
+        if not self.fallback_eligible:
+            return 0.0
+        return self.fallback_fell_back / self.fallback_eligible
+
+    @property
+    def mean_reduction_ms(self) -> float:
+        return self.reduction.mean
+
+    # -- materialized oracle -------------------------------------------
+
+    @classmethod
+    def from_result(cls, result, universe=None) -> "CampaignSummary":
+        """Fold a materialized :class:`CampaignResult`, in visit order.
+
+        ``paired_visits`` is already in canonical (vantage, probe,
+        page) slot order for any worker count, so this fold reproduces
+        the streaming executor's summary exactly.  Failures carry no
+        float state, so folding them after the visits is order-safe.
+        """
+        summary = cls()
+        fold_universe = universe if universe is not None else result.universe
+        for paired in result.paired_visits:
+            status = (
+                "degraded"
+                if paired.h2.status != "ok" or paired.h3.status != "ok"
+                else "ok"
+            )
+            summary.total_visits += 1
+            if status == "degraded":
+                summary.degraded_visits += 1
+            else:
+                summary.ok_visits += 1
+            summary._fold_pair(
+                paired.h2, paired.h3, paired.probe_name, fold_universe
+            )
+        summary.total_visits += len(result.failures)
+        summary.failed_visits += len(result.failures)
+        return summary
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": SUMMARY_FORMAT,
+            "h2": self.h2.to_dict(),
+            "h3": self.h3.to_dict(),
+            "reduction": self.reduction.to_dict(),
+            "byVantage": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self.by_vantage.items())
+            },
+            "byProbe": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self.by_probe.items())
+            },
+            "totalVisits": self.total_visits,
+            "okVisits": self.ok_visits,
+            "degradedVisits": self.degraded_visits,
+            "failedVisits": self.failed_visits,
+            "h3Wins": self.h3_wins,
+            "fallbackEligible": self.fallback_eligible,
+            "fallbackFellBack": self.fallback_fell_back,
+            "counters": self.counters,
+            "pagesMeasured": self.pages_measured,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "CampaignSummary":
+        if raw.get("format") != SUMMARY_FORMAT:
+            raise ValueError(
+                f"unsupported summary format {raw.get('format')!r}"
+            )
+        return cls(
+            h2=ModeFold.from_dict(raw["h2"]),
+            h3=ModeFold.from_dict(raw["h3"]),
+            reduction=FixedGridHistogram.from_dict(raw["reduction"]),
+            by_vantage={
+                name: FixedGridHistogram.from_dict(h)
+                for name, h in raw["byVantage"].items()
+            },
+            by_probe={
+                name: FixedGridHistogram.from_dict(h)
+                for name, h in raw["byProbe"].items()
+            },
+            total_visits=int(raw["totalVisits"]),
+            ok_visits=int(raw["okVisits"]),
+            degraded_visits=int(raw["degradedVisits"]),
+            failed_visits=int(raw["failedVisits"]),
+            h3_wins=int(raw["h3Wins"]),
+            fallback_eligible=int(raw["fallbackEligible"]),
+            fallback_fell_back=int(raw["fallbackFellBack"]),
+            counters=raw.get("counters"),
+        )

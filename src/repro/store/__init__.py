@@ -30,12 +30,12 @@ from repro.store.keys import (
     paired_visit_key,
     visit_config_part,
 )
+from repro.store.stats import StoreStats
 from repro.store.store import (
     GcReport,
     ResultStore,
     RunInfo,
     StoreError,
-    StoreStats,
     VerifyProblem,
 )
 

@@ -1,0 +1,53 @@
+"""Store hit/miss accounting, dependency-free.
+
+:class:`StoreStats` lives in its own leaf module (rather than in
+:mod:`repro.store.store`) so that :mod:`repro.measurement.campaign` can
+annotate ``CampaignResult.store_stats`` with the real type without
+creating an import cycle: ``store.keys`` imports ``campaign`` for the
+config field list, and ``store.store`` imports ``store.keys``.  The
+class is re-exported from both :mod:`repro.store` and
+:mod:`repro.store.store`, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting for one store consumer.
+
+    ``resumed`` counts hits whose key had already been journaled by an
+    earlier, interrupted invocation of the same named run — i.e. work
+    genuinely recovered by ``--resume`` rather than replayed from an
+    older complete run.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    resumed: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "resumed": self.resumed,
+            "hit_rate": self.hit_rate,
+        }
+
+    def merge(self, other: "StoreStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.writes += other.writes
+        self.resumed += other.resumed

@@ -34,49 +34,20 @@ import time
 from dataclasses import dataclass, field
 
 from repro.store.keys import STORE_SCHEMA_VERSION, blake2b_hex, canonical_json
+from repro.store.stats import StoreStats
+
+__all__ = [
+    "GcReport",
+    "ResultStore",
+    "RunInfo",
+    "StoreError",
+    "StoreStats",
+    "VerifyProblem",
+]
 
 
 class StoreError(Exception):
     """A store-level failure (schema mismatch, unknown run, corruption)."""
-
-
-@dataclass
-class StoreStats:
-    """Hit/miss accounting for one store consumer.
-
-    ``resumed`` counts hits whose key had already been journaled by an
-    earlier, interrupted invocation of the same named run — i.e. work
-    genuinely recovered by ``--resume`` rather than replayed from an
-    older complete run.
-    """
-
-    hits: int = 0
-    misses: int = 0
-    writes: int = 0
-    resumed: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
-
-    def to_dict(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "writes": self.writes,
-            "resumed": self.resumed,
-            "hit_rate": self.hit_rate,
-        }
-
-    def merge(self, other: "StoreStats") -> None:
-        self.hits += other.hits
-        self.misses += other.misses
-        self.writes += other.writes
-        self.resumed += other.resumed
 
 
 @dataclass(frozen=True)
@@ -354,6 +325,101 @@ class ResultStore:
                 "INSERT INTO journal (run_name, seq, key, source, created_unix)"
                 " VALUES (?, ?, ?, ?, ?)",
                 (name, row[0], key, source, time.time()),
+            )
+
+    def put_batch(
+        self,
+        entries: list[dict],
+        *,
+        journal: list[tuple[str, str, str]] = (),
+        run_visits: list[tuple[str, int, str]] = (),
+    ) -> int:
+        """Write several entries + journal rows in **one** transaction.
+
+        ``entries`` items carry the same fields as :meth:`put` keyword
+        arguments (``key``, ``document``, ``kind``, ``config_hash``,
+        optional ``page_url``/``probe``); existing keys are skipped.
+        ``journal`` rows are ``(run_name, key, source)`` triples and
+        ``run_visits`` rows are ``(run_name, position, key)`` — both
+        commit atomically with the entry index, so a batch is either
+        fully durable or (at worst) orphaned artifact bytes that ``gc``
+        compacts away.  This is the streaming executor's write-through
+        batching: one fsync-ish commit per *batch* instead of per visit.
+
+        Returns the number of new entries written.
+        """
+        new_rows: list[tuple] = []
+        seen: set[str] = set()
+        handle = None
+        for item in entries:
+            key = item["key"]
+            if key in seen or self.contains(key):
+                continue
+            seen.add(key)
+            payload = (canonical_json(item["document"]) + "\n").encode()
+            if handle is None:
+                handle = self._append_handle()
+                handle.seek(0, os.SEEK_END)
+            offset = handle.tell()
+            handle.write(payload)
+            new_rows.append(
+                (
+                    key,
+                    item["kind"],
+                    offset,
+                    len(payload),
+                    blake2b_hex(payload),
+                    item["config_hash"],
+                    item.get("page_url"),
+                    item.get("probe"),
+                    time.time(),
+                )
+            )
+        if handle is not None:
+            handle.flush()
+        with self._db:
+            if new_rows:
+                self._db.executemany(
+                    "INSERT INTO entries (key, kind, offset, length,"
+                    " payload_hash, config_hash, page_url, probe,"
+                    " created_unix) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    new_rows,
+                )
+            next_seq: dict[str, int] = {}
+            for run_name, key, source in journal:
+                if run_name not in next_seq:
+                    next_seq[run_name] = self._db.execute(
+                        "SELECT COALESCE(MAX(seq), -1) + 1 FROM journal"
+                        " WHERE run_name = ?",
+                        (run_name,),
+                    ).fetchone()[0]
+                self._db.execute(
+                    "INSERT INTO journal (run_name, seq, key, source,"
+                    " created_unix) VALUES (?, ?, ?, ?, ?)",
+                    (run_name, next_seq[run_name], key, source, time.time()),
+                )
+                next_seq[run_name] += 1
+            if run_visits:
+                self._db.executemany(
+                    "INSERT OR REPLACE INTO run_visits"
+                    " (run_name, position, key) VALUES (?, ?, ?)",
+                    list(run_visits),
+                )
+        self.stats.writes += len(new_rows)
+        return len(new_rows)
+
+    def mark_run_complete(self, name: str, n_visits: int) -> None:
+        """Flip a run to complete once its visit list has been streamed.
+
+        The streaming executor appends ``run_visits`` rows batch by
+        batch (via :meth:`put_batch`) instead of handing
+        :meth:`finish_run` an O(visits) key list; this is the closing
+        bookend.
+        """
+        with self._db:
+            self._db.execute(
+                "UPDATE runs SET complete = 1, n_visits = ? WHERE name = ?",
+                (n_visits, name),
             )
 
     def journal_keys(self, name: str) -> list[str]:

@@ -13,14 +13,17 @@ from repro.web.page import Webpage, Website
 from repro.web.resource import Resource, ResourceType
 from repro.web.topsites import (
     GeneratorConfig,
+    LazyWebUniverse,
     TopSitesGenerator,
     WebUniverse,
     cached_universe,
+    lazy_universe,
 )
 
 __all__ = [
     "GeneratorConfig",
     "HostSpec",
+    "LazyWebUniverse",
     "Resource",
     "ResourceType",
     "TopSitesGenerator",
@@ -28,4 +31,5 @@ __all__ = [
     "Webpage",
     "Website",
     "cached_universe",
+    "lazy_universe",
 ]

@@ -20,8 +20,12 @@ is exactly reproducible from ``(config, seed)``.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
+import re
+from collections import OrderedDict
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from repro.cdn.provider import CdnProvider, default_providers
@@ -142,6 +146,19 @@ class WebUniverse:
     @property
     def pages(self) -> tuple[Webpage, ...]:
         return tuple(site.landing_page for site in self.websites)
+
+    @property
+    def page_count(self) -> int:
+        return len(self.websites)
+
+    def page_at(self, index: int) -> Webpage:
+        return self.websites[index].landing_page
+
+    def iter_pages(self, n: int | None = None):
+        """Yield the first ``n`` pages (all of them when ``n`` is None)."""
+        count = self.page_count if n is None else min(n, self.page_count)
+        for index in range(count):
+            yield self.page_at(index)
 
     def host(self, hostname: str) -> HostSpec:
         return self.hosts[hostname]
@@ -589,3 +606,255 @@ class TopSitesGenerator:
             wave=1 if rng.random() < wave1_prob else 0,
             popular=rng.random() < cfg.popular_fraction,
         )
+
+    def generate_lazy(self, seed: int = 0) -> "LazyWebUniverse":
+        """Build a lazily-materialized universe (see :class:`LazyWebUniverse`)."""
+        return LazyWebUniverse(self.config, seed, providers=self.providers)
+
+
+# -- lazy universe ------------------------------------------------------
+
+
+def _lazy_stream_seed(seed: int, label) -> int:
+    """Derive an independent RNG seed for one lazy-universe stream.
+
+    Each page index (and the shared-host inventory, label ``"shared"``)
+    gets its own BLAKE2b-derived stream, so a page's content is a pure
+    function of ``(config, providers, seed, index)`` — independent of
+    ``n_sites`` and of which other pages were generated before it.
+    """
+    digest = hashlib.blake2b(
+        f"lazy-universe:{seed}:{label}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class _LayeredHosts(dict):
+    """Page-local host dict layered over the shared inventory.
+
+    ``_ensure_edge_host``/``_ensure_origin_host`` early-return when a
+    hostname is already present and draw from the page RNG otherwise.
+    Resolving shared hostnames through the base layer means those
+    ensure-calls consume *zero* page-RNG draws, which is what keeps a
+    lazy page bit-identical no matter which pages came before it.
+    Writes stay in this dict, so ``dict(layer)`` is exactly the page's
+    own (page-local) hosts.
+    """
+
+    __slots__ = ("_base",)
+
+    def __init__(self, base: dict) -> None:
+        super().__init__()
+        self._base = base
+
+    def __missing__(self, key):
+        return self._base[key]
+
+    def __contains__(self, key) -> bool:
+        return dict.__contains__(self, key) or key in self._base
+
+
+_NAMED_DOMAIN_INDEX = {domain: i for i, (domain, _) in enumerate(_NAMED_SITES)}
+_ORIGIN_PREFIXES = ("www", "api", "static", "tracker", "ads")
+_SYNTH_DOMAIN_RE = re.compile(r"[a-z]+(\d+)\.example\.com")
+
+
+class LazyHostInventory(Mapping):
+    """Demand-driven ``hosts`` mapping for :class:`LazyWebUniverse`.
+
+    Shared CDN hostnames resolve from the eagerly-built inventory;
+    page-local hostnames (origins and custom CDN hosts embed the page's
+    own domain) are parsed back to their page index and resolved by
+    generating that page.  Iteration/length only cover hosts that are
+    currently materialized — fine for diagnostics, never used by the
+    simulator, which looks hosts up by name.
+    """
+
+    def __init__(self, universe: "LazyWebUniverse") -> None:
+        self._universe = universe
+
+    def __getitem__(self, hostname: str) -> HostSpec:
+        universe = self._universe
+        spec = universe._shared_hosts.get(hostname)
+        if spec is not None:
+            return spec
+        index = universe._page_index_for_host(hostname)
+        if index is None:
+            raise KeyError(hostname)
+        local = universe._site_entry(index)[1]
+        spec = local.get(hostname)
+        if spec is None:
+            raise KeyError(hostname)
+        return spec
+
+    def __iter__(self):
+        universe = self._universe
+        yield from universe._shared_hosts
+        for _, local in universe._cache.values():
+            yield from local
+
+    def __len__(self) -> int:
+        universe = self._universe
+        return len(universe._shared_hosts) + sum(
+            len(local) for _, local in universe._cache.values()
+        )
+
+
+class LazyWebUniverse:
+    """A :class:`WebUniverse` that materializes pages on demand.
+
+    Instead of generating ``n_sites`` pages up front, the shared CDN
+    host inventory is built eagerly from a dedicated RNG stream and
+    each page is generated from its own BLAKE2b-derived stream the
+    first time it is requested, then held in a small LRU cache.  The
+    result: ``page_at(i)`` is bit-identical for any ``n_sites`` prefix
+    (a 100 000-site universe agrees with a 100-site one on the first
+    100 pages) and memory stays O(cache), not O(n_sites).
+
+    Duck-types the :class:`WebUniverse` surface the measurement stack
+    uses: ``config``, ``seed``, ``hosts``, ``host()``, ``page_count``,
+    ``page_at()``, ``iter_pages()`` and ``h3_enabled_cdn_resources()``.
+    ``pages``/``websites`` still materialize everything — avoid them
+    for large ``n_sites``.
+    """
+
+    _PAGE_CACHE_SIZE = 128
+
+    def __init__(
+        self,
+        config: GeneratorConfig | None = None,
+        seed: int = 0,
+        providers: tuple[CdnProvider, ...] | None = None,
+    ) -> None:
+        self.config = config or GeneratorConfig()
+        self.seed = seed
+        self._generator = TopSitesGenerator(self.config, providers)
+        self._build_shared_inventory()
+        #: index -> (Website, page-local host dict), LRU-bounded.
+        self._cache: OrderedDict[int, tuple[Website, dict[str, HostSpec]]] = (
+            OrderedDict()
+        )
+        self.hosts = LazyHostInventory(self)
+
+    def _build_shared_inventory(self) -> None:
+        """Pre-generate every shared edge host from a dedicated stream.
+
+        In eager generation shared hosts are created by whichever page
+        touches them first, consuming that page's RNG.  Lazily that
+        would make page content depend on generation order, so all
+        shared specs (and per-provider RTTs / stratified H3 support)
+        come from their own stream in fixed provider order instead.
+        """
+        gen = self._generator
+        rng = random.Random(_lazy_stream_seed(self.seed, "shared"))
+        gen._shared_h3 = gen._assign_shared_host_h3(rng)
+        lo, hi = self.config.edge_rtt_range_ms
+        n = len(gen.providers)
+        spread = [lo + (hi - lo) * i / max(1, n - 1) for i in range(n)]
+        rng.shuffle(spread)
+        gen._provider_rtt = {
+            provider.name: rtt for provider, rtt in zip(gen.providers, spread)
+        }
+        shared: dict[str, HostSpec] = {}
+        for provider in gen.providers:
+            for hostname in provider.shared_domains:
+                gen._ensure_edge_host(hostname, provider, shared, rng)
+        self._shared_hosts = shared
+
+    # -- page materialization ------------------------------------------
+
+    def _site_entry(self, index: int) -> tuple[Website, dict[str, HostSpec]]:
+        if not 0 <= index < self.config.n_sites:
+            raise IndexError(f"page index {index} out of range")
+        entry = self._cache.get(index)
+        if entry is not None:
+            self._cache.move_to_end(index)
+            return entry
+        rank = index + 1
+        rng = random.Random(_lazy_stream_seed(self.seed, index))
+        domain, overrides = self._generator._site_identity(rank, rng)
+        local = _LayeredHosts(self._shared_hosts)
+        page = self._generator._generate_page(domain, rank, overrides, local, rng)
+        entry = (Website(domain=domain, rank=rank, landing_page=page), dict(local))
+        self._cache[index] = entry
+        if len(self._cache) > self._PAGE_CACHE_SIZE:
+            self._cache.popitem(last=False)
+        return entry
+
+    def site_at(self, index: int) -> Website:
+        return self._site_entry(index)[0]
+
+    def page_at(self, index: int) -> Webpage:
+        return self._site_entry(index)[0].landing_page
+
+    @property
+    def page_count(self) -> int:
+        return self.config.n_sites
+
+    def iter_pages(self, n: int | None = None):
+        """Yield the first ``n`` pages (all ``n_sites`` when None)."""
+        count = self.page_count if n is None else min(n, self.page_count)
+        for index in range(count):
+            yield self.page_at(index)
+
+    @property
+    def pages(self) -> tuple[Webpage, ...]:
+        """Materialize every page — avoid for large ``n_sites``."""
+        return tuple(self.iter_pages())
+
+    @property
+    def websites(self) -> tuple[Website, ...]:
+        """Materialize every site — avoid for large ``n_sites``."""
+        return tuple(self.site_at(i) for i in range(self.page_count))
+
+    # -- WebUniverse surface -------------------------------------------
+
+    def host(self, hostname: str) -> HostSpec:
+        return self.hosts[hostname]
+
+    def h3_enabled_cdn_resources(self, page: Webpage) -> int:
+        return sum(
+            1 for r in page.cdn_resources if self.hosts[r.host].supports_h3
+        )
+
+    def _page_index_for_host(self, hostname: str) -> int | None:
+        """Recover the page index a page-local hostname belongs to."""
+        candidates = [hostname]
+        head, sep, tail = hostname.partition(".")
+        if sep and (head in _ORIGIN_PREFIXES or head.startswith("cdn-")):
+            candidates.append(tail)
+        n = self.config.n_sites
+        for domain in candidates:
+            named = _NAMED_DOMAIN_INDEX.get(domain)
+            if named is not None and named < n:
+                return named
+            match = _SYNTH_DOMAIN_RE.fullmatch(domain)
+            if match:
+                rank = int(match.group(1))
+                if 1 <= rank <= n:
+                    return rank - 1
+        return None
+
+    def __getstate__(self):
+        # Workers regenerate pages on demand; shipping the cache would
+        # defeat the memory bound.
+        state = self.__dict__.copy()
+        state["_cache"] = OrderedDict()
+        return state
+
+    def __repr__(self) -> str:
+        return (
+            f"LazyWebUniverse(n_sites={self.config.n_sites}, seed={self.seed}, "
+            f"cached_pages={len(self._cache)})"
+        )
+
+
+def lazy_universe(
+    config: GeneratorConfig | None = None, seed: int = 0
+) -> LazyWebUniverse:
+    """Build a default-provider :class:`LazyWebUniverse`.
+
+    Construction only materializes the shared host inventory (cheap),
+    so no memoization is needed — unlike :func:`cached_universe`.
+    """
+    return LazyWebUniverse(config, seed)

@@ -604,12 +604,11 @@ class TestLossSweepConfigDerivation:
         class _Captured(Exception):
             pass
 
-        def fake_run_campaigns(universe, configs, pages, workers=1,
-                               chunk_size=None, **kwargs):
-            captured.update(configs)
+        def fake_execute(plan):
+            captured.update(plan.configs)
             raise _Captured  # config derivation is all this test needs
 
-        monkeypatch.setattr(congestion_mod, "run_campaigns", fake_run_campaigns)
+        monkeypatch.setattr(congestion_mod, "execute", fake_execute)
         base = CampaignConfig(
             collect_counters=True, trace=True, strict=True,
             fault_profile=FAULT_PROFILES["no-0rtt"],
