@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-smoke lint trace-smoke faults-smoke check-smoke store-smoke obs-smoke stream-smoke
+.PHONY: test bench-smoke lint trace-smoke faults-smoke check-smoke store-smoke obs-smoke stream-smoke proxy-smoke
 
 # Tier-1 suite. tests/test_parallel.py runs 2- and 4-worker campaigns
 # against the serial baseline, so the parallel path is exercised on
@@ -69,6 +69,39 @@ faults-smoke:
 	sweep = m['fallback_sweep']; \
 	assert sweep['monotone_fallback'] is True, sweep; \
 	print('faults-smoke: manifest ok,', len(sweep['fallback_rates']), 'sweep points')"
+
+# Proxy/migration smoke: fig-migration at smoke scale under --strict
+# (the CONNECT tunnel must erase the migration edge and downgrade all
+# H3), plus one proxied main campaign per proxy model so both trace
+# families — migration:* (masque relay, QUIC migrates / TCP
+# reconnects) and proxy:* (connect tunnel, H3 downgraded) — land in
+# trace.jsonl and validate against the obs schema.
+proxy-smoke:
+	rm -rf .proxy_smoke
+	mkdir -p .proxy_smoke/tunnel
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli \
+		--scale smoke --sites 6 --experiments table2,fig-migration \
+		--proxy masque-relay --faults nat-rebind --strict --counters \
+		--trace-dir .proxy_smoke --json .proxy_smoke/results.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.obs.schema .proxy_smoke/trace.jsonl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli \
+		--scale smoke --sites 6 --experiments table2 \
+		--proxy connect-tunnel --faults nat-rebind --strict \
+		--trace-dir .proxy_smoke/tunnel
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.obs.schema .proxy_smoke/tunnel/trace.jsonl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
+	import json; m = json.load(open('.proxy_smoke/run.json')); \
+	assert m['invocation']['proxy'] == 'masque-relay', m['invocation']; \
+	assert m['invocation']['strict'] is True, m['invocation']; \
+	sweep = m['migration_sweep']; \
+	assert sweep['tunnel_erases_migration_edge'] is True, sweep; \
+	assert sweep['tunnel_downgrades_h3'] is True, sweep; \
+	relay = {n for n in (json.loads(l)['name'] for l in open('.proxy_smoke/trace.jsonl'))}; \
+	assert 'migration:migrated' in relay and 'migration:reconnect' in relay, sorted(relay); \
+	tunnel = {n for n in (json.loads(l)['name'] for l in open('.proxy_smoke/tunnel/trace.jsonl'))}; \
+	assert 'proxy:h3_downgrade' in tunnel and 'migration:migrated' not in tunnel, sorted(tunnel); \
+	print('proxy-smoke: manifest ok,', len(sweep['cells']), 'sweep cells,', \
+	      'migration/proxy trace families validated')"
 
 # Invariant-checking smoke: run experiments under --strict (any
 # violation aborts with a non-zero exit), confirm the manifest records

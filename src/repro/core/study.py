@@ -18,11 +18,13 @@ from repro.core import characteristics as characteristics_mod
 from repro.core import congestion as congestion_mod
 from repro.core import fallback as fallback_mod
 from repro.core import groups as groups_mod
+from repro.core import migration as migration_mod
 from repro.core import reuse as reuse_mod
 from repro.core import sharing as sharing_mod
 from repro.core.adoption import AdoptionTable, ProviderAdoption
 from repro.core.congestion import LossSweepSeries
 from repro.core.fallback import FallbackSweepPoint
+from repro.core.migration import MigrationPoint
 from repro.core.sharing import CaseStudyResult
 from repro.measurement.campaign import CampaignConfig, CampaignResult
 from repro.measurement.consecutive import ConsecutiveRun
@@ -55,6 +57,10 @@ class StudyConfig:
     #: Fault intensities for the fallback sweep (fraction of hosts
     #: whose UDP is blackholed).
     fallback_intensities: tuple[float, ...] = fallback_mod.DEFAULT_INTENSITIES
+    #: Path topologies for the migration sweep.
+    migration_topologies: tuple[str, ...] = migration_mod.DEFAULT_TOPOLOGIES
+    #: Fault kinds for the migration sweep ("none" = control).
+    migration_faults: tuple[str, ...] = migration_mod.DEFAULT_FAULTS
     #: Worker processes for the campaign and loss sweep (1 = in-process).
     workers: int = 1
     #: Result store for replay/resume (``None`` = no persistence).  A
@@ -83,6 +89,7 @@ class H3CdnStudy:
         self._consecutive: tuple[ConsecutiveRun, ConsecutiveRun] | None = None
         self._loss_sweep: list[LossSweepSeries] | None = None
         self._fallback_sweep: list[FallbackSweepPoint] | None = None
+        self._migration_sweep: list[MigrationPoint] | None = None
         self._case_study: CaseStudyResult | None = None
 
     # -- cached stages ---------------------------------------------------
@@ -301,6 +308,56 @@ class H3CdnStudy:
                 resume=self.config.resume,
             )
         return self._fallback_sweep
+
+    # -- proxy topologies: migration ----------------------------------------
+
+    def fig_migration(
+        self,
+        topologies: Sequence[str] | None = None,
+        fault_kinds: Sequence[str] | None = None,
+    ) -> list[MigrationPoint]:
+        """The migration sweep: QUIC migration vs TCP reconnect across
+        direct/tunnel/relay topologies.
+
+        Only the default call is cached; explicit ``topologies`` or
+        ``fault_kinds`` always run fresh.
+        """
+        if topologies is not None or fault_kinds is not None:
+            return migration_mod.migration_sweep(
+                self.universe,
+                topologies=tuple(
+                    topologies
+                    if topologies is not None
+                    else self.config.migration_topologies
+                ),
+                fault_kinds=tuple(
+                    fault_kinds
+                    if fault_kinds is not None
+                    else self.config.migration_faults
+                ),
+                pages=self._pages(self.config.max_loss_sweep_pages),
+                seed=self.config.seed,
+                campaign_config=self.config.campaign_config,
+                workers=self.config.workers,
+            )
+        if self._migration_sweep is None:
+            self._migration_sweep = migration_mod.migration_sweep(
+                self.universe,
+                topologies=self.config.migration_topologies,
+                fault_kinds=self.config.migration_faults,
+                pages=self._pages(self.config.max_loss_sweep_pages),
+                seed=self.config.seed,
+                campaign_config=self.config.campaign_config,
+                workers=self.config.workers,
+                store=self.config.store,
+                run_prefix=(
+                    f"{self.config.run_name}/fig-migration"
+                    if self.config.store is not None
+                    else None
+                ),
+                resume=self.config.resume,
+            )
+        return self._migration_sweep
 
     # ------------------------------------------------------------------
 

@@ -23,6 +23,7 @@ import time
 from repro.core.study import H3CdnStudy, StudyConfig
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.faults import FAULT_PROFILES
+from repro.netsim.proxy import PROXY_MODELS
 from repro.obs import build_run_manifest, write_run_manifest
 from repro.scenario import Scenario
 
@@ -124,6 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(FAULT_PROFILES),
         help="apply a named fault profile to every campaign "
         "(default: no faults — results are bit-identical to fault-free builds)",
+    )
+    parser.add_argument(
+        "--proxy",
+        choices=PROXY_MODELS,
+        help="route every campaign path through a proxy hop: "
+        "connect-tunnel (TCP-terminating CONNECT proxy; H3 downgrades "
+        "to H2 at the proxy) or masque-relay (UDP relay; QUIC passes "
+        "through end-to-end)",
     )
     parser.add_argument(
         "--strict",
@@ -247,6 +256,8 @@ def make_study(args: argparse.Namespace, store=None) -> H3CdnStudy:
     scenario = Scenario(name="paper-default")
     if faults_name:
         scenario = scenario.with_faults(faults_name)
+    if getattr(args, "proxy", None):
+        scenario = scenario.with_proxy(args.proxy)
     if getattr(args, "strict", False):
         scenario = scenario.with_strict()
     return H3CdnStudy(
@@ -293,6 +304,8 @@ def run_streaming(args: argparse.Namespace) -> int:
     scenario = Scenario(name="paper-default")
     if getattr(args, "faults", None):
         scenario = scenario.with_faults(args.faults)
+    if getattr(args, "proxy", None):
+        scenario = scenario.with_proxy(args.proxy)
     if getattr(args, "strict", False):
         scenario = scenario.with_strict()
     config = scenario.campaign_config(
@@ -540,6 +553,7 @@ def main(argv: list[str] | None = None) -> int:
                 "counters": bool(args.counters),
                 "trace": bool(args.trace_dir),
                 "faults": args.faults,
+                "proxy": args.proxy,
                 "strict": bool(args.strict),
                 "metrics_interval_ms": args.metrics_interval,
                 "spans": bool(args.spans),
@@ -552,6 +566,11 @@ def main(argv: list[str] | None = None) -> int:
             fallback_sweep=(
                 _jsonable(results["fig-fallback"].data)
                 if "fig-fallback" in results
+                else None
+            ),
+            migration_sweep=(
+                _jsonable(results["fig-migration"].data)
+                if "fig-migration" in results
                 else None
             ),
             config_hash=campaign_config_hash(study.config.campaign_config),

@@ -13,6 +13,7 @@ from repro.experiments import (
     fig8,
     fig9,
     fig_fallback,
+    fig_migration,
     table1,
     table2,
     table3,
@@ -25,7 +26,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     module.SPEC.name: module.SPEC
     for module in (
         table1, table2, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table3,
-        fig9, fig_fallback,
+        fig9, fig_fallback, fig_migration,
     )
 }
 

@@ -13,9 +13,14 @@ Named profiles for the CLI's ``--faults`` flag live in
 """
 
 from repro.faults.inject import FaultedPath, FaultInjector
-from repro.faults.presets import FAULT_PROFILES, udp_blackhole_profile
+from repro.faults.presets import (
+    FAULT_PROFILES,
+    migration_profile,
+    udp_blackhole_profile,
+)
 from repro.faults.profile import (
     FAULT_KINDS,
+    MIGRATION_KINDS,
     FaultEvent,
     FaultProfile,
     RetryPolicy,
@@ -25,11 +30,13 @@ from repro.faults.profile import (
 __all__ = [
     "FAULT_KINDS",
     "FAULT_PROFILES",
+    "MIGRATION_KINDS",
     "FaultEvent",
     "FaultInjector",
     "FaultProfile",
     "FaultedPath",
     "RetryPolicy",
+    "migration_profile",
     "stable_host_fraction",
     "udp_blackhole_profile",
 ]

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.faults.profile import FaultProfile, RetryPolicy
+from repro.faults.profile import MIGRATION_KINDS, FaultProfile, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.events.loop import EventLoop
@@ -111,6 +111,37 @@ class FaultInjector:
         """Session-ticket resumption for ``host`` is being refused."""
         return self._active("zero_rtt_reject", host)
 
+    def migration_blackout(self, host: str) -> bool:
+        """A client address change is in progress: the rebind/handover
+        gap drops every packet regardless of transport."""
+        for kind in MIGRATION_KINDS:
+            if self._active(kind, host):
+                return True
+        return False
+
+    def migration_at(self, host: str) -> "tuple[float, str] | None":
+        """Absolute loop time at which the client's address changes.
+
+        Returns the earliest instant ``>= now`` covered by a pending
+        migration window for ``host`` together with the fault kind, or
+        ``None`` when no such window lies ahead.  Mirrors
+        :meth:`connection_reset_at`, which established connections use
+        to arm a one-shot timer.
+        """
+        rel_now = self._rel_now()
+        best: "tuple[float, str] | None" = None
+        for event in self.profile.events:
+            if event.kind not in MIGRATION_KINDS or not event.targets(host):
+                continue
+            if rel_now >= event.end_ms:
+                continue
+            fire_rel = max(event.start_ms, rel_now)
+            if best is None or fire_rel < best[0]:
+                best = (fire_rel, event.kind)
+        if best is None:
+            return None
+        return self._visit_started_at + best[0], best[1]
+
     def connection_reset_at(self, host: str) -> float | None:
         """Absolute loop time at which a live connection gets reset.
 
@@ -138,6 +169,11 @@ class FaultInjector:
         """Whether a packet to/from ``host`` is eaten by an open window."""
         if self.blackout(host):
             return True
+        if self.migration_blackout(host):
+            # The rebind/handover gap loses packets for both transports;
+            # what differs is what happens *after* — QUIC resumes on the
+            # migrated connection, TCP has already torn down to reconnect.
+            return True
         return quic and self.udp_blackholed(host)
 
     def wrap_path(self, path: "NetworkPath", host: str, quic: bool) -> "FaultedPath":
@@ -155,6 +191,28 @@ class FaultInjector:
         tracer = obs.fault_tracer()
         if tracer:
             tracer.event(self.loop.now, f"fault:{kind}", host=host, **data)
+
+    def record_migration(
+        self, host: str, migrated: bool, protocol: str, streams: int
+    ) -> None:
+        """Report the outcome of a client address change for one
+        established connection: ``migrated`` (QUIC carried the
+        connection across by connection ID) or a forced reconnect
+        (TCP's 4-tuple binding died with the old address)."""
+        obs = self.obs
+        if obs is None:
+            return
+        outcome = "migrated" if migrated else "reconnect"
+        obs.counters.incr(f"migration.{outcome}")
+        tracer = obs.fault_tracer()
+        if tracer:
+            tracer.event(
+                self.loop.now,
+                f"migration:{outcome}",
+                host=host,
+                protocol=protocol,
+                streams=streams,
+            )
 
     def record_recovery(self, kind: str, host: str, **data) -> None:
         """Count a recovery action and (when tracing) emit ``recovery:<kind>``."""

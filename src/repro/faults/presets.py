@@ -9,7 +9,12 @@ monotone in the fraction by construction.
 
 from __future__ import annotations
 
-from repro.faults.profile import FaultEvent, FaultProfile, RetryPolicy
+from repro.faults.profile import (
+    MIGRATION_KINDS,
+    FaultEvent,
+    FaultProfile,
+    RetryPolicy,
+)
 
 #: Salt shared by every ``udp_blackhole_profile`` so that host subsets
 #: nest across intensities (see ``FaultEvent.targets``).
@@ -39,6 +44,37 @@ def udp_blackhole_profile(
         # hundreds of milliseconds instead of waiting out the QUIC
         # handshake retry ladder (~tens of seconds of simulated time).
         retry=RetryPolicy(connect_timeout_ms=1000.0),
+    )
+
+
+def migration_profile(
+    kind: str = "nat_rebind",
+    at_ms: float = 400.0,
+    gap_ms: float = 150.0,
+    name: str | None = None,
+) -> FaultProfile:
+    """A mid-visit client address change (``fig-migration`` builder).
+
+    The window ``[at_ms, at_ms + gap_ms)`` is the rebind/handover gap:
+    every packet drops while the new address comes up.  When it closes,
+    QUIC connections resume on the same connection ID (a path
+    migration); TCP connections were torn down at ``at_ms`` and are
+    reconnecting — through the tail of the gap, realistically.
+    """
+    if kind not in MIGRATION_KINDS:
+        raise ValueError(
+            f"kind must be one of {MIGRATION_KINDS}, got {kind!r}"
+        )
+    if name is None:
+        name = kind.replace("_", "-")
+    return FaultProfile(
+        name=name,
+        events=(
+            FaultEvent(kind=kind, start_ms=at_ms, end_ms=at_ms + gap_ms),
+        ),
+        # Reconnects race the request timeout; keep it tight enough
+        # that a stuck fetch re-dispatches within the visit.
+        retry=RetryPolicy(request_timeout_ms=8000.0),
     )
 
 
@@ -97,5 +133,14 @@ FAULT_PROFILES: dict[str, FaultProfile] = {
     "no-0rtt": FaultProfile(
         name="no-0rtt",
         events=(FaultEvent(kind="zero_rtt_reject"),),
+    ),
+    # The vantage's NAT mapping rebinds 400 ms into the visit (150 ms
+    # gap): QUIC migrates live connections by connection ID, TCP
+    # reconnects from scratch.
+    "nat-rebind": migration_profile("nat_rebind", at_ms=400.0, gap_ms=150.0),
+    # A WiFi→cellular handover 500 ms in, with a longer (250 ms) gap —
+    # the headline migration scenario from the QUIC design docs.
+    "wifi-to-cellular": migration_profile(
+        "wifi_to_cellular", at_ms=500.0, gap_ms=250.0
     ),
 }

@@ -33,6 +33,15 @@ The taxonomy (see ``docs/faults.md``):
 ``zero_rtt_reject``
     Session-ticket resumption is refused in the window — models server
     key rotation; connections complete a full handshake instead.
+``nat_rebind``
+    The vantage's NAT mapping is rebound mid-visit: packets drop for
+    the (short) rebind gap and the client's address changes.  QUIC
+    survives by connection ID (a path migration); TCP connections are
+    bound to the 4-tuple and must reconnect.
+``wifi_to_cellular``
+    The vantage switches networks mid-visit (e.g. walking out of WiFi
+    range).  Same mechanics as ``nat_rebind`` with a longer gap —
+    QUIC migrates the live connection, TCP reconnects from scratch.
 """
 
 from __future__ import annotations
@@ -50,8 +59,15 @@ FAULT_KINDS = frozenset(
         "dns_failure",
         "connection_reset",
         "zero_rtt_reject",
+        "nat_rebind",
+        "wifi_to_cellular",
     }
 )
+
+#: Fault kinds that model a mid-visit client address change — the
+#: connection-migration family.  QUIC survives these by connection ID;
+#: TCP must tear down and reconnect.
+MIGRATION_KINDS = ("nat_rebind", "wifi_to_cellular")
 
 #: Denominator for the stable per-host hash draw (2**64).
 _HASH_SPAN = float(1 << 64)

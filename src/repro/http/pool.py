@@ -66,6 +66,9 @@ class PoolStats:
     h3_fallbacks: int = 0
     connect_timeouts: int = 0
     connection_resets: int = 0
+    quic_migrations: int = 0
+    migration_reconnects: int = 0
+    proxy_h3_downgrades: int = 0
 
     def merged_with(self, other: "PoolStats") -> "PoolStats":
         # Derived from the dataclass fields so a future counter can
@@ -96,6 +99,12 @@ class PoolStats:
             payload["connectTimeouts"] = self.connect_timeouts
         if self.connection_resets:
             payload["connectionResets"] = self.connection_resets
+        if self.quic_migrations:
+            payload["quicMigrations"] = self.quic_migrations
+        if self.migration_reconnects:
+            payload["migrationReconnects"] = self.migration_reconnects
+        if self.proxy_h3_downgrades:
+            payload["proxyH3Downgrades"] = self.proxy_h3_downgrades
         return payload
 
     @classmethod
@@ -111,6 +120,9 @@ class PoolStats:
             h3_fallbacks=raw.get("h3Fallbacks", 0),
             connect_timeouts=raw.get("connectTimeouts", 0),
             connection_resets=raw.get("connectionResets", 0),
+            quic_migrations=raw.get("quicMigrations", 0),
+            migration_reconnects=raw.get("migrationReconnects", 0),
+            proxy_h3_downgrades=raw.get("proxyH3Downgrades", 0),
         )
 
 
@@ -161,6 +173,8 @@ class _PooledConnection:
         self.connect_timer: Timer | None = None
         #: Scheduled mid-transfer reset, if the profile scripts one.
         self.reset_event: ScheduledEvent | None = None
+        #: Scheduled mid-transfer client address change, if scripted.
+        self.migration_event: ScheduledEvent | None = None
         #: Set once the connection is torn down by fault recovery;
         #: late callbacks from the dead connection check it and bail.
         self.failed = False
@@ -219,6 +233,9 @@ class ConnectionPool:
         self.alt_svc = alt_svc
         #: Coalesce keys whose H3 lane is dead for this pool's lifetime.
         self._h3_broken_keys: set[str] = set()
+        #: Coalesce keys whose H3 attempt a TCP-only proxy already
+        #: downgraded (count/trace once per would-be QUIC connection).
+        self._proxy_downgraded_keys: set[str] = set()
         self.stats = PoolStats()
         self._multiplexed: dict[tuple[str, HttpProtocol], _PooledConnection] = {}
         self._h1_conns: dict[str, list[_PooledConnection]] = {}
@@ -288,6 +305,16 @@ class ConnectionPool:
         return getattr(server, "coalesce_key", None) or server.hostname
 
     def _fetch_multiplexed(self, fetch: _PendingFetch, path: NetworkPath) -> None:
+        if fetch.protocol is HttpProtocol.H3 and not getattr(
+            path, "h3_passthrough", True
+        ):
+            # A CONNECT-style tunnel on the path only relays TCP byte
+            # streams: the H3 (QUIC-over-UDP) attempt cannot traverse
+            # the proxy and downgrades to H2 over the tunnel.
+            self._proxy_downgrade_h3(fetch, path)
+            if not fetch.protocol.multiplexes:
+                self._fetch_h1(fetch, path)
+                return
         if (
             fetch.protocol is HttpProtocol.H3
             and self.faults is not None
@@ -316,6 +343,31 @@ class ConnectionPool:
             # Arrived mid-handshake: waits, then reports connect = 0.
             self.stats.reused_requests += 1
             pooled.pending.append(fetch)
+
+    def _proxy_downgrade_h3(self, fetch: _PendingFetch, path: NetworkPath) -> None:
+        """Reroute one H3 fetch to TCP at a non-UDP-capable proxy."""
+        fetch.protocol = (
+            HttpProtocol.H2
+            if getattr(fetch.server, "supports_h2", True)
+            else HttpProtocol.H1
+        )
+        key = self._coalesce_key(fetch.server)
+        if key in self._proxy_downgraded_keys:
+            return
+        # First H3 attempt for this coalesce group: account for the
+        # one QUIC connection the proxy refused to carry.
+        self._proxy_downgraded_keys.add(key)
+        self.stats.proxy_h3_downgrades += 1
+        if self.obs is not None:
+            self.obs.counters.incr("proxy.h3_downgrades")
+            tracer = self.obs.fault_tracer()
+            if tracer:
+                tracer.event(
+                    self.loop.now,
+                    "proxy:h3_downgrade",
+                    host=fetch.server.hostname,
+                    model=getattr(path, "proxy_model", None) or "connect-tunnel",
+                )
 
     def _fetch_h1(self, fetch: _PendingFetch, path: NetworkPath) -> None:
         host = fetch.server.hostname
@@ -473,6 +525,12 @@ class ConnectionPool:
                 pooled.reset_event = self.loop.call_at(
                     reset_at, self._on_connection_reset, pooled
                 )
+            migration = self.faults.migration_at(pooled.host)
+            if migration is not None:
+                migrate_at, kind = migration
+                pooled.migration_event = self.loop.call_at(
+                    migrate_at, self._on_migration, pooled, kind
+                )
         spans = self._spans
         if spans is not None and pooled.connect_span is not None:
             now = self.loop.now
@@ -570,6 +628,35 @@ class ConnectionPool:
         )
         self._teardown_established(pooled, "connection_reset")
 
+    def _on_migration(self, pooled: _PooledConnection, kind: str) -> None:
+        """The vantage's address changed under a live connection.
+
+        QUIC is identified by connection ID, not by 4-tuple: the
+        connection survives the change (packets lost in the rebind gap
+        recover by PTO once the new path carries traffic).  TCP *is*
+        its 4-tuple — the old connection is dead on arrival of the new
+        address, and every stream it carried reconnects from scratch.
+        """
+        if self._closed or pooled.failed or not pooled.established:
+            return
+        pooled.migration_event = None
+        streams = len(pooled.inflight)
+        self.faults.record_fault(kind, pooled.host, streams=streams)
+        if pooled.protocol is HttpProtocol.H3:
+            self.stats.quic_migrations += 1
+            self.faults.record_migration(
+                pooled.host, migrated=True,
+                protocol=pooled.protocol.value, streams=streams,
+            )
+            pooled.conn.on_path_migration()
+            return
+        self.stats.migration_reconnects += 1
+        self.faults.record_migration(
+            pooled.host, migrated=False,
+            protocol=pooled.protocol.value, streams=streams,
+        )
+        self._teardown_established(pooled, "migration")
+
     def _on_transport_error(self, pooled: _PooledConnection) -> None:
         """The transport exhausted its own retry budget mid-request."""
         if self._closed or pooled.failed:
@@ -595,6 +682,9 @@ class ConnectionPool:
         if pooled.reset_event is not None:
             pooled.reset_event.cancel()
             pooled.reset_event = None
+        if pooled.migration_event is not None:
+            pooled.migration_event.cancel()
+            pooled.migration_event = None
         pooled.conn.close()
         self._remove_pooled(pooled)
         victims = list(pooled.inflight)
@@ -925,6 +1015,9 @@ class ConnectionPool:
                 if pooled.reset_event is not None:
                     pooled.reset_event.cancel()
                     pooled.reset_event = None
+                if pooled.migration_event is not None:
+                    pooled.migration_event.cancel()
+                    pooled.migration_event = None
                 for fetch in pooled.inflight:
                     if fetch.timer is not None:
                         fetch.timer.stop()
@@ -947,6 +1040,9 @@ class ConnectionPool:
                 ("pool.h3_fallbacks", self.stats.h3_fallbacks),
                 ("pool.connect_timeouts", self.stats.connect_timeouts),
                 ("pool.connection_resets", self.stats.connection_resets),
+                ("pool.quic_migrations", self.stats.quic_migrations),
+                ("pool.migration_reconnects", self.stats.migration_reconnects),
+                ("pool.proxy_h3_downgrades", self.stats.proxy_h3_downgrades),
             ):
                 if value:
                     counters.incr(key, value)

@@ -17,6 +17,7 @@ from repro.faults import FaultProfile
 from repro.measurement.outcome import VisitFailure
 from repro.measurement.summary import CampaignSummary
 from repro.measurement.vantage import VantagePoint, default_vantage_points
+from repro.netsim.proxy import ProxyConfig
 from repro.transport.config import TransportConfig
 from repro.web.page import Webpage
 from repro.web.topsites import WebUniverse
@@ -57,6 +58,8 @@ class SimConfig:
     use_session_tickets: bool = True
     #: Scripted fault profile applied at every probe.
     fault_profile: FaultProfile | None = None
+    #: Proxy hop on every probe↔host path (``None`` = direct paths).
+    proxy: ProxyConfig | None = None
 
     def bundle(self, telemetry: "TelemetryConfig | None" = None) -> "CampaignConfig":
         """Combine with a telemetry group into a full campaign config."""
@@ -167,6 +170,9 @@ class CampaignConfig:
     #: and record a progress summary on the result.  Wall-clock only;
     #: never affects results or store keys.
     progress: bool = False
+    #: Proxy hop on every probe↔host path (``None`` = direct paths).
+    #: Result-affecting: part of the store content key.
+    proxy: ProxyConfig | None = None
 
     # -- group facade --------------------------------------------------
 

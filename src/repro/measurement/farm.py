@@ -22,6 +22,7 @@ from repro.cdn.origin import OriginServer
 from repro.events import EventLoop
 from repro.netsim.netem import NetemProfile
 from repro.netsim.path import NetworkPath
+from repro.netsim.proxy import ProxyConfig, SegmentedPath
 from repro.web.hosts import HostSpec
 from repro.web.page import Webpage
 
@@ -64,13 +65,17 @@ class ServerFarm:
         hosts: dict[str, HostSpec],
         net_profile: ProbeNetProfile | None = None,
         rng: random.Random | None = None,
+        proxy: ProxyConfig | None = None,
     ) -> None:
         self.loop = loop
         self.specs = hosts
         self.net_profile = net_profile or ProbeNetProfile()
         self.rng = rng or random.Random(0)
+        #: Optional proxy hop: every path becomes a two-segment chain
+        #: (client→proxy access leg, proxy→edge shaped leg).
+        self.proxy = proxy
         self._servers: dict[str, EdgeServer | OriginServer] = {}
-        self._paths: dict[str, NetworkPath] = {}
+        self._paths: dict[str, NetworkPath | SegmentedPath] = {}
 
     def server(self, hostname: str) -> EdgeServer | OriginServer:
         """The live server for ``hostname`` (instantiated on first use)."""
@@ -78,16 +83,36 @@ class ServerFarm:
             self._servers[hostname] = self.specs[hostname].instantiate()
         return self._servers[hostname]
 
-    def path(self, hostname: str) -> NetworkPath:
-        """The shared probe↔host network path."""
+    def path(self, hostname: str) -> NetworkPath | SegmentedPath:
+        """The shared probe↔host network path.
+
+        Exactly one RNG draw happens per host regardless of topology,
+        so switching a proxy on or off never perturbs the seed stream
+        of later hosts.
+        """
         if hostname not in self._paths:
             spec = self.specs[hostname]
-            self._paths[hostname] = NetworkPath(
-                self.loop,
-                self.net_profile.netem_for(spec),
-                rng=random.Random(self.rng.getrandbits(64)),
-                name=hostname,
-            )
+            path_rng = random.Random(self.rng.getrandbits(64))
+            if self.proxy is not None:
+                # The campaign's netem shaping (vantage distance, loss
+                # sweep) rides the proxy→edge leg — that is where the
+                # testbed impairment sits; the access leg to a nearby
+                # proxy comes from the proxy config.
+                self._paths[hostname] = SegmentedPath(
+                    self.loop,
+                    (self.proxy.client_profile, self.net_profile.netem_for(spec)),
+                    rng=path_rng,
+                    name=hostname,
+                    forward_delay_ms=self.proxy.forward_delay_ms,
+                    proxy_model=self.proxy.model,
+                )
+            else:
+                self._paths[hostname] = NetworkPath(
+                    self.loop,
+                    self.net_profile.netem_for(spec),
+                    rng=path_rng,
+                    name=hostname,
+                )
         return self._paths[hostname]
 
     def warm_caches(self, pages: tuple[Webpage, ...] | list[Webpage]) -> None:

@@ -114,6 +114,7 @@ def measure_paired_visit(
         obs=obs,
         fault_profile=config.fault_profile,
         check=check,
+        proxy=config.proxy,
     )
     if config.warm_popular:
         probe.warm_edges((page,))

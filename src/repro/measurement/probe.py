@@ -21,6 +21,7 @@ from repro.browser.browser import (
 from repro.events import EventLoop
 from repro.faults import FaultInjector, FaultProfile
 from repro.measurement.farm import ProbeNetProfile, ServerFarm
+from repro.netsim.proxy import ProxyConfig
 from repro.transport.config import TransportConfig
 from repro.web.page import Webpage
 from repro.web.topsites import WebUniverse
@@ -40,6 +41,7 @@ class Probe:
         obs=None,
         fault_profile: FaultProfile | None = None,
         check=None,
+        proxy: ProxyConfig | None = None,
     ) -> None:
         self.name = name
         self.universe = universe
@@ -67,6 +69,7 @@ class Probe:
             universe.hosts,
             net_profile,
             rng=random.Random(self.rng.getrandbits(64)),
+            proxy=proxy,
         )
         transport_config = transport_config or TransportConfig()
         self.browsers = {

@@ -64,7 +64,13 @@ class FixedGridHistogram:
         if index < 0:
             slot = 0
         elif index >= self.nbins:
-            slot = self.nbins + 1
+            # The grid covers the closed interval [lo, lo + nbins*width]:
+            # a value exactly on the top edge belongs to the last bin,
+            # not the overflow bucket (floor() alone would misfile it).
+            if value <= self.lo + self.width * self.nbins:
+                slot = self.nbins
+            else:
+                slot = self.nbins + 1
         else:
             slot = index + 1
         self.counts[slot] += 1

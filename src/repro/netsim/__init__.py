@@ -18,6 +18,7 @@ from repro.netsim.loss import (
 from repro.netsim.netem import NetemProfile
 from repro.netsim.packet import Packet, PacketKind, StreamChunk
 from repro.netsim.path import NetworkPath
+from repro.netsim.proxy import PROXY_MODELS, ProxyConfig, SegmentedPath
 
 __all__ = [
     "BernoulliLoss",
@@ -28,8 +29,11 @@ __all__ = [
     "NetemProfile",
     "NetworkPath",
     "NoLoss",
+    "PROXY_MODELS",
     "Packet",
     "PacketKind",
+    "ProxyConfig",
+    "SegmentedPath",
     "StreamChunk",
     "make_loss_model",
 ]

@@ -10,6 +10,7 @@ callback or silently drops the packet (recording it in the stats).
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -101,6 +102,11 @@ class Link:
         # Earliest permissible delivery time, to keep FIFO ordering under
         # jitter (a jittered packet may not overtake its predecessor).
         self._last_delivery_at = 0.0
+        # Reserved-but-not-yet-due deliveries (analytic fast path):
+        # ``(deliver_at, size_bytes)`` in nondecreasing ``deliver_at``
+        # order (guaranteed by the ``_last_delivery_at`` monotonicity),
+        # settled into the delivered stats once the clock reaches them.
+        self._pending_reserved: deque[tuple[float, int]] = deque()
 
     def serialization_delay_ms(self, packet: Packet) -> float:
         """Time to clock ``packet`` onto the wire at the link rate."""
@@ -135,7 +141,15 @@ class Link:
         holds (the packet cannot be dropped and has no jitter draw, so
         skipping the loss/jitter code changes nothing, not even RNG
         state).
+
+        The delivery is *accounted* when the clock reaches its computed
+        time, not at reservation: delivered stats are settled lazily via
+        :meth:`settle_reserved`, so mid-visit readers (link samplers,
+        ethics accounting, progress heartbeats) never see in-flight
+        bytes as already delivered.
         """
+        if self._pending_reserved:
+            self.settle_reserved(now)
         self.stats.sent_packets += 1
         self.stats.sent_bytes += size_bytes
         start = now if now > self._tx_free_at else self._tx_free_at
@@ -149,9 +163,23 @@ class Link:
         if deliver_at < self._last_delivery_at:
             deliver_at = self._last_delivery_at
         self._last_delivery_at = deliver_at
-        self.stats.delivered_packets += 1
-        self.stats.delivered_bytes += size_bytes
+        self._pending_reserved.append((deliver_at, size_bytes))
         return deliver_at
+
+    def settle_reserved(self, now: float) -> None:
+        """Fold reserved deliveries due by ``now`` into the stats.
+
+        Reservations are queued in nondecreasing delivery order, so a
+        single front-of-queue sweep settles everything due.  The
+        analytic walk settles both links when it finishes (at its final
+        virtual time), which keeps end-of-visit totals identical to the
+        packet path's.
+        """
+        pending = self._pending_reserved
+        while pending and pending[0][0] <= now:
+            _, size_bytes = pending.popleft()
+            self.stats.delivered_packets += 1
+            self.stats.delivered_bytes += size_bytes
 
     def transmit(self, packet: Packet, on_deliver: Callable[[Packet], None]) -> bool:
         """Send ``packet``; returns ``False`` if it was dropped.
@@ -162,6 +190,8 @@ class Link:
         lost *after* being serialized, as on a real path).
         """
         now = self.loop.now
+        if self._pending_reserved:
+            self.settle_reserved(now)
         self.stats.sent_packets += 1
         self.stats.sent_bytes += packet.size_bytes
 
@@ -172,8 +202,13 @@ class Link:
         if self.sampler is not None:
             self.sampler.on_transmit(now, tx_done, packet.size_bytes)
 
-        dropped = self.drop_filter(packet) if self.drop_filter is not None else False
-        if dropped or self.loss.should_drop(self.rng):
+        # The stochastic loss draw happens unconditionally, *before* the
+        # deterministic drop filter is consulted: a filter-dropped packet
+        # must still consume its loss draw, or the loss/jitter RNG stream
+        # diverges from an unfiltered run for the rest of the visit.
+        loss_dropped = self.loss.should_drop(self.rng)
+        filter_dropped = self.drop_filter is not None and self.drop_filter(packet)
+        if loss_dropped or filter_dropped:
             self.stats.dropped_packets += 1
             return False
 

@@ -22,6 +22,10 @@ from repro.netsim.packet import Packet
 class NetworkPath:
     """Two half-duplex links modelling one probe↔server round trip."""
 
+    #: A direct path carries UDP end-to-end, so an H3 handshake can
+    #: complete without downgrade (proxy topologies may override this).
+    h3_passthrough = True
+
     def __init__(
         self,
         loop: EventLoop,
@@ -82,6 +86,9 @@ class NetworkPath:
 
     def total_bytes_transferred(self) -> int:
         """Bytes delivered in both directions (ethics accounting)."""
+        now = self.loop.now
+        self.uplink.settle_reserved(now)
+        self.downlink.settle_reserved(now)
         return self.uplink.stats.delivered_bytes + self.downlink.stats.delivered_bytes
 
     def __repr__(self) -> str:

@@ -22,6 +22,7 @@ def build_run_manifest(
     counters: dict | None = None,
     trace_files: list[str] | None = None,
     fallback_sweep: dict | None = None,
+    migration_sweep: dict | None = None,
     config_hash: str | None = None,
     store: dict | None = None,
     metrics: dict | None = None,
@@ -38,7 +39,8 @@ def build_run_manifest(
     ``None`` when counters were not collected); ``fallback_sweep`` is
     the ``fig-fallback`` experiment's data payload, recorded only when
     that experiment ran (the key is absent otherwise, keeping fault-free
-    manifests unchanged).  ``config_hash`` is the campaign config's
+    manifests unchanged); ``migration_sweep`` is the ``fig-migration``
+    payload under the same rule.  ``config_hash`` is the campaign config's
     content hash (:func:`repro.store.campaign_config_hash`) and
     ``store`` the result-store accounting
     (``{"path", "stats", "summary"}``); both keys are absent when not
@@ -65,6 +67,8 @@ def build_run_manifest(
         manifest["config_hash"] = config_hash
     if fallback_sweep is not None:
         manifest["fallback_sweep"] = dict(fallback_sweep)
+    if migration_sweep is not None:
+        manifest["migration_sweep"] = dict(migration_sweep)
     if store is not None:
         manifest["store"] = dict(store)
     if metrics is not None:

@@ -65,6 +65,13 @@ DATA_FIELDS: dict[str, frozenset[str]] = {
     "fault:dns_failure": frozenset({"host", "attempt"}),
     "fault:connection_reset": frozenset({"host", "streams"}),
     "fault:zero_rtt_reject": frozenset({"host"}),
+    "fault:nat_rebind": frozenset({"host", "streams"}),
+    "fault:wifi_to_cellular": frozenset({"host", "streams"}),
+    # Connection-migration outcomes per established connection.
+    "migration:migrated": frozenset({"host", "protocol", "streams"}),
+    "migration:reconnect": frozenset({"host", "protocol", "streams"}),
+    # Proxy topology events.
+    "proxy:h3_downgrade": frozenset({"host", "model"}),
     # Client-side recovery actions.
     "recovery:h3_fallback": frozenset({"host", "orphaned"}),
     "recovery:connect_timeout": frozenset({"host", "protocol"}),

@@ -46,6 +46,15 @@ EVENT_NAMES: frozenset[str] = frozenset(
         "fault:dns_failure",
         "fault:connection_reset",
         "fault:zero_rtt_reject",
+        "fault:nat_rebind",
+        "fault:wifi_to_cellular",
+        # Connection-migration outcomes: QUIC carries the connection
+        # across the address change; TCP must tear down and reconnect.
+        "migration:migrated",
+        "migration:reconnect",
+        # Proxy topology events (repro.netsim.proxy): a CONNECT-style
+        # tunnel downgrading a client's H3 attempt to H2.
+        "proxy:h3_downgrade",
         # Client-side recovery actions taken in response to faults.
         "recovery:h3_fallback",
         "recovery:connect_timeout",

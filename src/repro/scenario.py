@@ -22,6 +22,7 @@ from typing import Any
 
 from repro.faults import FAULT_PROFILES, FaultProfile
 from repro.measurement.campaign import CampaignConfig
+from repro.netsim.proxy import ProxyConfig
 from repro.transport.config import TransportConfig
 
 
@@ -40,6 +41,8 @@ class Scenario:
     faults: FaultProfile | None = None
     #: Run every visit under the invariant checker (``repro.check``).
     strict: bool = False
+    #: Optional proxy hop between client and edge (None = direct paths).
+    proxy: ProxyConfig | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate <= 1.0:
@@ -64,6 +67,19 @@ class Scenario:
         return replace(
             self, name=f"{self.name}+loss{loss_rate:g}", loss_rate=loss_rate
         )
+
+    def with_proxy(self, proxy: ProxyConfig | str | None) -> "Scenario":
+        """This scenario with a proxy hop on every path.
+
+        Accepts a :class:`ProxyConfig`, a proxy *model* name
+        (``"connect-tunnel"`` / ``"masque-relay"``) for the default
+        configuration of that model, or ``None`` to go direct.  The
+        scenario name gains the model as a suffix.
+        """
+        if isinstance(proxy, str):
+            proxy = ProxyConfig(model=proxy)
+        suffix = proxy.model if proxy is not None else "direct"
+        return replace(self, name=f"{self.name}+{suffix}", proxy=proxy)
 
     def with_transport(self, transport: TransportConfig) -> "Scenario":
         """This scenario with a different transport configuration."""
@@ -99,6 +115,7 @@ class Scenario:
             rate_mbps=self.rate_mbps,
             fault_profile=self.faults,
             strict=self.strict,
+            proxy=self.proxy,
         )
         base.update(overrides)
         return CampaignConfig(**base)

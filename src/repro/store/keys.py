@@ -46,7 +46,11 @@ from repro.web.page import Webpage
 
 #: Bump on any incompatible change to key material or payload formats;
 #: every key embeds it, so old entries simply become misses.
-STORE_SCHEMA_VERSION = 1
+#:
+#: v2: the proxy topology (:class:`~repro.netsim.proxy.ProxyConfig`)
+#: joined the per-visit key material — a proxied visit traverses a
+#: different path chain, so it must never collide with a direct one.
+STORE_SCHEMA_VERSION = 2
 
 #: Hex digest length for visit keys and payload hashes (128-bit).
 DIGEST_SIZE = 16
@@ -104,6 +108,26 @@ def fault_profile_part(profile) -> dict | None:
     }
 
 
+def proxy_part(proxy) -> dict | None:
+    """A :class:`~repro.netsim.proxy.ProxyConfig` as key material.
+
+    The proxy model changes the wire behaviour (a CONNECT tunnel
+    downgrades H3, a MASQUE relay passes it through), the client-leg
+    profile shapes the access segment, and the forward delay adds hop
+    latency — all of it determines the visit outcome.
+    """
+    if proxy is None:
+        return None
+    return {
+        "model": proxy.model,
+        "client_profile": {
+            k: _finite(v)
+            for k, v in dataclasses.asdict(proxy.client_profile).items()
+        },
+        "forward_delay_ms": _finite(proxy.forward_delay_ms),
+    }
+
+
 #: CampaignConfig fields that shape *one* visit's simulation.  Topology
 #: fields (probes_per_vantage, max_vantage_points) and the base seed are
 #: excluded — the first two only change how many visits exist, and the
@@ -129,6 +153,7 @@ def visit_config_part(config: CampaignConfig) -> dict:
     part = {name: getattr(config, name) for name in _VISIT_CONFIG_FIELDS}
     part["transport"] = transport_part(config.transport_config)
     part["faults"] = fault_profile_part(config.fault_profile)
+    part["proxy"] = proxy_part(config.proxy)
     return part
 
 

@@ -713,6 +713,19 @@ class BaseConnection:
         timeout = (self.rtt.rto_ms + self.config.max_ack_delay_ms) * self._pto_backoff
         self._pto_timer.start(timeout)
 
+    def on_path_migration(self) -> None:
+        """The client's address changed and this connection migrated.
+
+        RFC 9002 §6.2.2 / RFC 9000 §9.4: the old path's backoff says
+        nothing about the new path, so validating it resets the PTO
+        backoff; re-arming from the fresh backoff probes the new path
+        promptly instead of waiting out a timer that exponential
+        backoff armed before the address change.
+        """
+        self._pto_backoff = 1
+        if self._inflight:
+            self._arm_pto()
+
     def _on_pto(self) -> None:
         if not self._inflight:
             return

@@ -94,13 +94,20 @@ def advance(conn) -> bool:
 
 
 def cancel(conn) -> None:
-    """Drop any parked walk (connection teardown)."""
+    """Drop any parked walk (connection teardown).
+
+    Reservations the walk already made stay accounted: on the packet
+    path, deliveries scheduled before a close still fire and count, so
+    the links' pending reservations are settled unconditionally here.
+    """
     epoch = conn._fp_epoch
     if epoch is not None:
         conn._fp_epoch = None
         if epoch.continuation is not None:
             epoch.continuation.cancel()
             epoch.continuation = None
+        conn.path.uplink.settle_reserved(float("inf"))
+        conn.path.downlink.settle_reserved(float("inf"))
 
 
 class _Epoch:
@@ -142,6 +149,7 @@ class _Epoch:
         "stream_ends",
         "payload_pending",
         "continuation",
+        "last_step_at",
     )
 
     def __init__(self, conn) -> None:
@@ -162,6 +170,10 @@ class _Epoch:
         self.stream_ends: dict[int, int] = {}
         self.payload_pending = 0
         self.continuation = None
+        #: Virtual time of the last processed step; the walk's final
+        #: step (an ack arrival) bounds every link reservation it made,
+        #: so settling at this time folds them all in at ``_finish``.
+        self.last_step_at = conn.loop.now
 
     # -- the walk ------------------------------------------------------
 
@@ -205,6 +217,7 @@ class _Epoch:
                 self.continuation = loop.call_at(when, conn._fast_path_step)
                 self._sync()
                 return
+            self.last_step_at = when
             if kind == 0:
                 at, batch, ack_delay = emissions.popleft()
                 arrival = conn.path.uplink.reserve_transmit(HEADER_BYTES, at)
@@ -353,5 +366,12 @@ class _Epoch:
 
     def _finish(self) -> None:
         self._sync()
-        self.conn._pto_backoff = 1
-        self.conn._fp_epoch = None
+        conn = self.conn
+        # The final processed step is the last ack arrival, which is at
+        # or after every delivery this walk reserved on either link —
+        # settling here keeps end-of-visit delivered totals identical
+        # to the packet path's.
+        conn.path.uplink.settle_reserved(self.last_step_at)
+        conn.path.downlink.settle_reserved(self.last_step_at)
+        conn._pto_backoff = 1
+        conn._fp_epoch = None

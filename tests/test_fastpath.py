@@ -269,6 +269,50 @@ class TestLifecycle:
         assert run(True) == run(False)
 
 
+class TestAccounting:
+    @BOTH
+    def test_delivered_totals_match_packet_path(self, conn_cls):
+        """End-of-visit delivered totals are identical fast vs slow."""
+        sizes = [250_000, 40_000]
+        slow = run_transfer(conn_cls, False, sizes)
+        fast = run_transfer(conn_cls, True, sizes)
+        slow_path, fast_path = slow["conn"].path, fast["conn"].path
+        assert (
+            fast_path.total_bytes_transferred()
+            == slow_path.total_bytes_transferred()
+        )
+        for direction in ("uplink", "downlink"):
+            slow_stats = getattr(slow_path, direction).stats
+            fast_stats = getattr(fast_path, direction).stats
+            assert fast_stats.delivered_packets == slow_stats.delivered_packets
+            assert fast_stats.delivered_bytes == slow_stats.delivered_bytes
+
+    @BOTH
+    def test_mid_walk_totals_never_over_report(self, conn_cls):
+        """Regression: reservations the walk has made for *future*
+        delivery times must not show up in delivered stats yet."""
+        loop = EventLoop()
+        path = make_path(loop)
+        conn = conn_cls(
+            loop, path, config=TransportConfig(fast_path=True),
+            rng=random.Random(7),
+        )
+        conn.connect(lambda _hs: conn.request(300, 500_000))
+        loop.run(until_ms=RTT * 3)
+        assert conn._fp_epoch is not None
+        assert path.downlink._pending_reserved, "walk reserved nothing ahead"
+        path.downlink.settle_reserved(loop.now)
+        # Deliveries the walk reserved for times beyond the current
+        # clock must still be pending, not already counted delivered.
+        assert path.downlink._pending_reserved
+        assert (
+            path.downlink.stats.delivered_bytes
+            < path.downlink.stats.sent_bytes
+        )
+        conn.close()
+        loop.run()
+
+
 class TestStoreSeparation:
     def test_fast_path_flag_changes_content_address(self):
         off = transport_part(TransportConfig())

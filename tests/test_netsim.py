@@ -185,6 +185,60 @@ class TestLink:
         with pytest.raises(ValueError):
             Link(loop, delay_ms=1.0, rate_mbps=0.0)
 
+    def test_filter_drop_consumes_loss_draw(self):
+        """Regression: a drop_filter drop must not skip the loss draw.
+
+        Two identically seeded lossy links, one with a filter that
+        drops only the first packet: every subsequent loss decision —
+        and the final RNG state — must match the unfiltered run.
+        """
+
+        def run(filtered):
+            loop = EventLoop()
+            link = Link(
+                loop, delay_ms=1.0, loss=BernoulliLoss(0.3),
+                rng=random.Random(4),
+            )
+            if filtered:
+                link.drop_filter = lambda pkt: pkt.seq == 0
+            outcomes = []
+            for i in range(200):
+                pkt = data_packet()
+                pkt.seq = i
+                outcomes.append(link.transmit(pkt, lambda p: None))
+            loop.run()
+            return outcomes, link.rng.getstate()
+
+        plain, plain_state = run(False)
+        faulted, faulted_state = run(True)
+        assert faulted_state == plain_state
+        assert faulted[1:] == plain[1:]
+
+    def test_reserved_delivery_counts_at_delivery_time(self):
+        """Regression: reservations settle when the clock reaches them,
+        not at reservation time — mid-visit readers must never see
+        in-flight bytes as delivered."""
+        loop = EventLoop()
+        link = Link(loop, delay_ms=5.0, rate_mbps=8.0)
+        deliver_at = link.reserve_transmit(1000, 0.0)
+        assert deliver_at == pytest.approx(6.0)  # 1 ms serialize + 5 ms
+        assert link.stats.sent_bytes == 1000
+        assert link.stats.delivered_bytes == 0
+        assert link.stats.delivered_packets == 0
+        link.settle_reserved(deliver_at - 0.001)
+        assert link.stats.delivered_bytes == 0
+        link.settle_reserved(deliver_at)
+        assert link.stats.delivered_bytes == 1000
+        assert link.stats.delivered_packets == 1
+
+    def test_transmit_settles_due_reservations(self):
+        loop = EventLoop()
+        link = Link(loop, delay_ms=1.0, rate_mbps=None)
+        link.reserve_transmit(500, 0.0)  # due at t=1.0
+        loop.call_at(2.0, lambda: link.transmit(data_packet(), lambda p: None))
+        loop.run()
+        assert link.stats.delivered_bytes == 500 + data_packet().size_bytes
+
 
 class TestNetemProfile:
     def test_rtt_is_twice_delay(self):

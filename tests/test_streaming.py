@@ -377,3 +377,46 @@ class TestFixedGridHistogram:
             hist.add(value)
         clone = FixedGridHistogram.from_dict(hist.to_dict())
         assert clone.to_dict() == hist.to_dict()
+
+    def test_top_edge_value_lands_in_last_bin(self):
+        """Regression: a value exactly at ``lo + nbins*width`` is in
+        range (the grid covers a closed interval), not overflow."""
+        hist = FixedGridHistogram(lo=0.0, width=10.0, nbins=10)
+        hist.add(100.0)
+        assert hist.counts[hist.nbins] == 1
+        assert hist.counts[hist.nbins + 1] == 0
+        hist.add(100.0000001)
+        assert hist.counts[hist.nbins + 1] == 1
+
+    def test_quantile_near_one_with_top_edge_values(self):
+        hist = FixedGridHistogram(lo=0.0, width=10.0, nbins=10)
+        for _ in range(100):
+            hist.add(100.0)
+        # All mass sits in the last real bin; the q≈1 estimate must
+        # come from that bin, not from an (empty) overflow bucket.
+        assert 90.0 <= hist.quantile(0.99) <= 100.0
+        assert hist.quantile(1.0) == 100.0
+
+    def test_quantile_extremes_and_empty(self):
+        empty = FixedGridHistogram(lo=0.0, width=1.0, nbins=5)
+        assert empty.quantile(0.0) == 0.0
+        assert empty.quantile(1.0) == 0.0
+        hist = FixedGridHistogram(lo=0.0, width=1.0, nbins=5)
+        for value in [0.3, 2.2, 4.9]:
+            hist.add(value)
+        assert hist.quantile(0.0) == 0.3
+        assert hist.quantile(1.0) == 4.9
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_all_overflow_quantiles_report_recorded_extremes(self):
+        hist = FixedGridHistogram(lo=0.0, width=1.0, nbins=5)
+        for value in [50.0, 60.0, 70.0]:
+            hist.add(value)
+        assert hist.quantile(0.0) == 50.0
+        assert hist.quantile(0.5) == 70.0  # overflow bucket reports max
+        assert hist.quantile(1.0) == 70.0
+        under = FixedGridHistogram(lo=0.0, width=1.0, nbins=5)
+        for value in [-3.0, -2.0]:
+            under.add(value)
+        assert under.quantile(0.5) == -3.0  # underflow bucket reports min
