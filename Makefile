@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench-smoke lint trace-smoke faults-smoke check-smoke store-smoke obs-smoke stream-smoke proxy-smoke
+.PHONY: test bench-smoke lint trace-smoke faults-smoke check-smoke store-smoke obs-smoke stream-smoke proxy-smoke cdn-smoke
 
 # Tier-1 suite. tests/test_parallel.py runs 2- and 4-worker campaigns
 # against the serial baseline, so the parallel path is exercised on
@@ -102,6 +102,50 @@ proxy-smoke:
 	assert 'proxy:h3_downgrade' in tunnel and 'migration:migrated' not in tunnel, sorted(tunnel); \
 	print('proxy-smoke: manifest ok,', len(sweep['cells']), 'sweep cells,', \
 	      'migration/proxy trace families validated')"
+
+# Cache-hierarchy smoke: the amplification scenario end to end under
+# --strict.  Runs table2 (materializes a traced main campaign with a
+# tier hierarchy + full-attack compression, so the cache:/economics:
+# trace families land in trace.jsonl) plus fig-amplification, then
+# gates: the egress/ingress factor must exceed 1 in every attack cell
+# and be monotone in the identity-demand ratio (checked explicitly
+# from the per-cell payloads, not just the experiment's own booleans),
+# the economics conservation invariant must have held (strict mode
+# would have aborted otherwise), the manifest must record the
+# hierarchy flags and the classifier-disagreement realism section, and
+# the new trace families must validate against the obs schema.
+cdn-smoke:
+	rm -rf .cdn_smoke
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.experiments.cli \
+		--scale smoke --sites 6 --experiments table2,fig-amplification \
+		--cache-tiers edge-regional --compression 1.0 --strict --counters \
+		--trace-dir .cdn_smoke --json .cdn_smoke/results.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.obs.schema .cdn_smoke/trace.jsonl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "\
+	import json; r = json.load(open('.cdn_smoke/results.json')); \
+	amp = r['experiments']['fig-amplification']['data']; \
+	assert amp['amplification_exceeds_unity'] is True, amp; \
+	assert amp['amplification_monotone'] is True, amp; \
+	cells = sorted(amp['cells'].items(), key=lambda kv: float(kv[0].split('-', 1)[1])); \
+	factors = [c['amplification'] for _, c in cells]; \
+	assert all(f > 1.0 for _, f in zip(cells[1:], factors[1:])), factors; \
+	assert all(a <= b + 1e-9 for a, b in zip(factors, factors[1:])), factors; \
+	m = r['manifest']; \
+	assert m['invocation']['cache_tiers'] == 'edge-regional', m['invocation']; \
+	assert m['invocation']['compression'] == 1.0, m['invocation']; \
+	assert m['invocation']['strict'] is True, m['invocation']; \
+	cls = m['classifiers']; \
+	assert cls['entries'] > 0 and 0.0 <= cls['disagreement_rate'] <= 1.0, cls; \
+	c = m['counters']['counters']; \
+	assert c['economics.egress_bytes'] == \
+	    c['economics.cache_served_bytes'] + c.get('economics.transfer_bytes', 0), c; \
+	assert c['cache.hits.edge'] > 0, c; \
+	names = {json.loads(l)['name'] for l in open('.cdn_smoke/trace.jsonl')}; \
+	wanted = {'cache:hit', 'economics:egress'}; \
+	assert wanted <= names, sorted(wanted - names); \
+	print(f\"cdn-smoke: amplification {' -> '.join(f'{f:.2f}' for f in factors)}, \" \
+	      f\"classifier disagreement {cls['disagreement_rate']:.1%}, \" \
+	      'cache/economics trace families validated')"
 
 # Invariant-checking smoke: run experiments under --strict (any
 # violation aborts with a non-zero exit), confirm the manifest records

@@ -81,6 +81,10 @@ class BrowserConfig:
     #: multiplexed connections, as browsers do.  Off by default so the
     #: paper-calibrated scheduling stays plain round-robin.
     use_resource_priorities: bool = False
+    #: Compression-negotiation campaign config
+    #: (:class:`repro.cdn.compression.CompressionConfig`).  ``None``
+    #: keeps requests Accept-Encoding-free and the legacy serve path.
+    compression: object | None = None
 
     def __post_init__(self) -> None:
         if self.protocol_mode not in (H2_ONLY, H3_ENABLED):
@@ -248,6 +252,7 @@ class Browser:
             faults=self.faults,
             alt_svc=self.alt_svc,
             check=self.check,
+            proxy_cache=getattr(self.farm, "proxy_cache", None),
         )
         har = HarLog(page_url=page.url, started_at_ms=self.loop.now)
         start = self.loop.now
@@ -368,6 +373,17 @@ class Browser:
                 )
             server = self.farm.server(resource.host)
             protocol = self._pick_protocol(server)
+            compression = self.config.compression
+            if compression is not None:
+                from repro.cdn.compression import client_accept_encoding
+
+                accept = client_accept_encoding(
+                    resource.url, resource.rtype.value, compression
+                )
+                rtype_val = resource.rtype.value
+            else:
+                accept = None
+                rtype_val = None
             pool.fetch(
                 server=server,
                 path=self.farm.path(resource.host),
@@ -384,6 +400,8 @@ class Browser:
                     if self.config.use_resource_priorities
                     else 1
                 ),
+                accept_encoding=accept,
+                rtype=rtype_val,
             )
 
         if self.dns is None:

@@ -2,13 +2,40 @@
 
 Models the commercial CDN ecosystem the paper measures: a registry of
 providers (market share, per-provider H3 adoption, H3 release year —
-the paper's Table I), edge servers with LRU content caches and
-H3-aware request processing costs, non-CDN origin web servers, and a
-LocEdge-style classifier that maps a response back to its provider.
+the paper's Table I), edge servers with LRU content caches optionally
+layered into edge → regional → origin tier chains, per-edge
+compression/format negotiation with provider conversion policies, a
+provider-side economics ledger (egress, offload, amplification),
+non-CDN origin web servers, and two classifiers that map a response
+back to its provider: a LocEdge-style header+domain classifier and a
+cheap hostname-dictionary one.
 """
 
-from repro.cdn.classifier import ClassificationResult, classify_response
-from repro.cdn.edge import EdgeServer, LruCache
+from repro.cdn.classifier import (
+    ClassificationResult,
+    DictClassifier,
+    classifier_disagreement,
+    classify_response,
+)
+from repro.cdn.compression import (
+    CompressionConfig,
+    CompressionPolicy,
+    client_accept_encoding,
+    encoded_size,
+    is_compressible,
+    negotiate,
+    provider_policy,
+)
+from repro.cdn.economics import EconomicsDelta, EconomicsLedger
+from repro.cdn.edge import EdgeServer, LruCache, ServeDecision
+from repro.cdn.hierarchy import (
+    DEFAULT_HIERARCHY,
+    HIERARCHY_PRESETS,
+    HierarchyConfig,
+    TierChain,
+    TierSpec,
+    hierarchy_preset,
+)
 from repro.cdn.origin import OriginServer
 from repro.cdn.provider import (
     GIANT_PROVIDERS,
@@ -21,12 +48,30 @@ from repro.cdn.provider import (
 __all__ = [
     "CdnProvider",
     "ClassificationResult",
+    "CompressionConfig",
+    "CompressionPolicy",
+    "DEFAULT_HIERARCHY",
+    "DictClassifier",
+    "EconomicsDelta",
+    "EconomicsLedger",
     "EdgeServer",
     "GIANT_PROVIDERS",
+    "HIERARCHY_PRESETS",
+    "HierarchyConfig",
     "LruCache",
     "OriginServer",
+    "ServeDecision",
+    "TierChain",
+    "TierSpec",
+    "classifier_disagreement",
     "classify_response",
+    "client_accept_encoding",
     "default_providers",
+    "encoded_size",
     "get_provider",
+    "hierarchy_preset",
+    "is_compressible",
+    "negotiate",
     "provider_names",
+    "provider_policy",
 ]

@@ -102,3 +102,80 @@ def classify_response(
             return ClassificationResult(True, provider_name, "pattern")
 
     return ClassificationResult.non_cdn()
+
+
+def _default_dictionary() -> dict[str, str]:
+    """Suffix table seeded from the provider registry's shared domains
+    plus the domain patterns above."""
+    table: dict[str, str] = {}
+    for provider in default_providers():
+        for domain in provider.shared_domains:
+            table.setdefault(domain.lower(), provider.name)
+    for provider_name, patterns in _DOMAIN_PATTERNS.items():
+        for pattern in patterns:
+            table.setdefault(pattern.lower(), provider_name)
+    return table
+
+
+class DictClassifier:
+    """Hostname-dictionary CDN classifier (scoky/detect_website_cdn style).
+
+    The cheap second opinion: a flat domain-suffix table, no headers
+    needed.  Matching is on DNS label boundaries — ``cdn.fastly.net``
+    matches the ``fastly.net`` entry but ``myfastly.network.example``
+    does not — which makes it stricter than ``classify_response``'s
+    substring patterns.  It also knows nothing about customer-owned
+    hostnames whose only CDN signal is in the response headers, so the
+    two classifiers disagree at a measurable rate on realistic traffic;
+    that disagreement rate is reported in the run manifest as a realism
+    check.
+    """
+
+    def __init__(self, table: dict[str, str] | None = None) -> None:
+        self._table = dict(table) if table is not None else _default_dictionary()
+
+    def classify(self, host: str) -> ClassificationResult:
+        labels = host.lower().rstrip(".").split(".")
+        for start in range(len(labels) - 1):
+            provider = self._table.get(".".join(labels[start:]))
+            if provider is not None:
+                return ClassificationResult(True, provider, "dict")
+        return ClassificationResult.non_cdn()
+
+
+def classifier_disagreement(
+    entries,
+    dict_classifier: DictClassifier | None = None,
+) -> dict[str, object]:
+    """Compare the dictionary classifier against HAR-entry labels.
+
+    ``entries`` is an iterable of HAR entries carrying ``host``,
+    ``is_cdn`` and ``provider`` (as produced by the LocEdge-style
+    classifier at visit time).  Returns a manifest-ready summary.
+    """
+    dict_classifier = dict_classifier or DictClassifier()
+    total = 0
+    disagreements = 0
+    missed_cdn = 0
+    extra_cdn = 0
+    provider_mismatch = 0
+    for entry in entries:
+        total += 1
+        verdict = dict_classifier.classify(entry.host)
+        if verdict.is_cdn != entry.is_cdn:
+            disagreements += 1
+            if entry.is_cdn:
+                missed_cdn += 1
+            else:
+                extra_cdn += 1
+        elif verdict.is_cdn and verdict.provider_name != entry.provider:
+            disagreements += 1
+            provider_mismatch += 1
+    return {
+        "entries": total,
+        "disagreements": disagreements,
+        "disagreement_rate": disagreements / total if total else 0.0,
+        "missed_cdn": missed_cdn,
+        "extra_cdn": extra_cdn,
+        "provider_mismatch": provider_mismatch,
+    }

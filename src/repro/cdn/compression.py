@@ -1,0 +1,168 @@
+"""Per-edge compression and format negotiation.
+
+Models the behaviour behind Lin et al.'s "Bandwidth Nightmare"
+compression format conversion attacks: CDN edges ingest content from
+the origin in one encoding (typically a well-compressed br/gzip form),
+and convert between formats on demand to honour the client's
+``Accept-Encoding``.  A malicious client that insists on ``identity``
+for a br-stored object forces the edge to decompress — small ingress,
+large egress — and the provider pays the amplified egress bill.
+
+Everything here is hash-derived and deterministic: whether a request
+asks for identity is a pure function of the resource URL and the
+configured attack ratio (no RNG draws, so enabling compression never
+perturbs the seeded draw order of an existing campaign).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+#: Encodings the model understands, preference-ordered for clients.
+ENCODINGS = ("identity", "gzip", "br")
+
+#: Approximate compressed-size ratios for text-like payloads.
+ENCODING_RATIOS = {"identity": 1.0, "gzip": 0.35, "br": 0.30}
+
+#: Resource types that compress well.  Images and media are already
+#: entropy-coded, so edges store and serve them as-is.
+COMPRESSIBLE_TYPES = frozenset({"html", "css", "js", "xhr", "font"})
+
+#: What a well-behaved browser advertises, preference-ordered.
+DEFAULT_ACCEPT = ("br", "gzip", "identity")
+
+
+def is_compressible(rtype: str | None) -> bool:
+    """True when a resource type benefits from transport compression."""
+    return rtype in COMPRESSIBLE_TYPES
+
+
+def encoded_size(size_bytes: int, encoding: str) -> int:
+    """Bytes on the wire for a payload of ``size_bytes`` identity bytes."""
+    try:
+        ratio = ENCODING_RATIOS[encoding]
+    except KeyError:
+        raise ValueError(f"unknown encoding {encoding!r}") from None
+    return max(1, round(size_bytes * ratio))
+
+
+def origin_encoding(rtype: str | None) -> str:
+    """Encoding the origin hands the CDN (br for compressible types)."""
+    return "br" if is_compressible(rtype) else "identity"
+
+
+@dataclass(frozen=True)
+class CompressionPolicy:
+    """What one provider's edges do about encodings.
+
+    ``conversions`` lists the encodings an edge is willing to *produce*
+    by converting the stored form (every provider can at least echo the
+    stored encoding back).  ``cache_encoded`` says whether a converted
+    variant is cached at the edge tier (post-conversion caching) or
+    re-converted on every egress (pre-conversion caching).
+    """
+
+    conversions: tuple[str, ...]
+    cache_encoded: bool
+
+    def __post_init__(self) -> None:
+        for encoding in self.conversions:
+            if encoding not in ENCODING_RATIOS:
+                raise ValueError(f"unknown encoding {encoding!r} in policy")
+
+
+#: Conversion behaviour per provider, loosely following the spread Lin
+#: et al. observed: every surveyed provider would decompress to
+#: identity on request (the attack surface), they differ in whether
+#: they re-compress and whether converted variants are cached.
+PROVIDER_POLICIES: dict[str, CompressionPolicy] = {
+    "google": CompressionPolicy(conversions=("identity", "gzip", "br"), cache_encoded=True),
+    "cloudflare": CompressionPolicy(conversions=("identity", "gzip", "br"), cache_encoded=True),
+    "amazon": CompressionPolicy(conversions=("identity", "gzip"), cache_encoded=False),
+    "akamai": CompressionPolicy(conversions=("identity", "gzip"), cache_encoded=True),
+    "fastly": CompressionPolicy(conversions=("identity", "gzip", "br"), cache_encoded=False),
+    "microsoft": CompressionPolicy(conversions=("identity", "gzip"), cache_encoded=False),
+    "quic_cloud": CompressionPolicy(conversions=("identity", "gzip", "br"), cache_encoded=False),
+    "meta": CompressionPolicy(conversions=("identity", "gzip"), cache_encoded=True),
+    "jsdelivr": CompressionPolicy(conversions=("identity",), cache_encoded=False),
+    "cdn77": CompressionPolicy(conversions=("identity",), cache_encoded=False),
+}
+
+#: Fallback for providers without an explicit entry: decompress-only,
+#: nothing cached post-conversion.
+DEFAULT_POLICY = CompressionPolicy(conversions=("identity",), cache_encoded=False)
+
+
+def provider_policy(provider_name: str | None) -> CompressionPolicy:
+    """The conversion policy for a provider (default for unknown ones)."""
+    if provider_name is None:
+        return DEFAULT_POLICY
+    return PROVIDER_POLICIES.get(provider_name, DEFAULT_POLICY)
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """Campaign-level compression knobs.
+
+    ``identity_request_ratio`` is the fraction of compressible
+    resources the client requests with ``Accept-Encoding: identity`` —
+    0.0 models honest browsers, 1.0 a full-blown conversion attack.
+    ``conversion_think_ms`` is the edge CPU cost of one format
+    conversion.
+    """
+
+    identity_request_ratio: float = 0.0
+    conversion_think_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.identity_request_ratio <= 1.0:
+            raise ValueError("identity_request_ratio must be within [0, 1]")
+        if self.conversion_think_ms < 0:
+            raise ValueError("conversion_think_ms must be >= 0")
+
+
+def wants_identity(url: str, ratio: float) -> bool:
+    """Hash-derived per-resource attack selector.
+
+    Deterministic and nested: the set of URLs selected at ratio r1 is a
+    subset of those selected at r2 > r1, which is what makes the
+    amplification factor monotone in the ratio.
+    """
+    if ratio <= 0.0:
+        return False
+    if ratio >= 1.0:
+        return True
+    digest = hashlib.blake2b(url.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64 < ratio
+
+
+def client_accept_encoding(
+    url: str, rtype: str | None, config: CompressionConfig
+) -> tuple[str, ...]:
+    """The Accept-Encoding tuple a client sends for one resource."""
+    if not is_compressible(rtype):
+        return ("identity",)
+    if wants_identity(url, config.identity_request_ratio):
+        return ("identity",)
+    return DEFAULT_ACCEPT
+
+
+def negotiate(
+    accept_encoding: tuple[str, ...],
+    stored_encoding: str,
+    policy: CompressionPolicy,
+) -> str:
+    """Pick the egress encoding for one response.
+
+    Walks the client's preference list: the stored encoding is always
+    free to serve; anything else requires the policy to allow the
+    conversion.  If nothing acceptable can be produced, the edge serves
+    the stored form (real CDNs do exactly this rather than 406ing).
+    """
+    for encoding in accept_encoding:
+        if encoding == stored_encoding:
+            return encoding
+        if encoding in policy.conversions:
+            return encoding
+    return stored_encoding

@@ -1,0 +1,140 @@
+"""Provider-side byte accounting: egress, offload, amplification.
+
+The client-facing metrics (PLT, handshake counts) say nothing about
+what a workload costs the *provider*.  This module meters the bytes
+that matter commercially, in the egress-cost framing of the CDN
+architectures survey:
+
+* **egress** — bytes the edge sends to clients (the billable side);
+* **cache-served vs transfer** — how much of that egress was satisfied
+  from the edge tier vs fetched into the edge from an upstream tier or
+  the origin on this request (egress-encoding units, so the two always
+  sum to egress — that is the conservation invariant ``repro.check``
+  enforces);
+* **origin** — bytes the customer origin actually shipped (stored
+  encoding), the denominator of both the offload ratio and Lin et
+  al.'s egress/ingress amplification factor;
+* **tier transfer** — inter-tier wire bytes (stored encoding × hops).
+
+Ledgers merge associatively and are flushed into the deterministic
+``repro.obs`` counter registry, so per-worker ledgers combine to the
+same totals regardless of worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Counter names the ledger flushes to (prefixed ``economics.``).
+LEDGER_FIELDS = (
+    "requests",
+    "egress_bytes",
+    "cache_served_bytes",
+    "transfer_bytes",
+    "origin_bytes",
+    "tier_fetch_bytes",
+    "conversions",
+)
+
+
+@dataclass(frozen=True)
+class EconomicsDelta:
+    """Byte accounting for one served request."""
+
+    requests: int = 1
+    egress_bytes: int = 0
+    cache_served_bytes: int = 0
+    transfer_bytes: int = 0
+    origin_bytes: int = 0
+    tier_fetch_bytes: int = 0
+    conversions: int = 0
+
+
+@dataclass
+class EconomicsLedger:
+    """Accumulated provider-side byte accounting.
+
+    ``tier_hits`` maps tier name → hit count; full-chain misses are
+    counted in ``misses``.
+    """
+
+    requests: int = 0
+    egress_bytes: int = 0
+    cache_served_bytes: int = 0
+    transfer_bytes: int = 0
+    origin_bytes: int = 0
+    tier_fetch_bytes: int = 0
+    conversions: int = 0
+    misses: int = 0
+    tier_hits: dict[str, int] = field(default_factory=dict)
+
+    def add(self, delta: EconomicsDelta, hit_tier: str | None = None) -> None:
+        """Fold one request's delta in; ``hit_tier`` of ``"origin"`` or
+        ``None`` counts as a full-chain miss."""
+        self.requests += delta.requests
+        self.egress_bytes += delta.egress_bytes
+        self.cache_served_bytes += delta.cache_served_bytes
+        self.transfer_bytes += delta.transfer_bytes
+        self.origin_bytes += delta.origin_bytes
+        self.tier_fetch_bytes += delta.tier_fetch_bytes
+        self.conversions += delta.conversions
+        if hit_tier is None or hit_tier == "origin":
+            self.misses += 1
+        else:
+            self.tier_hits[hit_tier] = self.tier_hits.get(hit_tier, 0) + 1
+
+    def merge(self, other: "EconomicsLedger") -> None:
+        for name in LEDGER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.misses += other.misses
+        for tier, hits in other.tier_hits.items():
+            self.tier_hits[tier] = self.tier_hits.get(tier, 0) + hits
+
+    @property
+    def conserved(self) -> bool:
+        """The invariant: every egressed byte was either served from the
+        edge cache or transferred into the edge for this request."""
+        return self.egress_bytes == self.cache_served_bytes + self.transfer_bytes
+
+    @property
+    def offload_ratio(self) -> float:
+        """Fraction of egress the origin never saw (1.0 = fully offloaded)."""
+        if self.egress_bytes <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.origin_bytes / self.egress_bytes)
+
+    @property
+    def amplification(self) -> float:
+        """Egress/ingress amplification factor (Lin et al.'s metric)."""
+        if self.origin_bytes <= 0:
+            return 0.0
+        return self.egress_bytes / self.origin_bytes
+
+    def counter_items(self) -> list[tuple[str, int]]:
+        """(counter name, value) pairs for the obs registry, nonzero only."""
+        items = [
+            (f"economics.{name}", getattr(self, name))
+            for name in LEDGER_FIELDS
+            if getattr(self, name)
+        ]
+        for tier in sorted(self.tier_hits):
+            items.append((f"cache.hits.{tier}", self.tier_hits[tier]))
+        if self.misses:
+            items.append(("cache.misses", self.misses))
+        return items
+
+    @classmethod
+    def from_counters(cls, counter_of) -> "EconomicsLedger":
+        """Rebuild a ledger from a counter accessor.
+
+        ``counter_of`` is a callable like
+        ``lambda name: registry.counter(name)`` returning 0 for absent
+        counters (the nonzero-only flush makes absence meaningful).
+        Tier hit attribution is not recoverable this way unless the
+        caller knows the tier names, so ``tier_hits`` stays empty.
+        """
+        ledger = cls()
+        for name in LEDGER_FIELDS:
+            setattr(ledger, name, int(counter_of(f"economics.{name}")))
+        ledger.misses = int(counter_of("cache.misses"))
+        return ledger

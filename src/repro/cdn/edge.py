@@ -6,79 +6,66 @@ CDN resource.  It contributes three things to the measured timings:
 * **Protocol support** — whether the edge can speak H3 for a given
   resource (drawn per-resource from the provider's ``h3_adoption`` by
   the website generator; the edge enforces it).
-* **Cache state** — a byte-capacity LRU.  A hit answers after the base
-  think time; a miss adds the origin-fetch penalty and inserts the
-  object (the paper's double-visit protocol exists exactly to warm
-  this cache).
+* **Cache state** — a byte-capacity LRU, optionally layered into an
+  edge → regional → origin tier chain (:mod:`repro.cdn.hierarchy`).  A
+  hit answers after the base think time; a miss adds the fetch-through
+  penalty of every tier it had to traverse and fills those tiers (the
+  paper's double-visit protocol exists exactly to warm this cache).
 * **H3 compute overhead** — userspace QUIC costs more CPU per request
   than kernel TCP (the paper's Section VI-B observes the wait-time
   median favouring H2); modelled as a small additive think-time term.
+
+With a :class:`~repro.cdn.compression.CompressionConfig` the edge also
+negotiates the response encoding against the client's Accept-Encoding
+and its provider's conversion policy, and reports provider-side byte
+accounting (:class:`~repro.cdn.economics.EconomicsDelta`) per request.
+Both features default to off, in which case ``serve`` follows the
+original flat-LRU arithmetic exactly.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.cdn.compression import (
+    CompressionConfig,
+    CompressionPolicy,
+    DEFAULT_ACCEPT,
+    encoded_size,
+    is_compressible,
+    negotiate,
+    origin_encoding,
+    provider_policy,
+)
+from repro.cdn.economics import EconomicsDelta
+from repro.cdn.hierarchy import HierarchyConfig, LruCache, TierChain
 from repro.cdn.provider import CdnProvider
 from repro.transport.tcp import TlsVersion
 
-
-class LruCache:
-    """Byte-capacity LRU cache of resource keys."""
-
-    def __init__(self, capacity_bytes: int = 512 * 1024 * 1024) -> None:
-        if capacity_bytes <= 0:
-            raise ValueError("capacity_bytes must be positive")
-        self.capacity_bytes = capacity_bytes
-        self._entries: OrderedDict[str, int] = OrderedDict()
-        self._used = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key: str) -> bool:
-        return key in self._entries
-
-    @property
-    def used_bytes(self) -> int:
-        return self._used
-
-    def lookup(self, key: str) -> bool:
-        """Check+touch; returns True on hit."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return True
-        self.misses += 1
-        return False
-
-    def insert(self, key: str, size_bytes: int) -> None:
-        """Insert (or refresh) an object, evicting LRU entries as needed."""
-        if size_bytes <= 0:
-            raise ValueError("size_bytes must be positive")
-        if key in self._entries:
-            self._used -= self._entries.pop(key)
-        while self._used + size_bytes > self.capacity_bytes and self._entries:
-            __, evicted_size = self._entries.popitem(last=False)
-            self._used -= evicted_size
-            self.evictions += 1
-        if size_bytes <= self.capacity_bytes:
-            self._entries[key] = size_bytes
-            self._used += size_bytes
+__all__ = ["EdgeServer", "LruCache", "ServeDecision"]
 
 
 @dataclass
 class ServeDecision:
-    """Outcome of asking an edge to serve one request."""
+    """Outcome of asking an edge to serve one request.
+
+    The last three fields only carry data on the hierarchy/compression
+    path; flat-cache, compression-off edges leave them at their
+    defaults so existing consumers see the exact pre-hierarchy shape.
+    """
 
     cache_hit: bool
     think_ms: float
     protocol: str  # the protocol actually used
     headers: dict[str, str] = field(default_factory=dict)
+    #: Tier that held the object ("origin" for a full-chain miss);
+    #: None on the legacy flat path.
+    hit_tier: str | None = None
+    #: Wire bytes of the (possibly re-encoded) response body; None means
+    #: "the resource's identity size", the legacy behaviour.
+    body_bytes: int | None = None
+    #: Provider-side byte accounting for this request.
+    economics: EconomicsDelta | None = None
 
 
 class EdgeServer:
@@ -101,6 +88,8 @@ class EdgeServer:
         resumption_rate: float = 0.75,
         tls_setup_cpu_ms: float = 9.0,
         resumed_setup_cpu_ms: float = 2.0,
+        hierarchy: HierarchyConfig | None = None,
+        compression: CompressionConfig | None = None,
     ) -> None:
         self.hostname = hostname
         self.provider = provider
@@ -111,7 +100,14 @@ class EdgeServer:
         self.supports_h3 = supports_h3
         self.supports_h2 = True
         self.tls_version = tls_version
-        self.cache = LruCache(cache_capacity_bytes)
+        self.hierarchy = hierarchy
+        self.tiers: TierChain | None = TierChain(hierarchy) if hierarchy else None
+        #: The client-facing cache: tier 0 of the chain, or the flat LRU.
+        self.cache = (
+            self.tiers.edge_cache if self.tiers else LruCache(cache_capacity_bytes)
+        )
+        self.compression = compression
+        self.policy: CompressionPolicy = provider_policy(provider.name)
         self.issues_tickets = issues_tickets
         #: Probability a presented session ticket is accepted.  Real CDN
         #: edges are load-balanced fleets with rotating ticket keys, so
@@ -126,26 +122,119 @@ class EdgeServer:
         self.tls_setup_cpu_ms = tls_setup_cpu_ms
         self.resumed_setup_cpu_ms = resumed_setup_cpu_ms
 
-    def serve(self, resource_key: str, size_bytes: int, protocol: str) -> ServeDecision:
+    def serve(
+        self,
+        resource_key: str,
+        size_bytes: int,
+        protocol: str,
+        accept_encoding: tuple[str, ...] | None = None,
+        rtype: str | None = None,
+    ) -> ServeDecision:
         """Process one request and report its server-side cost.
 
         ``protocol`` is ``"h2"`` or ``"h3"``; requesting H3 from an edge
-        that does not support it is a caller bug.
+        that does not support it is a caller bug.  ``accept_encoding``
+        and ``rtype`` only matter when the edge has a compression
+        config; without hierarchy and compression the flat-LRU
+        arithmetic below is bit-identical to previous releases.
         """
         if protocol == "h3" and not self.supports_h3:
             raise ValueError(f"{self.hostname} does not support H3")
-        hit = self.cache.lookup(resource_key)
-        think = self.base_think_ms
-        if not hit:
-            think += self.origin_fetch_ms
-            self.cache.insert(resource_key, size_bytes)
+        if self.tiers is None and self.compression is None:
+            hit = self.cache.lookup(resource_key)
+            think = self.base_think_ms
+            if not hit:
+                think += self.origin_fetch_ms
+                self.cache.insert(resource_key, size_bytes)
+            if protocol == "h3":
+                think += self.h3_think_overhead_ms
+            return ServeDecision(
+                cache_hit=hit,
+                think_ms=think,
+                protocol=protocol,
+                headers=self.response_headers(hit),
+            )
+        return self._serve_rich(
+            resource_key, size_bytes, protocol, accept_encoding, rtype
+        )
+
+    def _serve_rich(
+        self,
+        resource_key: str,
+        size_bytes: int,
+        protocol: str,
+        accept_encoding: tuple[str, ...] | None,
+        rtype: str | None,
+    ) -> ServeDecision:
+        """Hierarchy- and compression-aware serve path."""
+        compress = self.compression is not None and is_compressible(rtype)
+        stored_encoding = origin_encoding(rtype) if compress else "identity"
+        stored_size = encoded_size(size_bytes, stored_encoding)
+        egress_encoding = stored_encoding
+        if compress:
+            egress_encoding = negotiate(
+                accept_encoding or DEFAULT_ACCEPT, stored_encoding, self.policy
+            )
+        body = encoded_size(size_bytes, egress_encoding)
+        converted = egress_encoding != stored_encoding
+
+        edge_tier_name = self.tiers.tiers[0].name if self.tiers else "edge"
+        variant_key = f"{resource_key}#{egress_encoding}" if converted else None
+        conversions = 0
+        # Post-conversion caching keeps the converted variant in the
+        # client-facing tier only; upper tiers always hold the stored form.
+        if variant_key is not None and self.policy.cache_encoded and self.cache.lookup(
+            variant_key
+        ):
+            hit_tier: str | None = edge_tier_name
+            extra_ms = 0.0
+            hops = 0
+        else:
+            if self.tiers is not None:
+                found = self.tiers.lookup(resource_key, stored_size)
+                hit_tier = found.tier
+                extra_ms = found.fetch_ms
+                hops = found.hops
+            else:
+                if self.cache.lookup(resource_key):
+                    hit_tier, extra_ms, hops = edge_tier_name, 0.0, 0
+                else:
+                    self.cache.insert(resource_key, stored_size)
+                    hit_tier, extra_ms, hops = None, self.origin_fetch_ms, 1
+            if converted:
+                conversions = 1
+                if self.policy.cache_encoded:
+                    self.cache.insert(variant_key, body)
+
+        cache_hit = hit_tier == edge_tier_name
+        think = self.base_think_ms + extra_ms
+        if conversions and self.compression is not None:
+            think += self.compression.conversion_think_ms
         if protocol == "h3":
             think += self.h3_think_overhead_ms
+
+        economics = EconomicsDelta(
+            requests=1,
+            egress_bytes=body,
+            cache_served_bytes=body if cache_hit else 0,
+            transfer_bytes=0 if cache_hit else body,
+            origin_bytes=stored_size if hit_tier is None else 0,
+            tier_fetch_bytes=stored_size * hops,
+            conversions=conversions,
+        )
+        headers = self.response_headers(cache_hit)
+        resolved_tier = hit_tier if hit_tier is not None else "origin"
+        headers["x-cache-tier"] = resolved_tier
+        if self.compression is not None and egress_encoding != "identity":
+            headers["content-encoding"] = egress_encoding
         return ServeDecision(
-            cache_hit=hit,
+            cache_hit=cache_hit,
             think_ms=think,
             protocol=protocol,
-            headers=self.response_headers(hit),
+            headers=headers,
+            hit_tier=resolved_tier,
+            body_bytes=body if self.compression is not None else None,
+            economics=economics,
         )
 
     def response_headers(self, cache_hit: bool) -> dict[str, str]:
@@ -174,9 +263,19 @@ class EdgeServer:
         """
         return f"cdn:{self.provider.name}"
 
-    def warm(self, resource_key: str, size_bytes: int) -> None:
-        """Pre-seed the cache (popular objects already at the edge)."""
-        self.cache.insert(resource_key, size_bytes)
+    def warm(self, resource_key: str, size_bytes: int, rtype: str | None = None) -> None:
+        """Pre-seed the cache (popular objects already at the edge).
+
+        Tiers store the origin-encoded form, so with compression on the
+        warmed size is the stored (compressed) size.
+        """
+        size = size_bytes
+        if self.compression is not None:
+            size = encoded_size(size_bytes, origin_encoding(rtype))
+        if self.tiers is not None:
+            self.tiers.warm(resource_key, size)
+        else:
+            self.cache.insert(resource_key, size)
 
     def __repr__(self) -> str:
         return f"<EdgeServer {self.hostname} ({self.provider.name}) h3={self.supports_h3}>"

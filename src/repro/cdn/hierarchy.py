@@ -1,0 +1,238 @@
+"""Multi-tier CDN cache hierarchies: edge → regional → origin.
+
+The paper measures CDNs from the client side, where a provider looks
+like a single edge cache.  Internally a request that misses the edge
+does not go straight to the customer origin: providers run layered
+cache fleets (the CDN-architectures survey's edge → regional/parent →
+origin tiering), and each extra tier both shields the origin from
+misses and adds a fetch-through latency step.  This module models that
+chain:
+
+* :class:`LruCache` — the byte-capacity LRU primitive every tier uses
+  (moved here from :mod:`repro.cdn.edge`, which re-exports it).
+* :class:`TierSpec` / :class:`HierarchyConfig` — the declarative,
+  store-keyable description of a chain (name, capacity and
+  fill latency per tier).
+* :class:`CacheTier` / :class:`TierChain` — the live chain an
+  :class:`~repro.cdn.edge.EdgeServer` consults: lookups walk outward
+  from the edge tier, fill every tier they passed through on the way
+  (fill-on-read), and report where the object was found so serve
+  timings and byte accounting reflect the real path.
+
+A campaign without a :class:`HierarchyConfig` never builds a chain —
+the flat single-LRU edge stays bit-identical to previous releases.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+class LruCache:
+    """Byte-capacity LRU cache of resource keys."""
+
+    def __init__(self, capacity_bytes: int = 512 * 1024 * 1024) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[str, int] = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def lookup(self, key: str) -> bool:
+        """Check+touch; returns True on hit."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, key: str, size_bytes: int) -> None:
+        """Insert (or refresh) an object, evicting LRU entries as needed."""
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if key in self._entries:
+            self._used -= self._entries.pop(key)
+        if size_bytes > self.capacity_bytes:
+            # An object that can never fit must not flush everything
+            # else out on the way to not being inserted.
+            return
+        while self._used + size_bytes > self.capacity_bytes and self._entries:
+            __, evicted_size = self._entries.popitem(last=False)
+            self._used -= evicted_size
+            self.evictions += 1
+        self._entries[key] = size_bytes
+        self._used += size_bytes
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Declarative description of one cache tier.
+
+    ``fetch_ms`` is the latency of filling *this* tier from the next
+    tier outward — the last tier fills from the customer origin.  A hit
+    at tier *i* therefore costs ``sum(fetch_ms of tiers 0..i-1)`` on
+    top of the edge's base think time, and a full-chain miss costs the
+    sum over every tier.
+    """
+
+    name: str
+    capacity_bytes: int
+    fetch_ms: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a tier needs a name")
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"tier {self.name}: capacity_bytes must be positive")
+        if self.fetch_ms < 0:
+            raise ValueError(f"tier {self.name}: fetch_ms must be >= 0")
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """An ordered cache chain, edge tier first."""
+
+    tiers: tuple[TierSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("a hierarchy needs at least one tier")
+        names = [tier.name for tier in self.tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tier names must be unique, got {names}")
+
+    @property
+    def full_miss_ms(self) -> float:
+        """Fetch-through latency of a miss in every tier."""
+        return sum(tier.fetch_ms for tier in self.tiers)
+
+
+#: The default two-tier chain: a modest edge in front of a large
+#: regional parent.  25 + 40 ms for a full-chain miss sits next to the
+#: flat edge's 60 ms origin-fetch penalty, so hierarchy campaigns stay
+#: comparable to flat ones.
+DEFAULT_HIERARCHY = HierarchyConfig(
+    tiers=(
+        TierSpec(name="edge", capacity_bytes=512 * 1024 * 1024, fetch_ms=25.0),
+        TierSpec(name="regional", capacity_bytes=4 * 1024 * 1024 * 1024, fetch_ms=40.0),
+    )
+)
+
+#: Named chains the CLI's ``--cache-tiers`` flag accepts.
+HIERARCHY_PRESETS: dict[str, HierarchyConfig] = {
+    "edge-regional": DEFAULT_HIERARCHY,
+    "edge-metro-regional": HierarchyConfig(
+        tiers=(
+            TierSpec(name="edge", capacity_bytes=256 * 1024 * 1024, fetch_ms=15.0),
+            TierSpec(name="metro", capacity_bytes=1024 * 1024 * 1024, fetch_ms=20.0),
+            TierSpec(
+                name="regional", capacity_bytes=8 * 1024 * 1024 * 1024, fetch_ms=40.0
+            ),
+        )
+    ),
+}
+
+
+def hierarchy_preset(name: str) -> HierarchyConfig:
+    """Look up a named tier chain."""
+    try:
+        return HIERARCHY_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown hierarchy preset {name!r}; "
+            f"known: {', '.join(HIERARCHY_PRESETS)}"
+        ) from None
+
+
+class CacheTier:
+    """One live tier: a named LRU."""
+
+    def __init__(self, spec: TierSpec) -> None:
+        self.spec = spec
+        self.cache = LruCache(spec.capacity_bytes)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def __repr__(self) -> str:
+        return (
+            f"<CacheTier {self.name} used={self.cache.used_bytes}"
+            f"/{self.spec.capacity_bytes}>"
+        )
+
+
+@dataclass(frozen=True)
+class TierLookup:
+    """Outcome of walking the chain for one request.
+
+    ``tier`` is the name of the tier that held the object, or ``None``
+    for a full-chain miss (the object came from the origin).  ``hops``
+    counts the inter-tier transfers the request caused — a hit at tier
+    *i* moves the object across *i* links on its way to the edge; a
+    full miss crosses every tier plus the origin link.
+    """
+
+    tier: str | None
+    fetch_ms: float
+    hops: int
+
+
+class TierChain:
+    """A live cache chain for one edge server."""
+
+    def __init__(self, config: HierarchyConfig) -> None:
+        self.config = config
+        self.tiers = [CacheTier(spec) for spec in config.tiers]
+
+    @property
+    def edge_cache(self) -> LruCache:
+        """The client-facing tier's LRU (the flat-cache equivalent)."""
+        return self.tiers[0].cache
+
+    def lookup(self, key: str, size_bytes: int) -> TierLookup:
+        """Walk the chain for ``key``, filling the tiers it missed.
+
+        Fill-on-read: a hit at tier *i* copies the object into every
+        tier between *i* and the edge, so the next request for it hits
+        closer to the client — exactly what makes a hierarchy absorb
+        popularity skew the flat edge cannot.
+        """
+        specs = self.config.tiers
+        hit_index: int | None = None
+        for index, tier in enumerate(self.tiers):
+            if tier.cache.lookup(key):
+                hit_index = index
+                break
+        fill_upto = hit_index if hit_index is not None else len(self.tiers)
+        fetch_ms = sum(specs[j].fetch_ms for j in range(fill_upto))
+        for j in range(fill_upto):
+            self.tiers[j].cache.insert(key, size_bytes)
+        return TierLookup(
+            tier=specs[hit_index].name if hit_index is not None else None,
+            fetch_ms=fetch_ms,
+            hops=fill_upto,
+        )
+
+    def warm(self, key: str, size_bytes: int) -> None:
+        """Pre-seed every tier (long-lived popular content)."""
+        for tier in self.tiers:
+            tier.cache.insert(key, size_bytes)
+
+    def __repr__(self) -> str:
+        return f"<TierChain {[tier.name for tier in self.tiers]}>"

@@ -51,8 +51,20 @@ class OriginServer:
         self.tls_setup_cpu_ms = tls_setup_cpu_ms
         self.resumed_setup_cpu_ms = resumed_setup_cpu_ms
 
-    def serve(self, resource_key: str, size_bytes: int, protocol: str):
-        """Process one request (no cache tier at the origin)."""
+    def serve(
+        self,
+        resource_key: str,
+        size_bytes: int,
+        protocol: str,
+        accept_encoding: tuple[str, ...] | None = None,
+        rtype: str | None = None,
+    ):
+        """Process one request (no cache tier at the origin).
+
+        ``accept_encoding``/``rtype`` are accepted for signature parity
+        with :meth:`EdgeServer.serve` and ignored: non-CDN origins in
+        this model serve identity bodies straight off disk.
+        """
         from repro.cdn.edge import ServeDecision  # local import avoids a cycle
 
         if protocol == "h3" and not self.supports_h3:

@@ -15,6 +15,7 @@ from typing import Sequence
 from repro.analysis.stats import EmpiricalDistribution
 from repro.core import adoption as adoption_mod
 from repro.core import characteristics as characteristics_mod
+from repro.core import cdn_scenarios as cdn_scenarios_mod
 from repro.core import congestion as congestion_mod
 from repro.core import fallback as fallback_mod
 from repro.core import groups as groups_mod
@@ -22,6 +23,7 @@ from repro.core import migration as migration_mod
 from repro.core import reuse as reuse_mod
 from repro.core import sharing as sharing_mod
 from repro.core.adoption import AdoptionTable, ProviderAdoption
+from repro.core.cdn_scenarios import EconomicsPoint
 from repro.core.congestion import LossSweepSeries
 from repro.core.fallback import FallbackSweepPoint
 from repro.core.migration import MigrationPoint
@@ -61,6 +63,10 @@ class StudyConfig:
     migration_topologies: tuple[str, ...] = migration_mod.DEFAULT_TOPOLOGIES
     #: Fault kinds for the migration sweep ("none" = control).
     migration_faults: tuple[str, ...] = migration_mod.DEFAULT_FAULTS
+    #: Identity-demand ratios for the amplification sweep.
+    amplification_ratios: tuple[float, ...] = (
+        cdn_scenarios_mod.DEFAULT_IDENTITY_RATIOS
+    )
     #: Worker processes for the campaign and loss sweep (1 = in-process).
     workers: int = 1
     #: Result store for replay/resume (``None`` = no persistence).  A
@@ -91,6 +97,9 @@ class H3CdnStudy:
         self._fallback_sweep: list[FallbackSweepPoint] | None = None
         self._migration_sweep: list[MigrationPoint] | None = None
         self._case_study: CaseStudyResult | None = None
+        self._amplification: list[EconomicsPoint] | None = None
+        self._miss_storm: list[EconomicsPoint] | None = None
+        self._flash_crowd: list[EconomicsPoint] | None = None
 
     # -- cached stages ---------------------------------------------------
 
@@ -358,6 +367,82 @@ class H3CdnStudy:
                 resume=self.config.resume,
             )
         return self._migration_sweep
+
+    # -- CDN hierarchy: economics scenarios ---------------------------------
+
+    def fig_amplification(
+        self, identity_ratios: Sequence[float] | None = None
+    ) -> list[EconomicsPoint]:
+        """The amplification sweep: identity-demanding clients vs a
+        Brotli-storing origin (egress/ingress factor by demand ratio).
+
+        Only the default-ratio call is cached; an explicit
+        ``identity_ratios`` argument always runs fresh.
+        """
+        if identity_ratios is not None:
+            return cdn_scenarios_mod.amplification_sweep(
+                self.universe,
+                identity_ratios=tuple(identity_ratios),
+                pages=self._pages(self.config.max_loss_sweep_pages),
+                seed=self.config.seed,
+                campaign_config=self.config.campaign_config,
+                workers=self.config.workers,
+            )
+        if self._amplification is None:
+            self._amplification = cdn_scenarios_mod.amplification_sweep(
+                self.universe,
+                identity_ratios=self.config.amplification_ratios,
+                pages=self._pages(self.config.max_loss_sweep_pages),
+                seed=self.config.seed,
+                campaign_config=self.config.campaign_config,
+                workers=self.config.workers,
+                store=self.config.store,
+                run_prefix=(
+                    f"{self.config.run_name}/fig-amplification"
+                    if self.config.store is not None
+                    else None
+                ),
+                resume=self.config.resume,
+            )
+        return self._amplification
+
+    def fig_miss_storm(self) -> list[EconomicsPoint]:
+        """The miss-storm sweep: offload collapse under tier squeeze."""
+        if self._miss_storm is None:
+            self._miss_storm = cdn_scenarios_mod.miss_storm_sweep(
+                self.universe,
+                pages=self._pages(self.config.max_loss_sweep_pages),
+                seed=self.config.seed,
+                campaign_config=self.config.campaign_config,
+                workers=self.config.workers,
+                store=self.config.store,
+                run_prefix=(
+                    f"{self.config.run_name}/fig-miss-storm"
+                    if self.config.store is not None
+                    else None
+                ),
+                resume=self.config.resume,
+            )
+        return self._miss_storm
+
+    def fig_flash_crowd(self) -> list[EconomicsPoint]:
+        """The flash-crowd comparison: flat cache vs tier hierarchy."""
+        if self._flash_crowd is None:
+            self._flash_crowd = cdn_scenarios_mod.flash_crowd_sweep(
+                self.universe,
+                pages=self._pages(self.config.max_loss_sweep_pages),
+                seed=self.config.seed,
+                campaign_config=self.config.campaign_config,
+                workers=self.config.workers,
+                store=self.config.store,
+                run_prefix=(
+                    f"{self.config.run_name}/fig-flash-crowd"
+                    if self.config.store is not None
+                    else None
+                ),
+                resume=self.config.resume,
+            )
+        return self._flash_crowd
 
     # ------------------------------------------------------------------
 

@@ -20,6 +20,7 @@ import os
 import sys
 import time
 
+from repro.cdn.hierarchy import HIERARCHY_PRESETS
 from repro.core.study import H3CdnStudy, StudyConfig
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.faults import FAULT_PROFILES
@@ -133,6 +134,22 @@ def build_parser() -> argparse.ArgumentParser:
         "connect-tunnel (TCP-terminating CONNECT proxy; H3 downgrades "
         "to H2 at the proxy) or masque-relay (UDP relay; QUIC passes "
         "through end-to-end)",
+    )
+    parser.add_argument(
+        "--cache-tiers",
+        choices=sorted(HIERARCHY_PRESETS),
+        help="layer every edge's cache into a tier chain "
+        "(edge-regional or edge-metro-regional); default is the flat "
+        "per-edge LRU",
+    )
+    parser.add_argument(
+        "--compression",
+        type=float,
+        metavar="RATIO",
+        help="enable compression negotiation on every edge; RATIO is "
+        "the fraction of clients demanding identity encoding "
+        "(0 = everyone accepts Brotli, 1 = the full Lin et al. "
+        "amplification attack)",
     )
     parser.add_argument(
         "--strict",
@@ -258,6 +275,10 @@ def make_study(args: argparse.Namespace, store=None) -> H3CdnStudy:
         scenario = scenario.with_faults(faults_name)
     if getattr(args, "proxy", None):
         scenario = scenario.with_proxy(args.proxy)
+    if getattr(args, "cache_tiers", None):
+        scenario = scenario.with_cache_tiers(args.cache_tiers)
+    if getattr(args, "compression", None) is not None:
+        scenario = scenario.with_compression(args.compression)
     if getattr(args, "strict", False):
         scenario = scenario.with_strict()
     return H3CdnStudy(
@@ -306,6 +327,10 @@ def run_streaming(args: argparse.Namespace) -> int:
         scenario = scenario.with_faults(args.faults)
     if getattr(args, "proxy", None):
         scenario = scenario.with_proxy(args.proxy)
+    if getattr(args, "cache_tiers", None):
+        scenario = scenario.with_cache_tiers(args.cache_tiers)
+    if getattr(args, "compression", None) is not None:
+        scenario = scenario.with_compression(args.compression)
     if getattr(args, "strict", False):
         scenario = scenario.with_strict()
     config = scenario.campaign_config(
@@ -434,6 +459,17 @@ def main(argv: list[str] | None = None) -> int:
     totals = campaign.counter_totals() if campaign is not None else None
     counters_dict = totals.to_dict() if totals else None
 
+    classifiers_section = None
+    if campaign is not None:
+        # Classifier realism check: how often the header-based
+        # (LocEdge-style) and dictionary-based (detect_website_cdn-
+        # style) classifiers disagree over this campaign's HAR entries.
+        from repro.cdn.classifier import classifier_disagreement
+
+        classifiers_section = classifier_disagreement(
+            campaign.entries("h3-enabled")
+        )
+
     store_section = None
     if store is not None:
         stats = store.stats
@@ -554,6 +590,8 @@ def main(argv: list[str] | None = None) -> int:
                 "trace": bool(args.trace_dir),
                 "faults": args.faults,
                 "proxy": args.proxy,
+                "cache_tiers": args.cache_tiers,
+                "compression": args.compression,
                 "strict": bool(args.strict),
                 "metrics_interval_ms": args.metrics_interval,
                 "spans": bool(args.spans),
@@ -575,6 +613,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
             config_hash=campaign_config_hash(study.config.campaign_config),
             store=store_section,
+            classifiers=classifiers_section,
             metrics=metrics_section,
             spans=spans_section,
             progress=progress_section,

@@ -12,8 +12,11 @@ from repro.experiments import (
     fig7,
     fig8,
     fig9,
+    fig_amplification,
     fig_fallback,
+    fig_flash_crowd,
     fig_migration,
+    fig_miss_storm,
     table1,
     table2,
     table3,
@@ -26,7 +29,8 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     module.SPEC.name: module.SPEC
     for module in (
         table1, table2, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table3,
-        fig9, fig_fallback, fig_migration,
+        fig9, fig_fallback, fig_migration, fig_amplification, fig_miss_storm,
+        fig_flash_crowd,
     )
 }
 

@@ -69,6 +69,7 @@ class PoolStats:
     quic_migrations: int = 0
     migration_reconnects: int = 0
     proxy_h3_downgrades: int = 0
+    proxy_cache_hits: int = 0
 
     def merged_with(self, other: "PoolStats") -> "PoolStats":
         # Derived from the dataclass fields so a future counter can
@@ -105,6 +106,8 @@ class PoolStats:
             payload["migrationReconnects"] = self.migration_reconnects
         if self.proxy_h3_downgrades:
             payload["proxyH3Downgrades"] = self.proxy_h3_downgrades
+        if self.proxy_cache_hits:
+            payload["proxyCacheHits"] = self.proxy_cache_hits
         return payload
 
     @classmethod
@@ -123,6 +126,7 @@ class PoolStats:
             quic_migrations=raw.get("quicMigrations", 0),
             migration_reconnects=raw.get("migrationReconnects", 0),
             proxy_h3_downgrades=raw.get("proxyH3Downgrades", 0),
+            proxy_cache_hits=raw.get("proxyCacheHits", 0),
         )
 
 
@@ -145,6 +149,11 @@ class _PendingFetch:
     attempts: int = 0
     #: Armed request-timeout timer while the fetch is in flight.
     timer: Timer | None = None
+    #: Client Accept-Encoding preference (compression campaigns only;
+    #: ``None`` keeps the legacy 3-argument ``serve`` call).
+    accept_encoding: tuple[str, ...] | None = None
+    #: Resource type ("html", "js", …) for encoding decisions.
+    rtype: str | None = None
 
 
 class _PooledConnection:
@@ -208,6 +217,7 @@ class ConnectionPool:
         faults: "FaultInjector | None" = None,
         alt_svc: "AltSvcCache | None" = None,
         check=None,
+        proxy_cache=None,
     ) -> None:
         self.loop = loop
         #: Invariant checker (strict mode); the falsy null check keeps
@@ -244,6 +254,13 @@ class ConnectionPool:
         # setups; extra openers queue here (0-RTT bypasses the queue).
         self._active_handshakes = 0
         self._handshake_queue: deque[tuple[_PooledConnection, _PendingFetch]] = deque()
+        #: Farm-owned proxy-side response cache (connect-tunnel proxies
+        #: with ``cache_mb`` only); outlives this per-visit pool.
+        self._proxy_cache = proxy_cache
+        #: Lazy :class:`repro.cdn.economics.EconomicsLedger`; created on
+        #: the first ServeDecision that carries an economics delta, so
+        #: legacy campaigns never touch it.
+        self._economics = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -259,10 +276,14 @@ class ConnectionPool:
         on_complete: Callable[[FetchRecord], None],
         resource_key: str | None = None,
         weight: int = 1,
+        accept_encoding: tuple[str, ...] | None = None,
+        rtype: str | None = None,
     ) -> None:
         """Fetch one resource; ``on_complete`` receives the record.
 
         ``weight`` is the stream priority on multiplexed connections.
+        ``accept_encoding``/``rtype`` drive server-side compression
+        negotiation; ``None`` (the default) keeps the legacy serve path.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
@@ -278,6 +299,8 @@ class ConnectionPool:
             on_complete=on_complete,
             weight=weight,
             path=path,
+            accept_encoding=accept_encoding,
+            rtype=rtype,
         )
         if protocol.multiplexes:
             self._fetch_multiplexed(fetch, path)
@@ -783,6 +806,86 @@ class ConnectionPool:
             if conns is not None and pooled in conns:
                 conns.remove(pooled)
 
+    def _serve(self, fetch: _PendingFetch):
+        """Answer one fetch: proxy cache first, then the server.
+
+        A TCP-terminating CONNECT tunnel sees plaintext-sized responses
+        it already forwarded and can replay them without touching the
+        edge; a MASQUE relay never can (end-to-end QUIC is opaque), so
+        caching is gated on the path's proxy model, not just on having
+        a cache.  Economics deltas and cache-tier traces are folded in
+        here so `_issue` stays shape-identical for legacy campaigns.
+        """
+        cacheable = (
+            self._proxy_cache is not None
+            and getattr(fetch.path, "proxy_model", None) == "connect-tunnel"
+        )
+        if cacheable and self._proxy_cache.lookup(fetch.resource_key):
+            from repro.cdn.edge import ServeDecision
+
+            self.stats.proxy_cache_hits += 1
+            return ServeDecision(
+                cache_hit=True,
+                think_ms=0.0,
+                protocol=fetch.protocol.value,
+                headers={"x-cache": "HIT", "via": "1.1 proxy-cache"},
+            )
+        if fetch.accept_encoding is not None:
+            decision = fetch.server.serve(
+                fetch.resource_key,
+                fetch.response_bytes,
+                fetch.protocol.value,
+                accept_encoding=fetch.accept_encoding,
+                rtype=fetch.rtype,
+            )
+        else:
+            decision = fetch.server.serve(
+                fetch.resource_key, fetch.response_bytes, fetch.protocol.value
+            )
+        if cacheable:
+            body = (
+                decision.body_bytes
+                if getattr(decision, "body_bytes", None) is not None
+                else fetch.response_bytes
+            )
+            self._proxy_cache.insert(fetch.resource_key, body)
+        economics = getattr(decision, "economics", None)
+        if economics is not None:
+            if self._economics is None:
+                from repro.cdn.economics import EconomicsLedger
+
+                self._economics = EconomicsLedger()
+            self._economics.add(economics, decision.hit_tier)
+            if self.obs is not None and decision.hit_tier is not None:
+                tracer = self.obs.cdn_tracer()
+                if tracer:
+                    now = self.loop.now
+                    host = fetch.server.hostname
+                    if decision.hit_tier == "origin":
+                        tracer.event(now, "cache:miss", host=host)
+                    else:
+                        tracer.event(
+                            now, "cache:hit", host=host, tier=decision.hit_tier
+                        )
+                    tracer.event(
+                        now,
+                        "economics:egress",
+                        host=host,
+                        bytes=economics.egress_bytes,
+                        encoding=decision.headers.get(
+                            "content-encoding", "identity"
+                        ),
+                        source="cache" if economics.cache_served_bytes else "fetch",
+                    )
+                    if economics.origin_bytes:
+                        tracer.event(
+                            now,
+                            "economics:origin_fetch",
+                            host=host,
+                            bytes=economics.origin_bytes,
+                        )
+        return decision
+
     def _issue(
         self,
         pooled: _PooledConnection,
@@ -822,8 +925,13 @@ class ConnectionPool:
                 "edge_outage",
             )
             return
-        decision = fetch.server.serve(
-            fetch.resource_key, fetch.response_bytes, fetch.protocol.value
+        decision = self._serve(fetch)
+        #: Bytes actually on the wire: compression campaigns egress the
+        #: negotiated encoding's size, everything else the nominal size.
+        body_bytes = (
+            decision.body_bytes
+            if getattr(decision, "body_bytes", None) is not None
+            else fetch.response_bytes
         )
         think_ms = decision.think_ms
         if handshake is not None:
@@ -851,7 +959,7 @@ class ConnectionPool:
             protocol=fetch.protocol,
             started_at_ms=fetch.queued_at,
             timing=timing,
-            response_bytes=fetch.response_bytes,
+            response_bytes=body_bytes,
             request_bytes=fetch.request_bytes,
             headers=dict(decision.headers),
             reused=reused,
@@ -934,7 +1042,7 @@ class ConnectionPool:
 
         pooled.conn.request(
             fetch.request_bytes,
-            fetch.response_bytes,
+            body_bytes,
             think_ms=think_ms,
             on_first_byte=on_first_byte,
             on_complete=on_stream_complete,
@@ -1004,6 +1112,20 @@ class ConnectionPool:
                     connections_created=self.stats.connections_created,
                     reused_requests=self.stats.reused_requests,
                 )
+            if self._economics is not None:
+                # Byte conservation: every egressed byte was either
+                # served from a cache tier or fetched through the
+                # hierarchy — exact by construction, so any drift is a
+                # bookkeeping bug.
+                self.check.require(
+                    self._economics.conserved,
+                    "pool:economics_conserved",
+                    "egress bytes != cache-served + inter-tier transfer",
+                    time_ms=self.loop.now,
+                    egress=self._economics.egress_bytes,
+                    cache_served=self._economics.cache_served_bytes,
+                    transfer=self._economics.transfer_bytes,
+                )
         for pooled in all_conns:
             if self.faults is not None:
                 # Disarm recovery timers: the loop outlives this pool
@@ -1043,8 +1165,14 @@ class ConnectionPool:
                 ("pool.quic_migrations", self.stats.quic_migrations),
                 ("pool.migration_reconnects", self.stats.migration_reconnects),
                 ("pool.proxy_h3_downgrades", self.stats.proxy_h3_downgrades),
+                ("pool.proxy_cache_hits", self.stats.proxy_cache_hits),
             ):
                 if value:
+                    counters.incr(key, value)
+            if self._economics is not None:
+                # Hierarchy/compression campaigns only; nonzero-only so
+                # legacy counter snapshots stay byte-identical.
+                for key, value in self._economics.counter_items():
                     counters.incr(key, value)
         self._multiplexed.clear()
         self._h1_conns.clear()

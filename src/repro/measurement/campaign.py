@@ -13,6 +13,8 @@ from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING
 
 from repro.browser.browser import H2_ONLY, H3_ENABLED, PageVisit
+from repro.cdn.compression import CompressionConfig
+from repro.cdn.hierarchy import HierarchyConfig
 from repro.faults import FaultProfile
 from repro.measurement.outcome import VisitFailure
 from repro.measurement.summary import CampaignSummary
@@ -60,6 +62,12 @@ class SimConfig:
     fault_profile: FaultProfile | None = None
     #: Proxy hop on every probe↔host path (``None`` = direct paths).
     proxy: ProxyConfig | None = None
+    #: Multi-tier cache chain on every edge (``None`` = flat LRU,
+    #: bit-identical to pre-hierarchy builds).
+    cache_hierarchy: "HierarchyConfig | None" = None
+    #: Compression/format negotiation (``None`` = encoding-oblivious
+    #: serving, bit-identical to pre-compression builds).
+    compression: "CompressionConfig | None" = None
 
     def bundle(self, telemetry: "TelemetryConfig | None" = None) -> "CampaignConfig":
         """Combine with a telemetry group into a full campaign config."""
@@ -173,6 +181,12 @@ class CampaignConfig:
     #: Proxy hop on every probe↔host path (``None`` = direct paths).
     #: Result-affecting: part of the store content key.
     proxy: ProxyConfig | None = None
+    #: Multi-tier cache chain on every edge (``None`` = flat LRU).
+    #: Result-affecting: part of the store content key (schema v3).
+    cache_hierarchy: "HierarchyConfig | None" = None
+    #: Compression/format negotiation (``None`` = encoding-oblivious).
+    #: Result-affecting: part of the store content key (schema v3).
+    compression: "CompressionConfig | None" = None
 
     # -- group facade --------------------------------------------------
 

@@ -66,6 +66,8 @@ class ServerFarm:
         net_profile: ProbeNetProfile | None = None,
         rng: random.Random | None = None,
         proxy: ProxyConfig | None = None,
+        hierarchy=None,
+        compression=None,
     ) -> None:
         self.loop = loop
         self.specs = hosts
@@ -74,13 +76,32 @@ class ServerFarm:
         #: Optional proxy hop: every path becomes a two-segment chain
         #: (client→proxy access leg, proxy→edge shaped leg).
         self.proxy = proxy
+        #: Optional cache hierarchy / compression configs handed to
+        #: every instantiated edge (``None`` keeps legacy behaviour).
+        self.hierarchy = hierarchy
+        self.compression = compression
+        #: Proxy-side response cache, shared by both protocol modes
+        #: (like edge caches, it belongs to the farm and persists across
+        #: the probe's visits).  Only a TCP-terminating CONNECT tunnel
+        #: can cache; a MASQUE relay forwards opaque end-to-end QUIC.
+        self.proxy_cache = None
+        if (
+            proxy is not None
+            and proxy.model == "connect-tunnel"
+            and getattr(proxy, "cache_mb", 0.0) > 0
+        ):
+            from repro.cdn.hierarchy import LruCache
+
+            self.proxy_cache = LruCache(int(proxy.cache_mb * 1024 * 1024))
         self._servers: dict[str, EdgeServer | OriginServer] = {}
         self._paths: dict[str, NetworkPath | SegmentedPath] = {}
 
     def server(self, hostname: str) -> EdgeServer | OriginServer:
         """The live server for ``hostname`` (instantiated on first use)."""
         if hostname not in self._servers:
-            self._servers[hostname] = self.specs[hostname].instantiate()
+            self._servers[hostname] = self.specs[hostname].instantiate(
+                hierarchy=self.hierarchy, compression=self.compression
+            )
         return self._servers[hostname]
 
     def path(self, hostname: str) -> NetworkPath | SegmentedPath:
@@ -128,14 +149,18 @@ class ServerFarm:
                     continue
                 server = self.server(resource.host)
                 if isinstance(server, EdgeServer):
-                    server.warm(resource.url, resource.size_bytes)
+                    server.warm(
+                        resource.url, resource.size_bytes, rtype=resource.rtype.value
+                    )
 
     def clear_caches(self) -> None:
         """Drop every edge cache (fresh-cache experiment variants)."""
         for hostname, server in self._servers.items():
             if isinstance(server, EdgeServer):
                 spec = self.specs[hostname]
-                self._servers[hostname] = spec.instantiate()
+                self._servers[hostname] = spec.instantiate(
+                    hierarchy=self.hierarchy, compression=self.compression
+                )
 
     def total_bytes_transferred(self) -> int:
         """Across all paths, both directions (ethics accounting)."""

@@ -115,6 +115,8 @@ def measure_paired_visit(
         fault_profile=config.fault_profile,
         check=check,
         proxy=config.proxy,
+        cache_hierarchy=config.cache_hierarchy,
+        compression=config.compression,
     )
     if config.warm_popular:
         probe.warm_edges((page,))

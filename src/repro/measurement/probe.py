@@ -42,6 +42,8 @@ class Probe:
         fault_profile: FaultProfile | None = None,
         check=None,
         proxy: ProxyConfig | None = None,
+        cache_hierarchy=None,
+        compression=None,
     ) -> None:
         self.name = name
         self.universe = universe
@@ -70,6 +72,8 @@ class Probe:
             net_profile,
             rng=random.Random(self.rng.getrandbits(64)),
             proxy=proxy,
+            hierarchy=cache_hierarchy,
+            compression=compression,
         )
         transport_config = transport_config or TransportConfig()
         self.browsers = {
@@ -80,6 +84,7 @@ class Probe:
                     protocol_mode=mode,
                     transport_config=transport_config,
                     use_session_tickets=use_session_tickets,
+                    compression=compression,
                 ),
                 rng=random.Random(self.rng.getrandbits(64)),
                 obs=obs,

@@ -71,11 +71,19 @@ class ProxyConfig:
     forward_delay_ms:
         Per-hop proxy processing delay added when a packet is relayed
         onto the next segment.
+    cache_mb:
+        Size of a proxy-side response cache in MiB (0 disables it).
+        Only meaningful for ``connect-tunnel`` proxies, which terminate
+        the client's TCP stream and can therefore serve repeat fetches
+        themselves — a MASQUE relay forwards opaque end-to-end QUIC and
+        cannot cache.  Hits are counted in pool stats
+        (``proxy_cache_hits``).
     """
 
     model: str = "connect-tunnel"
     client_profile: NetemProfile = field(default_factory=_default_client_profile)
     forward_delay_ms: float = 0.0
+    cache_mb: float = 0.0
 
     def __post_init__(self) -> None:
         if self.model not in PROXY_MODELS:
@@ -86,6 +94,8 @@ class ProxyConfig:
             raise ValueError(
                 f"forward_delay_ms must be >= 0, got {self.forward_delay_ms}"
             )
+        if self.cache_mb < 0:
+            raise ValueError(f"cache_mb must be >= 0, got {self.cache_mb}")
 
     @property
     def h3_passthrough(self) -> bool:

@@ -54,6 +54,7 @@ class ObsContext:
         self.counters = CounterRegistry()
         self._tracers: list[ConnectionTracer] = []
         self._fault_tracer: ConnectionTracer | None = None
+        self._cdn_tracer: ConnectionTracer | None = None
         self._samplers: list[ConnectionSampler] = []
         #: Links carrying an attached LinkSampler this drain cycle,
         #: keyed by id() — links outlive visits (the server farm keeps
@@ -95,6 +96,22 @@ class ObsContext:
         if tracer is None:
             tracer = self.connection_tracer("fault-injector", "fault")
             self._fault_tracer = tracer
+        return tracer
+
+    def cdn_tracer(self) -> ConnectionTracer | None:
+        """The shared tracer for ``cache:``/``economics:`` events.
+
+        Cache-hierarchy and byte-accounting events describe the edge
+        fleet rather than one connection, so — like fault events — they
+        funnel into a single per-drain-cycle tracer.  Lazily re-created
+        after every :meth:`drain_visit`.
+        """
+        if not self.trace_enabled:
+            return None
+        tracer = self._cdn_tracer
+        if tracer is None:
+            tracer = self.connection_tracer("cdn-edge", "cache")
+            self._cdn_tracer = tracer
         return tracer
 
     def connection_sampler(self, name: str, protocol: str) -> ConnectionSampler | None:
@@ -216,6 +233,7 @@ class ObsContext:
             trace = TraceLog(self._tracers)
         self._tracers.clear()
         self._fault_tracer = None
+        self._cdn_tracer = None
         metrics: list[dict] | None = None
         if self.metrics_interval_ms is not None:
             metrics = self.metrics_records()

@@ -25,6 +25,7 @@ def build_run_manifest(
     migration_sweep: dict | None = None,
     config_hash: str | None = None,
     store: dict | None = None,
+    classifiers: dict | None = None,
     metrics: dict | None = None,
     spans: dict | None = None,
     progress: dict | None = None,
@@ -52,6 +53,12 @@ def build_run_manifest(
     (``{"records"}``), ``progress`` is the live reporter's final
     summary, and ``loop_profile`` the merged event-loop callback
     profile (wall-clock; top entries only).
+
+    ``classifiers`` is the CDN-classifier realism check — the
+    disagreement rate between the header-based (LocEdge-style) and the
+    dictionary-based (detect_website_cdn-style) classifier over the
+    campaign's HAR entries (:func:`repro.cdn.classifier.
+    classifier_disagreement`); absent when no campaign ran.
     """
     manifest = {
         "format": MANIFEST_FORMAT,
@@ -71,6 +78,8 @@ def build_run_manifest(
         manifest["migration_sweep"] = dict(migration_sweep)
     if store is not None:
         manifest["store"] = dict(store)
+    if classifiers is not None:
+        manifest["classifiers"] = dict(classifiers)
     if metrics is not None:
         manifest["metrics"] = dict(metrics)
     if spans is not None:

@@ -85,6 +85,12 @@ DATA_FIELDS: dict[str, frozenset[str]] = {
         {"cwnd", "bytes_in_flight", "srtt_ms", "goodput_kbps"}
     ),
     "metrics:link_sample": frozenset({"queue_ms", "throughput_kbps"}),
+    # CDN cache-hierarchy events: tier that answered, hops traversed.
+    "cache:hit": frozenset({"host", "tier"}),
+    "cache:miss": frozenset({"host", "hops"}),
+    # Provider-side byte accounting per served request.
+    "economics:egress": frozenset({"host", "bytes", "encoding", "source"}),
+    "economics:origin_fetch": frozenset({"host", "bytes"}),
 }
 
 # Every event family must register its fields: the two sets drifting

@@ -67,6 +67,13 @@ EVENT_NAMES: frozenset[str] = frozenset(
         # transport / link timeseries, same JSONL record shape.
         "metrics:transport_sample",
         "metrics:link_sample",
+        # CDN cache-hierarchy events (repro.cdn.hierarchy): where in the
+        # tier chain each request was answered.
+        "cache:hit",
+        "cache:miss",
+        # Provider-side byte accounting (repro.cdn.economics).
+        "economics:egress",
+        "economics:origin_fetch",
     }
 )
 

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from repro.cdn.compression import CompressionConfig
+from repro.cdn.hierarchy import HierarchyConfig, hierarchy_preset
 from repro.faults import FAULT_PROFILES, FaultProfile
 from repro.measurement.campaign import CampaignConfig
 from repro.netsim.proxy import ProxyConfig
@@ -43,6 +45,10 @@ class Scenario:
     strict: bool = False
     #: Optional proxy hop between client and edge (None = direct paths).
     proxy: ProxyConfig | None = None
+    #: Multi-tier edge cache hierarchy (None = legacy flat LRU).
+    cache_hierarchy: HierarchyConfig | None = None
+    #: Compression negotiation (None = encoding machinery dormant).
+    compression: CompressionConfig | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate <= 1.0:
@@ -81,6 +87,51 @@ class Scenario:
         suffix = proxy.model if proxy is not None else "direct"
         return replace(self, name=f"{self.name}+{suffix}", proxy=proxy)
 
+    def with_cache_tiers(
+        self, hierarchy: HierarchyConfig | str | None
+    ) -> "Scenario":
+        """This scenario with a multi-tier edge cache chain.
+
+        Accepts a :class:`HierarchyConfig`, a :data:`~repro.cdn.
+        hierarchy.HIERARCHY_PRESETS` name (``"edge-regional"`` /
+        ``"edge-metro-regional"``), or ``None`` for the flat cache.
+        """
+        if isinstance(hierarchy, str):
+            hierarchy = hierarchy_preset(hierarchy)
+        suffix = (
+            "+".join(tier.name for tier in hierarchy.tiers)
+            if hierarchy is not None
+            else "flat-cache"
+        )
+        return replace(
+            self, name=f"{self.name}+{suffix}", cache_hierarchy=hierarchy
+        )
+
+    def with_compression(
+        self, compression: CompressionConfig | float | None
+    ) -> "Scenario":
+        """This scenario with compression negotiation on edges.
+
+        Accepts a :class:`CompressionConfig`, a bare float (treated as
+        ``identity_request_ratio`` — the fraction of clients demanding
+        identity encoding, the Lin et al. amplification knob), or
+        ``None`` to turn encoding off.
+        """
+        if isinstance(compression, (int, float)) and not isinstance(
+            compression, bool
+        ):
+            compression = CompressionConfig(
+                identity_request_ratio=float(compression)
+            )
+        suffix = (
+            f"compress{compression.identity_request_ratio:g}"
+            if compression is not None
+            else "no-compress"
+        )
+        return replace(
+            self, name=f"{self.name}+{suffix}", compression=compression
+        )
+
     def with_transport(self, transport: TransportConfig) -> "Scenario":
         """This scenario with a different transport configuration."""
         return replace(self, transport=transport)
@@ -116,6 +167,8 @@ class Scenario:
             fault_profile=self.faults,
             strict=self.strict,
             proxy=self.proxy,
+            cache_hierarchy=self.cache_hierarchy,
+            compression=self.compression,
         )
         base.update(overrides)
         return CampaignConfig(**base)
@@ -130,6 +183,13 @@ def _build_scenarios() -> dict[str, Scenario]:
         # Every host's UDP blackholed: the H3-fallback stress scenario.
         "udp-blocked": Scenario(
             name="udp-blocked", faults=FAULT_PROFILES["udp-blocked"]
+        ),
+        # Tiered CDN with compression negotiation: the hierarchy/
+        # economics scenarios build on this.
+        "cdn-hierarchy": Scenario(
+            name="cdn-hierarchy",
+            cache_hierarchy=hierarchy_preset("edge-regional"),
+            compression=CompressionConfig(),
         ),
     }
 

@@ -50,7 +50,13 @@ from repro.web.page import Webpage
 #: v2: the proxy topology (:class:`~repro.netsim.proxy.ProxyConfig`)
 #: joined the per-visit key material — a proxied visit traverses a
 #: different path chain, so it must never collide with a direct one.
-STORE_SCHEMA_VERSION = 2
+#:
+#: v3: cache-hierarchy and compression knobs (plus a proxy-side cache
+#: size) joined the key material.  Configs that use none of the new
+#: features keep *absent* keys and embed schema 2 (see
+#: :func:`_schema_for`), so every pre-v3 store entry still replays as a
+#: hit and run hashes of default campaigns are unchanged.
+STORE_SCHEMA_VERSION = 3
 
 #: Hex digest length for visit keys and payload hashes (128-bit).
 DIGEST_SIZE = 16
@@ -118,7 +124,7 @@ def proxy_part(proxy) -> dict | None:
     """
     if proxy is None:
         return None
-    return {
+    part = {
         "model": proxy.model,
         "client_profile": {
             k: _finite(v)
@@ -126,6 +132,53 @@ def proxy_part(proxy) -> dict | None:
         },
         "forward_delay_ms": _finite(proxy.forward_delay_ms),
     }
+    # Absent (not 0) when unset, so cacheless-proxy key material is
+    # byte-identical to schema v2.
+    cache_mb = getattr(proxy, "cache_mb", 0.0)
+    if cache_mb:
+        part["cache_mb"] = _finite(cache_mb)
+    return part
+
+
+def hierarchy_part(hierarchy) -> dict | None:
+    """A :class:`~repro.cdn.hierarchy.HierarchyConfig` as key material."""
+    if hierarchy is None:
+        return None
+    return {
+        "tiers": [
+            {
+                "name": tier.name,
+                "capacity_bytes": tier.capacity_bytes,
+                "fetch_ms": _finite(tier.fetch_ms),
+            }
+            for tier in hierarchy.tiers
+        ]
+    }
+
+
+def compression_part(compression) -> dict | None:
+    """A :class:`~repro.cdn.compression.CompressionConfig` as key material."""
+    if compression is None:
+        return None
+    return {
+        "identity_request_ratio": _finite(compression.identity_request_ratio),
+        "conversion_think_ms": _finite(compression.conversion_think_ms),
+    }
+
+
+def _schema_for(config_part: dict) -> int:
+    """The schema version a key embeds for this config.
+
+    v3 only *added* key material (hierarchy, compression, proxy cache).
+    A config using none of it carries no v3 keys, so embedding schema 2
+    keeps its keys — and therefore every pre-v3 store entry — valid.
+    """
+    if "hierarchy" in config_part or "compression" in config_part:
+        return STORE_SCHEMA_VERSION
+    proxy = config_part.get("proxy")
+    if proxy is not None and proxy.get("cache_mb"):
+        return STORE_SCHEMA_VERSION
+    return 2
 
 
 #: CampaignConfig fields that shape *one* visit's simulation.  Topology
@@ -154,6 +207,14 @@ def visit_config_part(config: CampaignConfig) -> dict:
     part["transport"] = transport_part(config.transport_config)
     part["faults"] = fault_profile_part(config.fault_profile)
     part["proxy"] = proxy_part(config.proxy)
+    # v3 knobs stay *absent* (not null) at their defaults so default
+    # configs produce byte-identical key material to schema v2.
+    hierarchy = hierarchy_part(getattr(config, "cache_hierarchy", None))
+    if hierarchy is not None:
+        part["hierarchy"] = hierarchy
+    compression = compression_part(getattr(config, "compression", None))
+    if compression is not None:
+        part["compression"] = compression
     return part
 
 
@@ -169,7 +230,7 @@ def campaign_config_hash(config: CampaignConfig) -> str:
     material["seed"] = config.seed
     material["probes_per_vantage"] = config.probes_per_vantage
     material["max_vantage_points"] = config.max_vantage_points
-    material["schema"] = STORE_SCHEMA_VERSION
+    material["schema"] = _schema_for(material)
     return blake2b_hex(canonical_json(material).encode())
 
 
@@ -252,7 +313,7 @@ def paired_visit_key(
     derivation hashes each config and page once, not once per slot.
     """
     material = {
-        "schema": STORE_SCHEMA_VERSION,
+        "schema": _schema_for(config_part),
         "kind": "paired",
         "mode": "h2+h3",
         "config": config_part,
@@ -275,7 +336,7 @@ def consecutive_key(
     decompose — the unit of caching is the ordered walk under one mode.
     """
     material = {
-        "schema": STORE_SCHEMA_VERSION,
+        "schema": _schema_for(config_material),
         "kind": "consecutive",
         "mode": mode,
         "config": config_material,

@@ -48,8 +48,14 @@ class HostSpec:
         """True for the Table II 'Others' bucket (HTTP/1.x-only servers)."""
         return not self.supports_h2 and not self.supports_h3
 
-    def instantiate(self) -> EdgeServer | OriginServer:
-        """Create a live server (fresh cache) from this spec."""
+    def instantiate(
+        self, hierarchy=None, compression=None
+    ) -> EdgeServer | OriginServer:
+        """Create a live server (fresh cache) from this spec.
+
+        ``hierarchy``/``compression`` are campaign-level edge configs
+        (origins ignore them — they have no cache and serve identity).
+        """
         if self.kind == "edge":
             return EdgeServer(
                 hostname=self.hostname,
@@ -60,6 +66,8 @@ class HostSpec:
                 h3_think_overhead_ms=self.h3_think_overhead_ms,
                 supports_h3=self.supports_h3,
                 tls_version=self.tls_version,
+                hierarchy=hierarchy,
+                compression=compression,
             )
         return OriginServer(
             hostname=self.hostname,

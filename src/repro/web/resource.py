@@ -55,3 +55,34 @@ class Resource:
     def request_bytes(self) -> int:
         """Approximate size of the HTTP request for this resource."""
         return 400 + len(self.url)
+
+    @property
+    def compressible(self) -> bool:
+        """Whether edges can transcode this resource (text-like types).
+
+        Images and media ship pre-compressed; recompressing them buys
+        nothing, so compression campaigns leave them identity-encoded.
+        """
+        from repro.cdn.compression import is_compressible
+
+        return is_compressible(self.rtype.value)
+
+    @property
+    def stored_encoding(self) -> str:
+        """The content encoding origins keep this resource in."""
+        from repro.cdn.compression import origin_encoding
+
+        return origin_encoding(self.rtype.value)
+
+    def encoded_bytes(self, encoding: str) -> int:
+        """Wire size of this resource under ``encoding``.
+
+        ``size_bytes`` stays the nominal (identity) size everywhere —
+        page generation, store keys, legacy campaigns — and the
+        compression model derives the on-the-wire size from it.
+        """
+        from repro.cdn.compression import encoded_size
+
+        if not self.compressible:
+            return self.size_bytes
+        return encoded_size(self.size_bytes, encoding)

@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.cdn import (
     GIANT_PROVIDERS,
+    DictClassifier,
     EdgeServer,
     LruCache,
     OriginServer,
@@ -117,6 +118,39 @@ class TestLruCache:
         cache.insert("huge", 500)
         assert "huge" not in cache
         assert cache.used_bytes == 0
+
+    def test_oversized_insert_leaves_cache_intact(self):
+        """Regression: an object that can never fit must be rejected
+        without flushing everything else out on the way."""
+        cache = LruCache(capacity_bytes=250)
+        cache.insert("a", 100)
+        cache.insert("b", 100)
+        cache.insert("huge", 500)
+        assert "huge" not in cache
+        assert "a" in cache and "b" in cache
+        assert cache.used_bytes == 200
+        assert cache.evictions == 0
+
+    def test_reinsert_oversized_drops_old_entry_cleanly(self):
+        """A cached object re-inserted at an uncacheable size is simply
+        dropped; the byte accounting must follow."""
+        cache = LruCache(capacity_bytes=250)
+        cache.insert("a", 100)
+        cache.insert("b", 100)
+        cache.insert("a", 500)
+        assert "a" not in cache
+        assert "b" in cache
+        assert cache.used_bytes == 100
+        assert cache.evictions == 0
+
+    def test_reinsert_shrink_frees_bytes(self):
+        cache = LruCache(capacity_bytes=300)
+        cache.insert("a", 200)
+        cache.insert("a", 50)
+        assert cache.used_bytes == 50
+        cache.insert("b", 250)  # fits exactly because "a" shrank
+        assert "a" in cache and "b" in cache
+        assert cache.evictions == 0
 
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
@@ -247,3 +281,69 @@ class TestClassifier:
     def test_header_lookup_case_insensitive(self):
         result = classify_response("x.example", {"SERVER": "CloudFlare"})
         assert result.provider_name == "cloudflare"
+
+    def test_mixed_case_via_header_and_host(self):
+        result = classify_response(
+            "Images.Shop.EXAMPLE", {"VIA": "1.1 Varnish (Fastly)"}
+        )
+        assert result.provider_name == "fastly"
+        assert result.matched_by == "header"
+
+    def test_header_wins_over_colliding_domain_pattern(self):
+        """A customer CNAME can carry another provider's name in its
+        hostname; the header fingerprint is the more reliable signal
+        and must win."""
+        result = classify_response(
+            "assets.cloudfront.net", {"server": "cloudflare"}
+        )
+        assert result.provider_name == "cloudflare"
+        assert result.matched_by == "header"
+
+    def test_pattern_matches_mid_label_substring(self):
+        """``classify_response`` patterns are plain substrings — a
+        hostname merely *containing* a provider domain matches.  That
+        permissiveness is exactly what :class:`DictClassifier`'s
+        label-boundary matching tightens up (see TestDictClassifier)."""
+        result = classify_response("evil-fastly.net.attacker.example")
+        assert result.is_cdn
+        assert result.provider_name == "fastly"
+        assert result.matched_by == "pattern"
+
+
+class TestDictClassifier:
+    def test_matches_on_label_boundaries(self):
+        verdict = DictClassifier().classify("cdn.fastly.net")
+        assert verdict.is_cdn
+        assert verdict.provider_name == "fastly"
+        assert verdict.matched_by == "dict"
+
+    def test_rejects_mid_label_substrings(self):
+        """``myfastly.network.example`` contains the string
+        ``fastly.net`` but no suffix of its label sequence equals it."""
+        assert not DictClassifier().classify("myfastly.network.example").is_cdn
+
+    def test_deep_subdomains_still_match(self):
+        verdict = DictClassifier().classify("a.b.c.cloudfront.net")
+        assert verdict.provider_name == "amazon"
+
+    def test_case_and_trailing_dot_insensitive(self):
+        verdict = DictClassifier().classify("Fonts.GStatic.COM.")
+        assert verdict.provider_name == "google"
+
+    def test_bare_tld_never_matches(self):
+        assert not DictClassifier().classify("net").is_cdn
+        assert not DictClassifier().classify("example.unknown-host.test").is_cdn
+
+    def test_custom_table(self):
+        classifier = DictClassifier({"my-cdn.example": "mycdn"})
+        assert classifier.classify("edge1.my-cdn.example").provider_name == "mycdn"
+        assert not classifier.classify("cdn.fastly.net").is_cdn
+
+    def test_knows_nothing_of_headers(self):
+        """The realism gap the manifest's disagreement rate measures: a
+        customer-owned hostname whose only CDN signal is the response
+        headers is invisible to the dictionary."""
+        host = "www.customer-shop.example"
+        header_verdict = classify_response(host, {"server": "AkamaiGHost"})
+        assert header_verdict.is_cdn
+        assert not DictClassifier().classify(host).is_cdn

@@ -17,14 +17,16 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3",
             "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig-fallback", "fig-migration",
+            "fig-fallback", "fig-migration", "fig-amplification",
+            "fig-miss-storm", "fig-flash-crowd",
         }
 
     def test_order_follows_the_paper(self):
         assert list(EXPERIMENTS) == [
             "table1", "table2", "fig2", "fig3", "fig4", "fig5",
             "fig6", "fig7", "fig8", "table3", "fig9", "fig-fallback",
-            "fig-migration",
+            "fig-migration", "fig-amplification", "fig-miss-storm",
+            "fig-flash-crowd",
         ]
 
     def test_specs_are_well_formed(self):

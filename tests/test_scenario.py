@@ -51,7 +51,9 @@ class TestScenario:
 
 class TestPresets:
     def test_registry_names(self):
-        assert set(SCENARIOS) == {"paper-default", "lossy", "udp-blocked"}
+        assert set(SCENARIOS) == {
+            "paper-default", "lossy", "udp-blocked", "cdn-hierarchy"
+        }
 
     def test_paper_default_has_no_faults_or_loss(self):
         scenario = preset("paper-default")
